@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench bench-full examples cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# One testing.B benchmark per paper figure (quick scale).
+bench:
+	go test -bench=. -benchmem
+
+# Regenerate every figure at full scale (minutes).
+bench-full:
+	go run ./cmd/mvpbt-bench -all -scale full
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/htap
+	go run ./examples/ycsb
+	go run ./examples/tpcc
+	go run ./examples/durability
+
+cover:
+	go test -cover ./...

@@ -1,0 +1,84 @@
+// Command mvpbt-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mvpbt-bench -list
+//	mvpbt-bench -run fig12a
+//	mvpbt-bench -all -scale full
+//
+// Every experiment prints the same rows/series the corresponding figure of
+// the paper reports; EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mvpbt/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list all experiments")
+		run   = flag.String("run", "", "run one experiment by id (e.g. fig3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.String("scale", "quick", "experiment scale: quick | full")
+		csv   = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	)
+	flag.Parse()
+
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.Quick
+	case "full":
+		s = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		e, ok := bench.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		if err := runOne(e, s, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			if err := runOne(e, s, *csv); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e bench.Experiment, s bench.Scale, csv bool) error {
+	start := time.Now()
+	res, err := e.Run(s)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if csv {
+		fmt.Printf("# %s: %s\n%s\n", res.ID, res.Title, res.CSV())
+		return nil
+	}
+	fmt.Print(res.String())
+	fmt.Printf("# completed in %v (real time)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

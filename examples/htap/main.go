@@ -1,0 +1,101 @@
+// HTAP: the paper's Figure 1/2 scenario end to end. A long-running
+// analytical reader holds a snapshot while update transactions produce
+// version chains; the same COUNT(a <= 10) query then runs against a
+// version-oblivious B-Tree (candidates + base-table visibility checks,
+// one random read per matching version) and against MV-PBT (index-only
+// visibility check, zero base-table reads) — with the simulated device's
+// I/O counters showing the §2 cost model.
+package main
+
+import (
+	"fmt"
+
+	"mvpbt"
+	"mvpbt/internal/sfile"
+)
+
+func row(key, value string) []byte {
+	out := []byte{byte(len(key))}
+	out = append(out, key...)
+	return append(out, value...)
+}
+
+func keyOf(r []byte) []byte { return r[1 : 1+int(r[0])] }
+
+type engine struct {
+	name string
+	eng  *mvpbt.Engine
+	tbl  *mvpbt.Table
+	ix   *mvpbt.Index
+}
+
+func build(name string, kind int) *engine {
+	eng := mvpbt.NewEngine(mvpbt.Config{BufferPages: 64})
+	k := mvpbt.IdxBTree
+	if kind == 1 {
+		k = mvpbt.IdxMVPBT
+	}
+	tbl, err := eng.NewTable("r", mvpbt.HeapSIAS, mvpbt.IndexDef{
+		Name: "a", Kind: k, Unique: true, BloomBits: 10, Extract: keyOf,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &engine{name: name, eng: eng, tbl: tbl, ix: tbl.Indexes()[0]}
+}
+
+func main() {
+	engines := []*engine{build("B-Tree (version-oblivious)", 0), build("MV-PBT (version-aware)", 1)}
+
+	for _, e := range engines {
+		// TXU0 inserts tuples t0..t499 (attribute a = the key).
+		tx := e.eng.Begin()
+		for i := 0; i < 500; i++ {
+			if _, _, err := e.tbl.Insert(tx, row(fmt.Sprintf("a%03d", i), "v0")); err != nil {
+				panic(err)
+			}
+		}
+		e.eng.Commit(tx)
+
+		// TXR starts its long-running query: snapshot taken NOW.
+		txr := e.eng.Begin()
+
+		// TXU1..TXU3 update every tuple while TXR runs (Figure 1): the
+		// version chains grow to 4, but only v0 is visible to TXR.
+		for u := 1; u <= 3; u++ {
+			txu := e.eng.Begin()
+			for i := 0; i < 500; i++ {
+				cur, err := e.tbl.LookupOne(txu, e.ix, []byte(fmt.Sprintf("a%03d", i)), true)
+				if err != nil || cur == nil {
+					panic("update lookup failed")
+				}
+				if _, err := e.tbl.Update(txu, *cur, row(fmt.Sprintf("a%03d", i), fmt.Sprintf("v%d", u))); err != nil {
+					panic(err)
+				}
+			}
+			e.eng.Commit(txu)
+		}
+		e.eng.Pool.FlushAll()
+		e.eng.Pool.EvictAll() // cold start, like the paper's cleaned cache
+
+		// TXR's query: SELECT COUNT(*) FROM r WHERE a <= a499.
+		tableBefore := e.eng.Pool.Stats()[sfile.ClassTable]
+		devBefore := e.eng.Dev.Stats()
+		n, err := e.tbl.Count(txr, e.ix, []byte("a000"), []byte("a999"))
+		if err != nil {
+			panic(err)
+		}
+		tableAfter := e.eng.Pool.Stats()[sfile.ClassTable]
+		devAfter := e.eng.Dev.Stats()
+		e.eng.Commit(txr)
+
+		fmt.Printf("%s\n", e.name)
+		fmt.Printf("  COUNT(*) under TXR's old snapshot = %d (each tuple counted once, at version v0)\n", n)
+		fmt.Printf("  base-table page requests during query: %d\n", tableAfter.Requests-tableBefore.Requests)
+		d := devAfter.Sub(devBefore)
+		fmt.Printf("  device reads: %d (%.2f ms simulated I/O time)\n\n", d.Reads, d.ReadTime.Seconds()*1000)
+	}
+	fmt.Println("The version-oblivious index pays COST(index scan) + random base-table I/O")
+	fmt.Println("per matching tuple-version (paper §2, Figure 2); MV-PBT answers the same")
+	fmt.Println("query with the index-only visibility check (§4.4).")
+}

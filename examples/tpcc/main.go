@@ -1,0 +1,83 @@
+// TPC-C: load a scaled TPC-C database on two engine configurations — the
+// PostgreSQL-style baseline (HOT heap + B-Tree) and the paper's stack
+// (SIAS append storage + MV-PBT) — run the standard transaction mix, and
+// report throughput, consistency and storage behaviour side by side.
+package main
+
+import (
+	"fmt"
+
+	"mvpbt"
+	"mvpbt/internal/db"
+	"mvpbt/internal/simclock"
+	"mvpbt/internal/workload/tpcc"
+)
+
+func main() {
+	configs := []struct {
+		name string
+		cfg  tpcc.Config
+	}{
+		{"B-Tree on HOT heap (PostgreSQL-style)", tpcc.Config{
+			Heap: mvpbt.HeapHOT, Index: mvpbt.IdxBTree, RefMode: mvpbt.RefPhysical,
+		}},
+		{"MV-PBT on SIAS append storage (the paper)", tpcc.Config{
+			Heap: mvpbt.HeapSIAS, Index: mvpbt.IdxMVPBT, RefMode: mvpbt.RefPhysical,
+			BloomBits: 10, PrefixLen: 12,
+		}},
+	}
+	const txns = 3000
+	for _, c := range configs {
+		eng := db.NewEngine(db.Config{BufferPages: 512, PartitionBufferBytes: 512 << 10})
+		c.cfg.Warehouses = 1
+		c.cfg.CustomersPerDistrict = 60
+		c.cfg.Items = 300
+		c.cfg.AutoVacuumEvery = 200
+		b, err := tpcc.New(eng, c.cfg)
+		if err != nil {
+			panic(err)
+		}
+		if err := b.Load(); err != nil {
+			panic(err)
+		}
+		sw := simclock.StartStopwatch(eng.Clock)
+		if err := b.Run(txns); err != nil {
+			panic(err)
+		}
+		el := sw.Elapsed()
+
+		fmt.Printf("%s\n", c.name)
+		fmt.Printf("  %d transactions in %v composite time = %.0f tx/min\n",
+			txns, el.Round(1e6), float64(b.Stats.Total())/el.Minutes())
+		fmt.Printf("  mix: %d new-order, %d payment, %d order-status, %d delivery, %d stock-level (%d rollbacks)\n",
+			b.Stats.NewOrders, b.Stats.Payments, b.Stats.OrderStatus, b.Stats.Deliveries, b.Stats.StockLevels, b.Stats.Aborts)
+
+		// TPC-C consistency condition: warehouse YTD equals the sum of its
+		// districts' YTDs.
+		tx := eng.Begin()
+		var wYTD, dYTD int64
+		wt := b.AllTables()[0]
+		wt.Scan(tx, wt.Indexes()[0], []byte{0, 0, 0, 0}, []byte{255, 255, 255, 255}, true, func(rr db.RowRef) bool {
+			wYTD += tpcc.DecodeWarehouse(rr.Row).YTD
+			return true
+		})
+		dt := b.DistrictTable()
+		dt.Scan(tx, dt.Indexes()[0], []byte{0, 0, 0, 0}, []byte{255, 255, 255, 255}, true, func(rr db.RowRef) bool {
+			dYTD += tpcc.DecodeDistrict(rr.Row).YTD
+			return true
+		})
+		eng.Commit(tx)
+		fmt.Printf("  consistency: warehouse YTD %d == sum(district YTD) %d: %v\n", wYTD, dYTD, wYTD == dYTD)
+
+		s := eng.Dev.Stats()
+		fmt.Printf("  device: %d writes (%.1f%% sequential), %d reads\n\n",
+			s.Writes, 100*float64(s.SeqWrites)/float64(max64(s.Writes, 1)), s.Reads)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module mvpbt
+
+go 1.24

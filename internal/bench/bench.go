@@ -1,0 +1,184 @@
+// Package bench reproduces every table and figure of the paper's
+// evaluation (§2 Figure 3, §3.7 Figure 8, §5 Figures 12–15). Each
+// experiment is registered under the paper's figure id and prints the same
+// rows/series the paper reports.
+//
+// Throughput and latency are reported in COMPOSITE time: measured CPU time
+// plus the simulated I/O time charged by the flash device model (see
+// DESIGN.md §4 "Virtual time"). Absolute numbers therefore differ from the
+// paper's testbed; the shapes — who wins, by what factor, where curves
+// cross — are the reproduction target recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/simclock"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick runs in seconds (unit tests, testing.B smoke runs).
+	Quick Scale = iota
+	// Full runs the EXPERIMENTS.md configuration (minutes).
+	Full
+)
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f int) int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row of formatted cells.
+func (r *Result) Add(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Note appends a free-form annotation.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values (header row first,
+// notes as trailing comment lines) for plotting tools.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one registered figure/table reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// measure runs work and returns composite elapsed time (CPU + simulated
+// I/O) via the engine's clock.
+func measure(clock *simclock.Clock, work func() error) (time.Duration, error) {
+	sw := simclock.StartStopwatch(clock)
+	err := work()
+	return sw.Elapsed(), err
+}
+
+// perMinute converts an op count over a duration into ops/minute.
+func perMinute(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Minutes()
+}
+
+// perSecond converts an op count over a duration into ops/second.
+func perSecond(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func fi(v int64) string   { return fmt.Sprintf("%d", v) }
+
+// engineConfig builds the standard experiment engine sizing.
+func engineConfig(bufferPages, pbufBytes int) db.Config {
+	return db.Config{BufferPages: bufferPages, PartitionBufferBytes: pbufBytes}
+}

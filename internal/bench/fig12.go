@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/workload/chbench"
+	"mvpbt/internal/workload/tpcc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12a",
+		Title: "CH-benchmark mixed-workload throughput (OLTP tx/min + OLAP queries/min) for B-Tree, PBT, MV-PBT and the MV-PBT ablation without GC and index-only visibility check",
+		Run:   runFig12a,
+	})
+	register(Experiment{
+		ID:    "fig12b",
+		Title: "Standard vs index-only visibility check: analytical scan time vs simulated query pause (version-chain build-up)",
+		Run:   runFig12b,
+	})
+	register(Experiment{
+		ID:    "fig12c",
+		Title: "Sequential write pattern of a single MV-PBT partition eviction (LBA trace)",
+		Run:   runFig12c,
+	})
+	register(Experiment{
+		ID:    "fig12d",
+		Title: "Buffer requests and cache hit-rate on index vs base-table nodes (HOT, logical and physical references, PBT, MV-PBT)",
+		Run:   runFig12d,
+	})
+}
+
+// chConfig builds a CH-benchmark instance for one engine configuration.
+func chConfig(s Scale, hk db.HeapKind, ik db.IndexKind, noVC, noGC bool) (*chbench.Bench, error) {
+	eng := db.NewEngine(engineConfig(s.pick(128, 512), 128<<10))
+	cfg := tpcc.Config{
+		Warehouses:           1,
+		CustomersPerDistrict: s.pick(40, 200),
+		Items:                s.pick(200, 1000),
+		Heap:                 hk,
+		Index:                ik,
+		RefMode:              db.RefPhysical,
+		BloomBits:            10,
+		PrefixLen:            8,
+		DisableGC:            noGC,
+	}
+	b, err := chbench.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if noVC {
+		for _, t := range b.AllTables() {
+			for _, ix := range t.Indexes() {
+				ix.Def.NoIdxVC = true
+			}
+		}
+	}
+	if err := b.Load(); err != nil {
+		return nil, err
+	}
+	// Pre-run to reach steady state (orders/order lines exist).
+	if err := b.Run(s.pick(500, 2500)); err != nil {
+		return nil, err
+	}
+	eng.Pool.EvictAll()
+	return b, nil
+}
+
+func runFig12a(s Scale) (*Result, error) {
+	rounds := s.pick(4, 12)
+	sleepTxns := s.pick(60, 400)
+	res := &Result{
+		ID:     "fig12a",
+		Title:  "CH-benchmark throughput",
+		Header: []string{"engine", "OLTP tx/min", "OLAP q/min"},
+	}
+	configs := []struct {
+		name string
+		hk   db.HeapKind
+		ik   db.IndexKind
+		noVC bool
+		noGC bool
+	}{
+		{"BTree", db.HeapHOT, db.IdxBTree, false, false},
+		{"PBT", db.HeapSIAS, db.IdxPBT, false, false},
+		{"MV-PBT", db.HeapSIAS, db.IdxMVPBT, false, false},
+		{"MV-PBT w/o GC+idxVC", db.HeapSIAS, db.IdxMVPBT, true, true},
+	}
+	for _, c := range configs {
+		b, err := chConfig(s, c.hk, c.ik, c.noVC, c.noGC)
+		if err != nil {
+			return nil, err
+		}
+		// OLTP and OLAP throughput are measured per stream, as the paper
+		// reports them: transaction time and query time accumulate
+		// separately.
+		var oltp, olap int
+		var oltpTime, olapTime time.Duration
+		for round := 0; round < rounds; round++ {
+			snap := b.Engine().Begin()
+			el, err := measure(b.Engine().Clock, func() error {
+				for i := 0; i < sleepTxns; i++ {
+					if i%50 == 49 {
+						b.Engine().Pool.EvictAll() // periodic cache clean
+					}
+					if err := b.Tx(); err != nil {
+						return err
+					}
+					oltp++
+				}
+				return nil
+			})
+			if err != nil {
+				b.Engine().Abort(snap)
+				return nil, err
+			}
+			oltpTime += el
+			// The paper cleans the page cache: the analytical scan's
+			// visibility checks pay cold I/O.
+			b.Engine().Pool.EvictAll()
+			el, err = measure(b.Engine().Clock, func() error {
+				_, err := b.AnalyticalQuery(snap, round)
+				return err
+			})
+			if err != nil {
+				b.Engine().Abort(snap)
+				return nil, err
+			}
+			olapTime += el
+			olap++
+			b.Engine().Commit(snap)
+		}
+		res.Add(c.name, f1(perMinute(oltp, oltpTime)), f2(perMinute(olap, olapTime)))
+	}
+	res.Note("paper: MV-PBT 2x OLAP (0.29 -> 0.61 q/min) and +15%% OLTP vs B-Tree; ablation drops OLAP by 75%%")
+	return res, nil
+}
+
+func runFig12b(s Scale) (*Result, error) {
+	unit := s.pick(150, 400) // OLTP transactions per 30 "seconds" of pause
+	res := &Result{
+		ID:     "fig12b",
+		Title:  "Analytical scan time vs pause (transient version build-up)",
+		Header: []string{"pause", "PBT+VC ms", "MV-PBT w/o GC ms", "MV-PBT w/ GC ms"},
+	}
+	type eng struct {
+		name string
+		b    *chbench.Bench
+	}
+	pbt, err := chConfig(s, db.HeapSIAS, db.IdxPBT, false, false)
+	if err != nil {
+		return nil, err
+	}
+	mvNoGC, err := chConfig(s, db.HeapSIAS, db.IdxMVPBT, false, true)
+	if err != nil {
+		return nil, err
+	}
+	mvGC, err := chConfig(s, db.HeapSIAS, db.IdxMVPBT, false, false)
+	if err != nil {
+		return nil, err
+	}
+	engines := []eng{{"pbt", pbt}, {"mv-nogc", mvNoGC}, {"mv-gc", mvGC}}
+	for _, pause := range []int{30, 60, 90, 120} {
+		row := []string{fi(int64(pause))}
+		for _, e := range engines {
+			// pg_sleep construction: snapshot first, then OLTP churn while
+			// it is open, then the query under the old snapshot.
+			snap := e.b.Engine().Begin()
+			if err := e.b.Run(unit * pause / 30); err != nil {
+				return nil, err
+			}
+			// Average three cold executions (the paper cleans the page
+			// cache every second, so its queries run cold too).
+			var total time.Duration
+			const reps = 3
+			for rep := 0; rep < reps; rep++ {
+				e.b.Engine().Pool.EvictAll()
+				el, err := measure(e.b.Engine().Clock, func() error {
+					_, err := e.b.Q1OrderLineAggregate(snap)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				total += el
+			}
+			e.b.Engine().Commit(snap)
+			row = append(row, f2(total.Seconds()*1000/reps))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Note("paper: PBT+VC degrades ~10x with pause; MV-PBT w/ GC stays near-constant")
+	return res, nil
+}
+
+func runFig12c(s Scale) (*Result, error) {
+	eng := db.NewEngine(engineConfig(512, 64<<20))
+	tbl, err := eng.NewTable("r", db.HeapSIAS, db.IndexDef{
+		Name: "pk", Kind: db.IdxMVPBT, Unique: true, BloomBits: 10, Extract: kvKeyExtract,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := s.pick(20000, 100000)
+	payload := make([]byte, 64)
+	tx := eng.Begin()
+	for i := 0; i < n; i++ {
+		if _, _, err := tbl.Insert(tx, kvRow(fig3Key(i), payload)); err != nil {
+			return nil, err
+		}
+	}
+	eng.Commit(tx)
+	eng.Pool.FlushAll()
+
+	// Trace exactly one partition eviction.
+	eng.Dev.SetTracing(true)
+	if err := tbl.Indexes()[0].MV().EvictPN(); err != nil {
+		return nil, err
+	}
+	eng.Dev.SetTracing(false)
+	trace := eng.Dev.Trace()
+
+	res := &Result{
+		ID:     "fig12c",
+		Title:  "LBA trace of one MV-PBT partition eviction",
+		Header: []string{"t(ms)", "op", "LBA", "len", "seq"},
+	}
+	writes, seq := 0, 0
+	var first, last ssd.TraceEntry
+	for i, te := range trace {
+		if te.Op != ssd.OpWrite {
+			continue
+		}
+		if writes == 0 {
+			first = te
+		}
+		last = te
+		writes++
+		if te.Seq {
+			seq++
+		}
+		if i < 8 || i >= len(trace)-4 {
+			res.Add(f2(te.Time.Seconds()*1000), te.Op.String(), fi(te.LBA), fi(int64(te.Len)), fmt.Sprintf("%v", te.Seq))
+		}
+	}
+	res.Note("writes=%d sequential=%d (%.1f%%)", writes, seq, 100*float64(seq)/float64(writes))
+	res.Note("LBA span %d..%d, strictly ascending append into fresh extents (the paper's horizontal-line pattern)", first.LBA, last.LBA)
+	return res, nil
+}
+
+func runFig12d(s Scale) (*Result, error) {
+	txns := s.pick(400, 3000)
+	res := &Result{
+		ID:     "fig12d",
+		Title:  "Buffer requests / hit rate (index vs base-table pages) at equal work",
+		Header: []string{"engine", "idx req", "idx hit%", "tbl req", "tbl hit%"},
+	}
+	configs := []struct {
+		name string
+		hk   db.HeapKind
+		ik   db.IndexKind
+		rm   db.RefMode
+	}{
+		{"BTree(HOT)", db.HeapHOT, db.IdxBTree, db.RefPhysical},
+		{"BTree(SIAS/LR)", db.HeapSIAS, db.IdxBTree, db.RefLogical},
+		{"BTree(SIAS/PR)", db.HeapSIAS, db.IdxBTree, db.RefPhysical},
+		{"PBT", db.HeapSIAS, db.IdxPBT, db.RefPhysical},
+		{"MV-PBT", db.HeapSIAS, db.IdxMVPBT, db.RefPhysical},
+	}
+	for _, c := range configs {
+		eng := db.NewEngine(engineConfig(s.pick(96, 256), 64<<10))
+		b, err := tpcc.New(eng, tpcc.Config{
+			Warehouses: 1, CustomersPerDistrict: s.pick(40, 200), Items: s.pick(200, 1000),
+			Heap: c.hk, Index: c.ik, RefMode: c.rm, BloomBits: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Load(); err != nil {
+			return nil, err
+		}
+		eng.Pool.EvictAll()
+		eng.Pool.ResetStats()
+		if err := b.Run(txns); err != nil {
+			return nil, err
+		}
+		st := eng.Pool.Stats()
+		idx := st[sfile.ClassIndex]
+		tbl := st[sfile.ClassTable]
+		idxHit := 100 * float64(idx.Hits) / float64(max64(idx.Requests, 1))
+		tblHit := 100 * float64(tbl.Hits) / float64(max64(tbl.Requests, 1))
+		res.Add(c.name, fi(idx.Requests), f1(idxHit), fi(tbl.Requests), f1(tblHit))
+	}
+	res.Note("paper: PBT/MV-PBT issue more index-node requests (mostly buffered); MV-PBT cuts base-table requests by up to 40%%")
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+// Package bloom implements the partition filters of §4.7: a standard bloom
+// filter over full search keys (accelerating point lookups by skipping
+// partitions) and a prefix bloom filter over fixed-length key prefixes
+// (allowing range scans with a shared prefix — e.g. a fixed set of scan
+// attributes — to skip partitions too).
+package bloom
+
+import "math"
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hash2 computes two independent 64-bit hashes of b for double hashing.
+func hash2(b []byte) (uint64, uint64) {
+	h1 := uint64(fnvOffset)
+	for _, c := range b {
+		h1 ^= uint64(c)
+		h1 *= fnvPrime
+	}
+	// Second hash: FNV over the bytes in reverse with a different offset.
+	h2 := uint64(0x9E3779B97F4A7C15)
+	for i := len(b) - 1; i >= 0; i-- {
+		h2 ^= uint64(b[i])
+		h2 *= fnvPrime
+	}
+	h2 |= 1 // must be odd so probe sequences cover the table
+	return h1, h2
+}
+
+// Filter is a bloom filter. Build with New, fill with Add, then query with
+// MayContain. The zero value is unusable.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint32 // number of probes
+}
+
+// New returns a filter sized for n keys at bitsPerKey bits each (10 bits
+// per key ≈ 1% false-positive rate; the paper reports ~2% for partition
+// filters).
+func New(n int, bitsPerKey int) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	m := uint64(n * bitsPerKey)
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// Add inserts key.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// MayContain reports whether key might have been added. False positives
+// are possible; false negatives are not.
+func (f *Filter) MayContain(key []byte) bool {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// PrefixFilter is a bloom filter over fixed-length key prefixes. A range
+// scan whose bounds share at least PrefixLen leading bytes can consult it
+// to skip partitions (§4.7 "prefix Bloom Filters").
+type PrefixFilter struct {
+	f         *Filter
+	prefixLen int
+}
+
+// NewPrefix returns a prefix filter for n keys with the given prefix
+// length.
+func NewPrefix(n, bitsPerKey, prefixLen int) *PrefixFilter {
+	if prefixLen < 1 {
+		prefixLen = 1
+	}
+	return &PrefixFilter{f: New(n, bitsPerKey), prefixLen: prefixLen}
+}
+
+// PrefixLen returns the indexed prefix length.
+func (p *PrefixFilter) PrefixLen() int { return p.prefixLen }
+
+// Add inserts key's prefix.
+func (p *PrefixFilter) Add(key []byte) {
+	if len(key) < p.prefixLen {
+		p.f.Add(key)
+		return
+	}
+	p.f.Add(key[:p.prefixLen])
+}
+
+// MayContainRange reports whether any key in [lo, hi] might be present.
+// When the bounds do not share PrefixLen bytes the filter cannot decide
+// and answers true.
+func (p *PrefixFilter) MayContainRange(lo, hi []byte) bool {
+	if len(lo) < p.prefixLen || len(hi) < p.prefixLen {
+		return true
+	}
+	pre := lo[:p.prefixLen]
+	for i := 0; i < p.prefixLen; i++ {
+		if lo[i] != hi[i] {
+			return true
+		}
+	}
+	return p.f.MayContain(pre)
+}
+
+// SizeBytes returns the memory footprint of the bit array.
+func (p *PrefixFilter) SizeBytes() int { return p.f.SizeBytes() }
+
+// MarshalBinary serializes the filter (bit array plus parameters).
+func (f *Filter) MarshalBinary() []byte {
+	out := make([]byte, 0, 12+len(f.bits)*8)
+	out = append(out, byte(f.k))
+	out = appendU64(out, f.m)
+	out = appendU64(out, uint64(len(f.bits)))
+	for _, w := range f.bits {
+		out = appendU64(out, w)
+	}
+	return out
+}
+
+// UnmarshalFilter reconstructs a filter serialized by MarshalBinary,
+// returning the bytes consumed.
+func UnmarshalFilter(b []byte) (*Filter, int) {
+	f := &Filter{k: uint32(b[0])}
+	i := 1
+	f.m, i = readU64(b, i)
+	var n uint64
+	n, i = readU64(b, i)
+	f.bits = make([]uint64, n)
+	for j := range f.bits {
+		f.bits[j], i = readU64(b, i)
+	}
+	return f, i
+}
+
+// MarshalBinary serializes the prefix filter.
+func (p *PrefixFilter) MarshalBinary() []byte {
+	out := appendU64(nil, uint64(p.prefixLen))
+	return append(out, p.f.MarshalBinary()...)
+}
+
+// UnmarshalPrefixFilter reconstructs a prefix filter, returning the bytes
+// consumed.
+func UnmarshalPrefixFilter(b []byte) (*PrefixFilter, int) {
+	l, i := readU64(b, 0)
+	f, n := UnmarshalFilter(b[i:])
+	return &PrefixFilter{f: f, prefixLen: int(l)}, i + n
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	for i := 56; i >= 0; i -= 8 {
+		dst = append(dst, byte(v>>uint(i)))
+	}
+	return dst
+}
+
+func readU64(b []byte, i int) (uint64, int) {
+	var v uint64
+	for j := 0; j < 8; j++ {
+		v = v<<8 | uint64(b[i+j])
+	}
+	return v, i + 8
+}

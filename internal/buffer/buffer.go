@@ -1,0 +1,271 @@
+// Package buffer implements the shared database buffer pool: a fixed set
+// of page frames with clock-sweep replacement, pin counts, dirty
+// write-back, and per-class request/hit statistics (the paper's Figure 12d
+// compares index-node against base-table-node buffer traffic).
+package buffer
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/storage"
+)
+
+// ErrNoFrames is returned when every frame is pinned and none can be
+// evicted.
+var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+// ClassStats counts buffer traffic for one file class.
+type ClassStats struct {
+	Requests int64 // page fetches through the pool
+	Hits     int64 // served without device I/O
+}
+
+// Misses returns Requests - Hits.
+func (c ClassStats) Misses() int64 { return c.Requests - c.Hits }
+
+// Sub returns c - o.
+func (c ClassStats) Sub(o ClassStats) ClassStats {
+	return ClassStats{Requests: c.Requests - o.Requests, Hits: c.Hits - o.Hits}
+}
+
+// Frame is a pinned buffer page. Callers must Unpin every frame they
+// fetched, stating whether they dirtied it.
+type Frame struct {
+	pid   storage.PageID
+	file  *sfile.File
+	data  []byte
+	pin   int
+	dirty bool
+	ref   bool
+}
+
+// Data returns the frame's page buffer.
+func (fr *Frame) Data() []byte { return fr.data }
+
+// PageID returns the id of the page held by the frame.
+func (fr *Frame) PageID() storage.PageID { return fr.pid }
+
+// Pool is the shared buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	frames []*Frame
+	table  map[storage.PageID]*Frame
+	hand   int
+	stats  [sfile.NumClasses]ClassStats
+	// evictions counts pages written back dirty (random in-place writes).
+	evictions int64
+}
+
+// New returns a pool with the given number of page frames.
+func New(nFrames int) *Pool {
+	if nFrames < 2 {
+		nFrames = 2
+	}
+	p := &Pool{
+		frames: make([]*Frame, nFrames),
+		table:  make(map[storage.PageID]*Frame, nFrames),
+	}
+	for i := range p.frames {
+		p.frames[i] = &Frame{data: make([]byte, storage.PageSize)}
+	}
+	return p
+}
+
+// NumFrames returns the pool capacity in pages.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// Get fetches page pageNo of file f, pinning it. The returned frame must be
+// released with Unpin.
+func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
+	pid := f.PageID(pageNo)
+	p.mu.Lock()
+	p.stats[f.Class()].Requests++
+	if fr, ok := p.table[pid]; ok {
+		p.stats[f.Class()].Hits++
+		fr.pin++
+		fr.ref = true
+		p.mu.Unlock()
+		return fr, nil
+	}
+	fr, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	fr.pid = pid
+	fr.file = f
+	fr.pin = 1
+	fr.ref = true
+	fr.dirty = false
+	p.table[pid] = fr
+	// The read happens under the pool lock so a concurrent Get for the same
+	// page cannot observe a half-filled frame. The device is simulated, so
+	// holding the lock across the "I/O" costs nothing real.
+	f.ReadPage(pageNo, fr.data)
+	p.mu.Unlock()
+	return fr, nil
+}
+
+// NewPage allocates a fresh page in f, returning a pinned zeroed frame and
+// the new page number.
+func (p *Pool) NewPage(f *sfile.File) (*Frame, uint64, error) {
+	pageNo := f.AllocPage()
+	pid := f.PageID(pageNo)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats[f.Class()].Requests++
+	p.stats[f.Class()].Hits++ // fresh pages never touch the device
+	fr, err := p.victimLocked()
+	if err != nil {
+		return nil, 0, err
+	}
+	fr.pid = pid
+	fr.file = f
+	fr.pin = 1
+	fr.ref = true
+	fr.dirty = true
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	p.table[pid] = fr
+	return fr, pageNo, nil
+}
+
+// victimLocked finds a free or evictable frame, writing it back if dirty.
+func (p *Pool) victimLocked() (*Frame, error) {
+	n := len(p.frames)
+	for sweep := 0; sweep < 2*n; sweep++ {
+		fr := p.frames[p.hand]
+		p.hand = (p.hand + 1) % n
+		if fr.pin > 0 {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		if fr.dirty {
+			fr.file.WritePage(fr.pid.PageNo(), fr.data)
+			fr.dirty = false
+			p.evictions++
+		}
+		if fr.pid.Valid() {
+			delete(p.table, fr.pid)
+			fr.pid = storage.InvalidPageID
+		}
+		return fr, nil
+	}
+	return nil, ErrNoFrames
+}
+
+// Unpin releases a frame fetched with Get or NewPage. dirty marks the page
+// as modified, to be written back on eviction or flush.
+func (p *Pool) Unpin(fr *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr.pin <= 0 {
+		panic("buffer: Unpin of unpinned frame")
+	}
+	fr.pin--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// FlushPage writes the page back immediately if it is cached dirty,
+// leaving it cached clean. Used by the append heaps to emit sequential
+// writes as tail pages fill.
+func (p *Pool) FlushPage(f *sfile.File, pageNo uint64) {
+	pid := f.PageID(pageNo)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.table[pid]; ok && fr.dirty {
+		fr.file.WritePage(pageNo, fr.data)
+		fr.dirty = false
+	}
+}
+
+// FlushAll writes back every dirty page.
+func (p *Pool) FlushAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.pid.Valid() && fr.dirty {
+			fr.file.WritePage(fr.pid.PageNo(), fr.data)
+			fr.dirty = false
+		}
+	}
+}
+
+// EvictAll flushes every dirty page (in elevator order: sorted by page id,
+// like a checkpointer) and invalidates all unpinned frames. Experiments
+// use it to reproduce the paper's methodology of cleaning the OS page
+// cache every second (§5 "Experimental Setup").
+func (p *Pool) EvictAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dirty []*Frame
+	for _, fr := range p.frames {
+		if fr.pid.Valid() && fr.dirty {
+			dirty = append(dirty, fr)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pid < dirty[j].pid })
+	for _, fr := range dirty {
+		fr.file.WritePage(fr.pid.PageNo(), fr.data)
+		fr.dirty = false
+	}
+	for _, fr := range p.frames {
+		if fr.pid.Valid() && fr.pin == 0 {
+			delete(p.table, fr.pid)
+			fr.pid = storage.InvalidPageID
+			fr.ref = false
+		}
+	}
+}
+
+// DropFilePages discards all cached pages of file f in [start, start+n)
+// without writing them back. Used when partition runs are freed: the pages
+// are dead.
+func (p *Pool) DropFilePages(f *sfile.File, start uint64, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		pid := f.PageID(start + uint64(i))
+		if fr, ok := p.table[pid]; ok {
+			if fr.pin > 0 {
+				panic("buffer: dropping pinned page")
+			}
+			delete(p.table, pid)
+			fr.pid = storage.InvalidPageID
+			fr.dirty = false
+			fr.ref = false
+		}
+	}
+}
+
+// Stats returns a snapshot of the per-class counters.
+func (p *Pool) Stats() [sfile.NumClasses]ClassStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Evictions returns the number of dirty write-backs performed by the
+// replacement policy.
+func (p *Pool) Evictions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// ResetStats zeroes the per-class counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = [sfile.NumClasses]ClassStats{}
+	p.evictions = 0
+}

@@ -1,0 +1,125 @@
+// Package db assembles the storage engine: the simulated device, buffer
+// pool, transaction manager and partition buffer, plus the Table
+// abstraction that binds a base-table heap (HOT or SIAS) to any mix of
+// indexes (B-Tree, PBT, MV-PBT) with physical or logical references. It
+// implements the two visibility-check paths the paper contrasts:
+//
+//   - version-oblivious indexes return candidates → one base-table
+//     visibility check (random reads) per candidate (§2, Figure 2);
+//   - MV-PBT returns visible entries directly (index-only visibility
+//     check, §4.4) — the base table is touched only to fetch payloads.
+package db
+
+import (
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/simclock"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+	"mvpbt/internal/wal"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// BufferPages is the shared DB buffer size in 8 KiB pages
+	// (default 4096 = 32 MiB).
+	BufferPages int
+	// PartitionBufferBytes is the shared MV-PBT buffer limit
+	// (default 4 MiB).
+	PartitionBufferBytes int
+	// Profile is the device latency profile (default ssd.IntelP3600).
+	Profile ssd.Profile
+	// EnableWAL turns on logical redo logging with per-commit flushes (see
+	// internal/wal). Off by default: the paper's experiments run without
+	// durability, like the paper's prototype.
+	EnableWAL bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferPages <= 0 {
+		c.BufferPages = 4096
+	}
+	if c.PartitionBufferBytes <= 0 {
+		c.PartitionBufferBytes = 4 << 20
+	}
+	zero := ssd.Profile{}
+	if c.Profile == zero {
+		c.Profile = ssd.IntelP3600
+	}
+	return c
+}
+
+// Engine owns the storage substrate shared by all tables.
+type Engine struct {
+	Clock *simclock.Clock
+	Dev   *ssd.Device
+	FM    *sfile.Manager
+	Pool  *buffer.Pool
+	Mgr   *txn.Manager
+	PBuf  *part.PartitionBuffer
+
+	wal     *wal.Writer
+	walFile *sfile.File
+}
+
+// NewEngine builds an engine from cfg.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	clk := simclock.New()
+	dev := ssd.New(clk, cfg.Profile)
+	e := &Engine{
+		Clock: clk,
+		Dev:   dev,
+		FM:    sfile.NewManager(dev),
+		Pool:  buffer.New(cfg.BufferPages),
+		Mgr:   txn.NewManager(),
+		PBuf:  part.NewPartitionBuffer(cfg.PartitionBufferBytes),
+	}
+	if cfg.EnableWAL {
+		e.walFile = e.FM.Create("wal", sfile.ClassMeta)
+		e.wal = wal.NewWriter(e.walFile)
+	}
+	return e
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *txn.Tx {
+	tx := e.Mgr.Begin()
+	if e.wal != nil {
+		e.wal.Append(&wal.Record{Op: wal.OpBegin, TxID: uint64(tx.ID)})
+	}
+	return tx
+}
+
+// Commit commits tx. With logging enabled the commit record and all of the
+// transaction's row operations are flushed to the device first — the
+// durability point.
+func (e *Engine) Commit(tx *txn.Tx) {
+	if e.wal != nil {
+		e.wal.Append(&wal.Record{Op: wal.OpCommit, TxID: uint64(tx.ID)})
+		e.wal.Flush()
+	}
+	e.Mgr.Commit(tx)
+}
+
+// Abort aborts tx.
+func (e *Engine) Abort(tx *txn.Tx) {
+	if e.wal != nil {
+		e.wal.Append(&wal.Record{Op: wal.OpAbort, TxID: uint64(tx.ID)})
+	}
+	e.Mgr.Abort(tx)
+}
+
+// readWholeFile concatenates a file's pages (the WAL image).
+func readWholeFile(f *sfile.File) []byte {
+	n := f.NumPages()
+	out := make([]byte, 0, int(n)*storage.PageSize)
+	buf := make([]byte, storage.PageSize)
+	for i := uint64(0); i < n; i++ {
+		f.ReadPage(i, buf)
+		out = append(out, buf...)
+	}
+	return out
+}

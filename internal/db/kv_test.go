@@ -1,0 +1,124 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/index/lsm"
+	"mvpbt/internal/util"
+)
+
+func kvEngines(t *testing.T) map[string]KV {
+	t.Helper()
+	out := map[string]KV{}
+	eb := NewEngine(Config{BufferPages: 2048})
+	bt, err := NewBTreeKV(eb, "bt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["btree"] = bt
+	el := NewEngine(Config{BufferPages: 2048})
+	out["lsm"] = NewLSMKV(el, "lsm", lsm.Options{MemtableBytes: 64 << 10})
+	em := NewEngine(Config{BufferPages: 2048, PartitionBufferBytes: 128 << 10})
+	mv, err := NewMVPBTKV(em, "mv", MVPBTKVOptions{BloomBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["mvpbt"] = mv
+	return out
+}
+
+func TestKVPutGetDelete(t *testing.T) {
+	for name, kv := range kvEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := kv.Put([]byte("a"), []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := kv.Get([]byte("a"))
+			if err != nil || !ok || string(v) != "1" {
+				t.Fatalf("get: %q %v %v", v, ok, err)
+			}
+			if err := kv.Put([]byte("a"), []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, _ = kv.Get([]byte("a"))
+			if !ok || string(v) != "2" {
+				t.Fatalf("overwrite lost: %q", v)
+			}
+			if err := kv.Delete([]byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := kv.Get([]byte("a")); ok {
+				t.Fatal("deleted key visible")
+			}
+			if _, ok, _ := kv.Get([]byte("never")); ok {
+				t.Fatal("absent key visible")
+			}
+		})
+	}
+}
+
+func TestKVScan(t *testing.T) {
+	for name, kv := range kvEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				kv.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+			}
+			var keys []string
+			err := kv.Scan([]byte("k0040"), 10, func(k, v []byte) bool {
+				keys = append(keys, string(k))
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 10 || keys[0] != "k0040" || keys[9] != "k0049" {
+				t.Fatalf("scan wrong: %v", keys)
+			}
+		})
+	}
+}
+
+func TestKVRandomizedModelEquivalence(t *testing.T) {
+	engines := kvEngines(t)
+	r := util.NewRand(31)
+	model := map[string]string{}
+	for step := 0; step < 5000; step++ {
+		k := fmt.Sprintf("key-%04d", r.Intn(400))
+		switch r.Intn(12) {
+		case 0:
+			for _, kv := range engines {
+				if err := kv.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			delete(model, k)
+		default:
+			v := fmt.Sprintf("val-%d", step)
+			for _, kv := range engines {
+				if err := kv.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			model[k] = v
+		}
+	}
+	for name, kv := range engines {
+		got := map[string]string{}
+		err := kv.Scan([]byte("key-"), 1<<30, func(k, v []byte) bool {
+			got[string(k)] = string(v)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(model) {
+			t.Fatalf("%s: %d live keys, want %d", name, len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("%s: key %s got %q want %q", name, k, got[k], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package db
+
+import (
+	"bytes"
+
+	"mvpbt/internal/heap"
+	"mvpbt/internal/index"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+)
+
+// Scan streams the rows visible to tx whose index key is in [lo, hi)
+// through fn. withRows controls whether Row payloads are fetched from the
+// heap (counting/existence queries over MV-PBT can skip that entirely —
+// the index-only path of §4.4).
+//
+// The visibility-check strategy follows the index kind:
+//   - MV-PBT (unless NoIdxVC): the index returns visible entries.
+//   - B-Tree / PBT / MV-PBT with NoIdxVC: the index returns candidates and
+//     each one is verified against the base table (chain walks, random
+//     reads), then deduplicated and rechecked against the predicate.
+func (t *Table) Scan(tx *txn.Tx, ix *Index, lo, hi []byte, withRows bool, fn func(RowRef) bool) error {
+	if ix.mv != nil && !ix.Def.NoIdxVC {
+		return ix.mv.Scan(tx, lo, hi, func(e index.Entry) bool {
+			rr := RowRef{RID: e.Ref.RID, VID: e.Ref.VID, Key: e.Key}
+			if withRows {
+				v, err := t.h.ReadVersion(e.Ref.RID)
+				if err != nil {
+					return false
+				}
+				rr.Row = v.Data
+			}
+			return fn(rr)
+		})
+	}
+	return t.scanOblivious(tx, ix, lo, hi, fn)
+}
+
+func (t *Table) scanOblivious(tx *txn.Tx, ix *Index, lo, hi []byte, fn func(RowRef) bool) error {
+	seen := make(map[storage.RecordID]bool)
+	visit := func(e index.Entry) bool {
+		vv, err := t.resolveVisible(tx, ix, e)
+		if err != nil || vv == nil {
+			return err == nil
+		}
+		if seen[vv.RID] {
+			return true
+		}
+		seen[vv.RID] = true
+		// Predicate recheck: the candidate entry may be stale (older or
+		// newer key value than the visible version's).
+		k := ix.Def.Extract(vv.Data)
+		if !index.KeyInRange(k, lo, hi) {
+			return true
+		}
+		return fn(RowRef{RID: vv.RID, VID: vv.VID, Key: k, Row: vv.Data})
+	}
+	switch {
+	case ix.bt != nil:
+		return ix.bt.ScanCandidates(lo, hi, visit)
+	case ix.pb != nil:
+		return ix.pb.ScanCandidates(lo, hi, visit)
+	default:
+		return ix.mv.ScanAllMatter(lo, hi, visit)
+	}
+}
+
+// resolveVisible performs the base-table visibility check for one
+// candidate (logical references resolve through the indirection layer).
+func (t *Table) resolveVisible(tx *txn.Tx, ix *Index, e index.Entry) (*heap.VisibleVersion, error) {
+	if ix.Def.RefMode == RefLogical && t.sias != nil {
+		return t.sias.ReadVisibleByVID(tx, e.Ref.VID)
+	}
+	return t.h.ReadVisible(tx, e.Ref.RID)
+}
+
+// Lookup streams the visible rows with exactly this index key.
+func (t *Table) Lookup(tx *txn.Tx, ix *Index, key []byte, withRows bool, fn func(RowRef) bool) error {
+	if ix.mv != nil && !ix.Def.NoIdxVC {
+		return ix.mv.Lookup(tx, key, func(e index.Entry) bool {
+			rr := RowRef{RID: e.Ref.RID, VID: e.Ref.VID, Key: e.Key}
+			if withRows {
+				v, err := t.h.ReadVersion(e.Ref.RID)
+				if err != nil {
+					return false
+				}
+				rr.Row = v.Data
+			}
+			return fn(rr)
+		})
+	}
+	hi := append(append([]byte(nil), key...), 0)
+	seen := make(map[storage.RecordID]bool)
+	visit := func(e index.Entry) bool {
+		vv, err := t.resolveVisible(tx, ix, e)
+		if err != nil || vv == nil {
+			return err == nil
+		}
+		if seen[vv.RID] {
+			return true
+		}
+		seen[vv.RID] = true
+		if !bytes.Equal(ix.Def.Extract(vv.Data), key) {
+			return true
+		}
+		return fn(RowRef{RID: vv.RID, VID: vv.VID, Key: key, Row: vv.Data})
+	}
+	switch {
+	case ix.bt != nil:
+		return ix.bt.LookupCandidates(key, visit)
+	case ix.pb != nil:
+		return ix.pb.LookupCandidates(key, visit)
+	default:
+		return ix.mv.ScanAllMatter(key, hi, visit)
+	}
+}
+
+// LookupOne returns the single visible row for key (nil when absent) —
+// the point-query path of unique indexes.
+func (t *Table) LookupOne(tx *txn.Tx, ix *Index, key []byte, withRows bool) (*RowRef, error) {
+	var out *RowRef
+	err := t.Lookup(tx, ix, key, withRows, func(r RowRef) bool {
+		out = &r
+		return false
+	})
+	return out, err
+}
+
+// Count returns the number of visible rows with key in [lo, hi) — the
+// paper's COUNT(*) example (Figure 2). Over MV-PBT this touches no base
+// table pages at all.
+func (t *Table) Count(tx *txn.Tx, ix *Index, lo, hi []byte) (int, error) {
+	n := 0
+	err := t.Scan(tx, ix, lo, hi, false, func(RowRef) bool {
+		n++
+		return true
+	})
+	return n, err
+}

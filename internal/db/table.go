@@ -1,0 +1,302 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"mvpbt/internal/wal"
+
+	"mvpbt/internal/heap"
+	"mvpbt/internal/index"
+	"mvpbt/internal/index/btree"
+	"mvpbt/internal/index/mvpbt"
+	"mvpbt/internal/index/pbt"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+	"mvpbt/internal/vid"
+)
+
+// HeapKind selects the base-table organization.
+type HeapKind int
+
+// Base-table organizations (§3, §5 "Experimental Setup").
+const (
+	// HeapHOT is the PostgreSQL-style heap with Heap-Only Tuples.
+	HeapHOT HeapKind = iota
+	// HeapSIAS is Snapshot Isolation Append Storage.
+	HeapSIAS
+)
+
+// IndexKind selects the index structure.
+type IndexKind int
+
+// Index structures under evaluation.
+const (
+	IdxBTree IndexKind = iota
+	IdxPBT
+	IdxMVPBT
+)
+
+// RefMode selects what index entries point at (§3.5).
+type RefMode int
+
+// Reference modes.
+const (
+	// RefPhysical stores recordIDs: direct access, but index maintenance
+	// whenever the chain entry-point moves.
+	RefPhysical RefMode = iota
+	// RefLogical stores VIDs resolved through the indirection layer: no
+	// maintenance for non-key updates.
+	RefLogical
+)
+
+// IndexDef declares one index of a table.
+type IndexDef struct {
+	Name    string
+	Kind    IndexKind
+	RefMode RefMode
+	Unique  bool
+	// Extract derives the index key from a row payload.
+	Extract func(row []byte) []byte
+	// BloomBits / PrefixLen configure partition filters (PBT, MV-PBT).
+	BloomBits int
+	PrefixLen int
+	// DisableGC turns off MV-PBT partition garbage collection.
+	DisableGC bool
+	// MaxPartitions enables MV-PBT on-line partition merging above this
+	// count (0 = off).
+	MaxPartitions int
+	// NoIdxVC makes an MV-PBT behave version-obliviously for reads (the
+	// Figure 12a ablation): scans return all matter records and the base
+	// table performs the visibility check.
+	NoIdxVC bool
+}
+
+// Index is one materialized index of a table.
+type Index struct {
+	Def IndexDef
+	bt  *btree.Tree
+	pb  *pbt.Tree
+	mv  *mvpbt.Tree
+}
+
+// MV returns the underlying MV-PBT (nil for other kinds) for
+// metadata/statistics access.
+func (ix *Index) MV() *mvpbt.Tree { return ix.mv }
+
+// BT returns the underlying B-Tree (nil for other kinds).
+func (ix *Index) BT() *btree.Tree { return ix.bt }
+
+// PB returns the underlying PBT (nil for other kinds).
+func (ix *Index) PB() *pbt.Tree { return ix.pb }
+
+// Table binds a heap to its indexes.
+type Table struct {
+	eng      *Engine
+	name     string
+	heapKind HeapKind
+	hot      *heap.HotHeap
+	sias     *heap.SiasHeap
+	h        heap.Heap
+	vids     *vid.Table
+	indexes  []*Index
+	mu       sync.Mutex
+}
+
+// NewTable creates a table with the given heap organization and indexes.
+func (e *Engine) NewTable(name string, hk HeapKind, defs ...IndexDef) (*Table, error) {
+	t := &Table{eng: e, name: name, heapKind: hk}
+	hf := e.FM.Create(name+".heap", sfile.ClassTable)
+	switch hk {
+	case HeapHOT:
+		t.hot = heap.NewHotHeap(e.Pool, hf, e.Mgr)
+		t.h = t.hot
+		t.vids = vid.NewTable()
+	case HeapSIAS:
+		t.sias = heap.NewSiasHeap(e.Pool, hf, e.Mgr)
+		t.h = t.sias
+		t.vids = t.sias.VIDs()
+	default:
+		return nil, fmt.Errorf("db: unknown heap kind %d", hk)
+	}
+	for _, def := range defs {
+		ix := &Index{Def: def}
+		f := e.FM.Create(name+"."+def.Name, sfile.ClassIndex)
+		switch def.Kind {
+		case IdxBTree:
+			bt, err := btree.New(e.Pool, f)
+			if err != nil {
+				return nil, err
+			}
+			ix.bt = bt
+		case IdxPBT:
+			ix.pb = pbt.New(e.Pool, f, e.PBuf, pbt.Options{
+				Name: name + "." + def.Name, BloomBits: def.BloomBits, PrefixLen: def.PrefixLen,
+			})
+		case IdxMVPBT:
+			ix.mv = mvpbt.New(e.Pool, f, e.PBuf, e.Mgr, mvpbt.Options{
+				Name: name + "." + def.Name, Unique: def.Unique,
+				BloomBits: def.BloomBits, PrefixLen: def.PrefixLen,
+				DisableGC: def.DisableGC, MaxPartitions: def.MaxPartitions,
+			})
+		default:
+			return nil, fmt.Errorf("db: unknown index kind %d", def.Kind)
+		}
+		t.indexes = append(t.indexes, ix)
+	}
+	return t, nil
+}
+
+// Indexes returns the table's indexes in definition order.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// Index returns the index with the given name, or nil.
+func (t *Table) Index(name string) *Index {
+	for _, ix := range t.indexes {
+		if ix.Def.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Heap exposes the underlying heap.
+func (t *Table) Heap() heap.Heap { return t.h }
+
+func (t *Table) ref(rid storage.RecordID, v uint64) index.Ref {
+	return index.Ref{RID: rid, VID: v}
+}
+
+// RowRef identifies a visible row: its location, tuple identity, index
+// key and (when requested) payload.
+type RowRef struct {
+	RID storage.RecordID
+	VID uint64
+	// Key is the index key of the entry that produced this row; available
+	// on scans and lookups even when Row is not fetched (index-only reads).
+	Key []byte
+	Row []byte
+}
+
+// Insert adds a new tuple and maintains every index. It returns the
+// tuple's VID and initial version rid.
+func (t *Table) Insert(tx *txn.Tx, row []byte) (uint64, storage.RecordID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.logOp(tx, wal.OpInsert, t.pkKey(row), row)
+	v := t.vids.Alloc()
+	rid, err := t.h.Insert(tx, v, row)
+	if err != nil {
+		return 0, storage.RecordID{}, err
+	}
+	if t.heapKind == HeapHOT {
+		t.vids.Set(v, rid)
+	}
+	for _, ix := range t.indexes {
+		key := ix.Def.Extract(row)
+		ref := t.ref(rid, v)
+		var ierr error
+		switch {
+		case ix.bt != nil:
+			ierr = ix.bt.Insert(key, ref)
+		case ix.pb != nil:
+			ierr = ix.pb.Insert(key, ref)
+		case ix.mv != nil:
+			ierr = ix.mv.InsertRegular(tx, key, ref)
+		}
+		if ierr != nil {
+			return 0, storage.RecordID{}, ierr
+		}
+	}
+	return v, rid, nil
+}
+
+// Update replaces the version at old (which the caller found visible via a
+// read) with newRow, maintaining indexes per their kind and reference
+// mode. Write-write conflicts surface as heap.ErrWriteConflict.
+func (t *Table) Update(tx *txn.Tx, old RowRef, newRow []byte) (storage.RecordID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type keyPair struct {
+		oldKey, newKey []byte
+		changed        bool
+	}
+	pairs := make([]keyPair, len(t.indexes))
+	hotEligible := true
+	for i, ix := range t.indexes {
+		ok, nk := ix.Def.Extract(old.Row), ix.Def.Extract(newRow)
+		changed := !bytes.Equal(ok, nk)
+		pairs[i] = keyPair{oldKey: ok, newKey: nk, changed: changed}
+		if changed {
+			hotEligible = false
+		}
+	}
+	res, err := t.h.Update(tx, old.RID, old.VID, newRow, hotEligible)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	t.logOp(tx, wal.OpUpdate, t.pkKey(old.Row), newRow)
+	newRID := res.NewRID
+	if t.heapKind == HeapHOT && newRID.Valid() {
+		// Track the newest version for convenience reads by VID.
+		t.vids.Set(old.VID, newRID)
+	}
+	for i, ix := range t.indexes {
+		p := pairs[i]
+		ref := t.ref(newRID, old.VID)
+		var ierr error
+		switch {
+		case ix.mv != nil:
+			if p.changed {
+				ierr = ix.mv.InsertKeyUpdate(tx, p.oldKey, p.newKey, ref, old.RID)
+			} else {
+				ierr = ix.mv.InsertReplacement(tx, p.oldKey, ref, old.RID)
+			}
+		case ix.bt != nil || ix.pb != nil:
+			// Version-oblivious maintenance: a new entry is needed when
+			// the key changed, or — with physical references — whenever
+			// the entry-point moved (SIAS: every update; HOT: non-HOT
+			// updates). Logical references ride the indirection layer.
+			need := p.changed || (ix.Def.RefMode == RefPhysical && res.NeedsIndexUpdate)
+			if need {
+				if ix.bt != nil {
+					ierr = ix.bt.Insert(p.newKey, ref)
+				} else {
+					ierr = ix.pb.Insert(p.newKey, ref)
+				}
+			}
+		}
+		if ierr != nil {
+			return storage.RecordID{}, ierr
+		}
+	}
+	return newRID, nil
+}
+
+// Delete removes the tuple whose visible version is old.
+func (t *Table) Delete(tx *txn.Tx, old RowRef) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := t.h.Delete(tx, old.RID, old.VID); err != nil {
+		return err
+	}
+	t.logOp(tx, wal.OpDelete, t.pkKey(old.Row), nil)
+	for _, ix := range t.indexes {
+		if ix.mv != nil {
+			if err := ix.mv.InsertTombstone(tx, ix.Def.Extract(old.Row), old.RID); err != nil {
+				return err
+			}
+		}
+		// Version-oblivious indexes are left alone: the heap's
+		// invalidation (HOT) or tombstone version (SIAS) hides the tuple,
+		// and dead entries go with vacuum (PostgreSQL semantics).
+	}
+	return nil
+}
+
+// Vacuum reclaims dead versions in the heap.
+func (t *Table) Vacuum() (int, error) {
+	return t.h.Vacuum(t.eng.Mgr.Horizon())
+}

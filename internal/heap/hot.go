@@ -1,0 +1,392 @@
+package heap
+
+import (
+	"sync"
+
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/page"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+)
+
+// HotHeap is the PostgreSQL-style base table: old-to-new version chains,
+// two-point invalidation with in-place timestamp updates, and Heap-Only
+// Tuples — a non-key update whose successor fits on the same page extends
+// the chain without touching any index; otherwise the successor starts a
+// new chain segment with its own index entries.
+//
+// Chains are walk-isolated per segment (like PostgreSQL's heap_hot_search):
+// a visibility walk entering a record flagged SegmentRoot from a
+// predecessor stops — that version is reached through its own index entry.
+type HotHeap struct {
+	// mu serializes page mutations against readers: writers take the
+	// exclusive lock, visibility walks the shared one. Critical sections
+	// are per-call — a long scan acquires it once per candidate, so
+	// readers and writers interleave freely (MVCC does the real isolation).
+	mu   sync.RWMutex
+	pool *buffer.Pool
+	file *sfile.File
+	mgr  *txn.Manager
+
+	insertPage uint64
+	hasInsert  bool
+	freePages  []uint64 // pages with reclaimed space (filled by Vacuum)
+}
+
+// NewHotHeap returns an empty HOT heap stored in file.
+func NewHotHeap(pool *buffer.Pool, file *sfile.File, mgr *txn.Manager) *HotHeap {
+	return &HotHeap{pool: pool, file: file, mgr: mgr}
+}
+
+// File returns the heap's storage file.
+func (h *HotHeap) File() *sfile.File { return h.file }
+
+// placeRecord inserts rec into a page with space (the current insert
+// target, a vacuumed page, or a fresh page) and returns its record id.
+func (h *HotHeap) placeRecord(rec []byte) (storage.RecordID, error) {
+	if h.hasInsert {
+		if rid, ok, err := h.tryInsertAt(h.insertPage, rec); err != nil || ok {
+			return rid, err
+		}
+	}
+	for len(h.freePages) > 0 {
+		pg := h.freePages[len(h.freePages)-1]
+		h.freePages = h.freePages[:len(h.freePages)-1]
+		if rid, ok, err := h.tryInsertAt(pg, rec); err != nil {
+			return storage.RecordID{}, err
+		} else if ok {
+			h.insertPage, h.hasInsert = pg, true
+			return rid, nil
+		}
+	}
+	fr, pageNo, err := h.pool.NewPage(h.file)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	p := page.Wrap(fr.Data())
+	p.Init()
+	slot, ok := p.Insert(rec)
+	h.pool.Unpin(fr, true)
+	if !ok {
+		return storage.RecordID{}, errRecordTooLarge
+	}
+	h.insertPage, h.hasInsert = pageNo, true
+	return storage.RecordID{Page: h.file.PageID(pageNo), Slot: uint16(slot)}, nil
+}
+
+func (h *HotHeap) tryInsertAt(pageNo uint64, rec []byte) (storage.RecordID, bool, error) {
+	fr, err := h.pool.Get(h.file, pageNo)
+	if err != nil {
+		return storage.RecordID{}, false, err
+	}
+	p := page.Wrap(fr.Data())
+	slot, ok := p.Insert(rec)
+	h.pool.Unpin(fr, ok)
+	if !ok {
+		return storage.RecordID{}, false, nil
+	}
+	return storage.RecordID{Page: h.file.PageID(pageNo), Slot: uint16(slot)}, true, nil
+}
+
+// Insert implements Heap.
+func (h *HotHeap) Insert(tx *txn.Tx, vid uint64, data []byte) (storage.RecordID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v := Version{SegmentRoot: true, TCreate: tx.ID, VID: vid, Data: data}
+	return h.placeRecord(encodeVersion(nil, &v))
+}
+
+// Update implements Heap. prev must be the currently visible version of
+// the tuple (found via an index); first-updater-wins conflicts return
+// ErrWriteConflict.
+func (h *HotHeap) Update(tx *txn.Tx, prev storage.RecordID, vid uint64, data []byte, hotEligible bool) (UpdateResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.supersede(tx, prev, vid, data, hotEligible, false)
+}
+
+// Delete implements Heap. PostgreSQL-style deletion under two-point
+// invalidation just stamps the invalidation timestamp in place — no
+// tombstone record is needed.
+func (h *HotHeap) Delete(tx *txn.Tx, prev storage.RecordID, vid uint64) (UpdateResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fr, err := h.pool.Get(h.file, prev.Page.PageNo())
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	p := page.Wrap(fr.Data())
+	rec := p.Get(int(prev.Slot))
+	if rec == nil {
+		h.pool.Unpin(fr, false)
+		return UpdateResult{}, ErrWriteConflict
+	}
+	v := decodeVersion(rec)
+	if err := h.checkConflict(&v, tx); err != nil {
+		h.pool.Unpin(fr, false)
+		return UpdateResult{}, err
+	}
+	v.TInvalidate = tx.ID
+	v.Next = storage.RecordID{}
+	v.Data = append([]byte(nil), v.Data...) // rec aliases the page; Replace may move it
+	ok := p.Replace(int(prev.Slot), encodeVersion(nil, &v))
+	h.pool.Unpin(fr, ok)
+	if !ok {
+		return UpdateResult{}, errRecordTooLarge
+	}
+	return UpdateResult{}, nil
+}
+
+// checkConflict enforces first-updater-wins: an existing invalidation by a
+// committed or still-running other transaction is a conflict; one by an
+// aborted transaction (or by tx itself) may be overwritten.
+func (h *HotHeap) checkConflict(v *Version, tx *txn.Tx) error {
+	if v.TInvalidate == txn.InvalidTxID || v.TInvalidate == tx.ID {
+		return nil
+	}
+	if h.mgr.StatusOf(v.TInvalidate) == txn.Aborted {
+		return nil
+	}
+	return ErrWriteConflict
+}
+
+func (h *HotHeap) supersede(tx *txn.Tx, prev storage.RecordID, vid uint64, data []byte, hotEligible, tombstone bool) (UpdateResult, error) {
+	fr, err := h.pool.Get(h.file, prev.Page.PageNo())
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	p := page.Wrap(fr.Data())
+	rec := p.Get(int(prev.Slot))
+	if rec == nil {
+		h.pool.Unpin(fr, false)
+		return UpdateResult{}, ErrWriteConflict
+	}
+	old := decodeVersion(rec)
+	if err := h.checkConflict(&old, tx); err != nil {
+		h.pool.Unpin(fr, false)
+		return UpdateResult{}, err
+	}
+	old.Data = append([]byte(nil), old.Data...)
+
+	succ := Version{Tombstone: tombstone, TCreate: tx.ID, VID: vid, Data: data}
+	var newRID storage.RecordID
+	hot := false
+	dirtied := false
+	if hotEligible {
+		if slot, ok := p.Insert(encodeVersion(nil, &succ)); ok {
+			newRID = storage.RecordID{Page: prev.Page, Slot: uint16(slot)}
+			hot = true
+			dirtied = true
+		}
+	}
+	if !hot {
+		// Non-HOT: the successor starts a new segment elsewhere and needs
+		// its own index entries.
+		succ.SegmentRoot = true
+		h.pool.Unpin(fr, false)
+		newRID, err = h.placeRecord(encodeVersion(nil, &succ))
+		if err != nil {
+			return UpdateResult{}, err
+		}
+		fr, err = h.pool.Get(h.file, prev.Page.PageNo())
+		if err != nil {
+			return UpdateResult{}, err
+		}
+		p = page.Wrap(fr.Data())
+	}
+	// Two-point invalidation: stamp the predecessor in place.
+	old.TInvalidate = tx.ID
+	old.Next = newRID
+	ok := p.Replace(int(prev.Slot), encodeVersion(nil, &old))
+	h.pool.Unpin(fr, dirtied || ok)
+	if !ok {
+		return UpdateResult{}, errRecordTooLarge
+	}
+	return UpdateResult{NewRID: newRID, NeedsIndexUpdate: !hot}, nil
+}
+
+// ReadVisible implements Heap: it walks the chain segment starting at
+// candidate (old-to-new) and returns the version visible to tx, fetching
+// every hop's page — the random-read cost of the standard visibility
+// check.
+func (h *HotHeap) ReadVisible(tx *txn.Tx, candidate storage.RecordID) (*VisibleVersion, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	rid := candidate
+	for rid.Valid() {
+		fr, err := h.pool.Get(h.file, rid.Page.PageNo())
+		if err != nil {
+			return nil, err
+		}
+		p := page.Wrap(fr.Data())
+		rec := p.Get(int(rid.Slot))
+		if rec == nil {
+			h.pool.Unpin(fr, false)
+			return nil, nil
+		}
+		v := decodeVersion(rec)
+		if v.SegmentRoot && rid != candidate {
+			// Crossed into the next segment: that version belongs to its
+			// own index entry.
+			h.pool.Unpin(fr, false)
+			return nil, nil
+		}
+		if tx.Sees(v.TCreate) && (v.TInvalidate == txn.InvalidTxID || !tx.Sees(v.TInvalidate)) {
+			if v.Tombstone {
+				h.pool.Unpin(fr, false)
+				return nil, nil
+			}
+			out := &VisibleVersion{RID: rid, VID: v.VID, Data: append([]byte(nil), v.Data...)}
+			h.pool.Unpin(fr, false)
+			return out, nil
+		}
+		next := v.Next
+		h.pool.Unpin(fr, false)
+		rid = next
+	}
+	return nil, nil
+}
+
+// ReadVersion implements Heap.
+func (h *HotHeap) ReadVersion(rid storage.RecordID) (Version, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	fr, err := h.pool.Get(h.file, rid.Page.PageNo())
+	if err != nil {
+		return Version{}, err
+	}
+	p := page.Wrap(fr.Data())
+	rec := p.Get(int(rid.Slot))
+	if rec == nil {
+		h.pool.Unpin(fr, false)
+		return Version{}, errRecordGone
+	}
+	v := decodeVersion(rec)
+	v.Data = append([]byte(nil), v.Data...)
+	h.pool.Unpin(fr, false)
+	return v, nil
+}
+
+// Vacuum implements Heap: PostgreSQL-style page pruning. For every chain
+// segment root it collapses the same-page prefix of dead versions
+// (invalidated below the horizon, or created by aborted transactions) into
+// the root slot, so the root rid — the one indexes point at — stays valid
+// while the space is reclaimed.
+func (h *HotHeap) Vacuum(horizon txn.TxID) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	removed := 0
+	nPages := h.file.NumPages()
+	for pageNo := uint64(0); pageNo < nPages; pageNo++ {
+		fr, err := h.pool.Get(h.file, pageNo)
+		if err != nil {
+			return removed, err
+		}
+		p := page.Wrap(fr.Data())
+		n, dirty := h.prunePage(p, h.file.PageID(pageNo), horizon)
+		removed += n
+		h.pool.Unpin(fr, dirty)
+		if dirty && p.FreeSpace() > storage.PageSize/2 {
+			h.freePages = append(h.freePages, pageNo)
+		}
+	}
+	return removed, nil
+}
+
+func (h *HotHeap) dead(v *Version, horizon txn.TxID) bool {
+	if h.mgr.StatusOf(v.TCreate) == txn.Aborted {
+		return true
+	}
+	return v.TInvalidate != txn.InvalidTxID && v.TInvalidate < horizon &&
+		h.mgr.StatusOf(v.TInvalidate) == txn.Committed
+}
+
+// prunePage collapses dead same-page chain prefixes. It returns the number
+// of records removed and whether the page was modified.
+func (h *HotHeap) prunePage(p page.Page, pid storage.PageID, horizon txn.TxID) (int, bool) {
+	removed, dirty := 0, false
+	nSlots := p.NumSlots()
+	inChain := make(map[int]bool)
+	type root struct {
+		slot int
+		v    Version
+	}
+	var roots []root
+	for s := 0; s < nSlots; s++ {
+		rec := p.Get(s)
+		if rec == nil {
+			continue
+		}
+		v := decodeVersion(rec)
+		if v.SegmentRoot {
+			roots = append(roots, root{slot: s, v: v})
+		}
+		if v.Next.Page == pid {
+			inChain[int(v.Next.Slot)] = true
+		}
+	}
+	for _, rt := range roots {
+		// Collect the same-page chain: root → successors until the chain
+		// leaves the page or reaches the next segment.
+		slots := []int{rt.slot}
+		vers := []Version{rt.v}
+		cur := rt.v
+		for cur.Next.Valid() && cur.Next.Page == pid {
+			rec := p.Get(int(cur.Next.Slot))
+			if rec == nil {
+				break
+			}
+			nv := decodeVersion(rec)
+			if nv.SegmentRoot {
+				break
+			}
+			slots = append(slots, int(cur.Next.Slot))
+			vers = append(vers, nv)
+			cur = nv
+		}
+		// Find the first version worth keeping.
+		keep := 0
+		for keep < len(vers)-1 && h.dead(&vers[keep], horizon) {
+			keep++
+		}
+		if keep == 0 {
+			continue
+		}
+		kv := vers[keep]
+		kv.SegmentRoot = true
+		kv.Data = append([]byte(nil), kv.Data...)
+		if !p.Replace(rt.slot, encodeVersion(nil, &kv)) {
+			continue
+		}
+		for i := 1; i <= keep; i++ {
+			p.Delete(slots[i])
+			removed++
+		}
+		dirty = true
+	}
+	// Aborted versions that are not roots and not linked from anything on
+	// this page are unreachable orphans.
+	for s := 0; s < p.NumSlots(); s++ {
+		rec := p.Get(s)
+		if rec == nil || inChain[s] {
+			continue
+		}
+		v := decodeVersion(rec)
+		if !v.SegmentRoot && h.mgr.StatusOf(v.TCreate) == txn.Aborted {
+			p.Delete(s)
+			removed++
+			dirty = true
+		}
+	}
+	return removed, dirty
+}
+
+type heapError string
+
+func (e heapError) Error() string { return string(e) }
+
+const (
+	errRecordTooLarge = heapError("heap: record exceeds page capacity")
+	errRecordGone     = heapError("heap: record no longer exists")
+)

@@ -1,0 +1,303 @@
+package heap
+
+import (
+	"sync"
+
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/page"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+	"mvpbt/internal/vid"
+)
+
+// SiasHeap is the Snapshot Isolation Append Storage base table (§3.6,
+// [9,11]): every new tuple-version is appended to the tail page, versions
+// are chained new-to-old, invalidation is one-point (the existence of a
+// successor invalidates the predecessor — no in-place timestamp writes),
+// and an intrinsic VID indirection table maps each tuple to its chain
+// entry-point (the newest version). Tail pages are flushed as they fill,
+// producing the sequential base-table write pattern the paper's storage
+// tradeoffs call for (§3.7).
+type SiasHeap struct {
+	// mu serializes page mutations against readers (see HotHeap.mu).
+	mu   sync.RWMutex
+	pool *buffer.Pool
+	file *sfile.File
+	mgr  *txn.Manager
+	vids *vid.Table
+
+	tail    uint64
+	hasTail bool
+}
+
+// NewSiasHeap returns an empty SIAS heap stored in file.
+func NewSiasHeap(pool *buffer.Pool, file *sfile.File, mgr *txn.Manager) *SiasHeap {
+	return &SiasHeap{pool: pool, file: file, mgr: mgr, vids: vid.NewTable()}
+}
+
+// File returns the heap's storage file.
+func (h *SiasHeap) File() *sfile.File { return h.file }
+
+// VIDs exposes the indirection table (logical-reference indexes resolve
+// through it).
+func (h *SiasHeap) VIDs() *vid.Table { return h.vids }
+
+// EntryPoint resolves a VID to the current chain entry-point.
+func (h *SiasHeap) EntryPoint(v uint64) (storage.RecordID, bool) {
+	return h.vids.Get(v)
+}
+
+// append places rec on the tail page, flushing full tails (sequential
+// write) and starting a new one as needed.
+func (h *SiasHeap) append(rec []byte) (storage.RecordID, error) {
+	if h.hasTail {
+		fr, err := h.pool.Get(h.file, h.tail)
+		if err != nil {
+			return storage.RecordID{}, err
+		}
+		p := page.Wrap(fr.Data())
+		if slot, ok := p.Insert(rec); ok {
+			h.pool.Unpin(fr, true)
+			return storage.RecordID{Page: h.file.PageID(h.tail), Slot: uint16(slot)}, nil
+		}
+		h.pool.Unpin(fr, false)
+		// Tail is full: write it out now — appends reach the device in
+		// page order, i.e. sequentially.
+		h.pool.FlushPage(h.file, h.tail)
+	}
+	fr, pageNo, err := h.pool.NewPage(h.file)
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	p := page.Wrap(fr.Data())
+	p.Init()
+	slot, ok := p.Insert(rec)
+	h.pool.Unpin(fr, ok)
+	if !ok {
+		return storage.RecordID{}, errRecordTooLarge
+	}
+	h.tail, h.hasTail = pageNo, true
+	return storage.RecordID{Page: h.file.PageID(pageNo), Slot: uint16(slot)}, nil
+}
+
+// Insert implements Heap.
+func (h *SiasHeap) Insert(tx *txn.Tx, v uint64, data []byte) (storage.RecordID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec := Version{TCreate: tx.ID, VID: v, Data: data}
+	rid, err := h.append(encodeVersion(nil, &rec))
+	if err != nil {
+		return storage.RecordID{}, err
+	}
+	h.vids.Set(v, rid)
+	return rid, nil
+}
+
+// Update implements Heap. SIAS ignores hotEligible: every update appends a
+// new entry-point, so index maintenance is always required for
+// physical-reference indexes.
+func (h *SiasHeap) Update(tx *txn.Tx, prev storage.RecordID, v uint64, data []byte, _ bool) (UpdateResult, error) {
+	return h.supersede(tx, prev, v, data, false)
+}
+
+// Delete implements Heap: appends a tombstone version (the logical end of
+// the chain — §4.1's tombstone tuple-version).
+func (h *SiasHeap) Delete(tx *txn.Tx, prev storage.RecordID, v uint64) (UpdateResult, error) {
+	return h.supersede(tx, prev, v, nil, true)
+}
+
+func (h *SiasHeap) supersede(tx *txn.Tx, prev storage.RecordID, v uint64, data []byte, tombstone bool) (UpdateResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// First-updater-wins: if the chain entry-point moved past prev and its
+	// creator is not aborted, somebody else already superseded prev.
+	link := prev
+	if cur, ok := h.vids.Get(v); ok && cur != prev {
+		curV, err := h.readVersionLocked(cur)
+		if err != nil {
+			return UpdateResult{}, err
+		}
+		if curV.TCreate == tx.ID {
+			// Our own earlier write in this transaction: chain onto it.
+			link = cur
+		} else if h.mgr.StatusOf(curV.TCreate) != txn.Aborted {
+			return UpdateResult{}, ErrWriteConflict
+		}
+	}
+	rec := Version{Tombstone: tombstone, TCreate: tx.ID, Next: link, VID: v, Data: data}
+	rid, err := h.append(encodeVersion(nil, &rec))
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	h.vids.Set(v, rid)
+	return UpdateResult{NewRID: rid, NeedsIndexUpdate: true}, nil
+}
+
+// readAt decodes the version at rid; dead slots return ok=false.
+func (h *SiasHeap) readAt(rid storage.RecordID) (Version, bool, error) {
+	fr, err := h.pool.Get(h.file, rid.Page.PageNo())
+	if err != nil {
+		return Version{}, false, err
+	}
+	p := page.Wrap(fr.Data())
+	rec := p.Get(int(rid.Slot))
+	if rec == nil {
+		h.pool.Unpin(fr, false)
+		return Version{}, false, nil
+	}
+	v := decodeVersion(rec)
+	v.Data = append([]byte(nil), v.Data...)
+	h.pool.Unpin(fr, false)
+	return v, true, nil
+}
+
+// ReadVisible implements Heap: it reads the candidate to learn the tuple's
+// VID, resolves the chain entry-point through the indirection table, and
+// walks new-to-old until the first version whose creator tx sees — each
+// hop a page fetch. This is the SIAS base-table visibility check whose
+// cost MV-PBT's index-only check eliminates.
+func (h *SiasHeap) ReadVisible(tx *txn.Tx, candidate storage.RecordID) (*VisibleVersion, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, ok, err := h.readAt(candidate)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return h.readVisibleByVIDLocked(tx, v.VID)
+}
+
+// ReadVisibleByVID performs the visibility walk from the chain entry-point
+// of the given VID (logical-reference indexes start here directly).
+func (h *SiasHeap) ReadVisibleByVID(tx *txn.Tx, v uint64) (*VisibleVersion, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.readVisibleByVIDLocked(tx, v)
+}
+
+func (h *SiasHeap) readVisibleByVIDLocked(tx *txn.Tx, v uint64) (*VisibleVersion, error) {
+	rid, ok := h.vids.Get(v)
+	if !ok {
+		return nil, nil
+	}
+	for rid.Valid() {
+		ver, ok, err := h.readAt(rid)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		if tx.Sees(ver.TCreate) {
+			if ver.Tombstone {
+				return nil, nil
+			}
+			return &VisibleVersion{RID: rid, VID: ver.VID, Data: ver.Data}, nil
+		}
+		rid = ver.Next
+	}
+	return nil, nil
+}
+
+// ReadVersion implements Heap.
+func (h *SiasHeap) ReadVersion(rid storage.RecordID) (Version, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.readVersionLocked(rid)
+}
+
+func (h *SiasHeap) readVersionLocked(rid storage.RecordID) (Version, error) {
+	v, ok, err := h.readAt(rid)
+	if err != nil {
+		return Version{}, err
+	}
+	if !ok {
+		return Version{}, errRecordGone
+	}
+	return v, nil
+}
+
+// Vacuum implements Heap: for every chain it finds the newest version that
+// is visible to every snapshot below the horizon and unlinks everything
+// older, deleting those records. SIAS never inserts into non-tail pages,
+// so freed slots in old pages are never reused and stale index references
+// to them resolve to "record gone".
+func (h *SiasHeap) Vacuum(horizon txn.TxID) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	removed := 0
+	for _, e := range h.vids.Entries() {
+		rid := e.RID
+		// Find the newest all-visible version: TCreate < horizon and
+		// committed. Everything strictly older than it is garbage.
+		var anchor storage.RecordID
+		for rid.Valid() {
+			ver, ok, err := h.readAt(rid)
+			if err != nil {
+				return removed, err
+			}
+			if !ok {
+				break
+			}
+			if ver.TCreate < horizon && h.mgr.StatusOf(ver.TCreate) == txn.Committed {
+				anchor = rid
+				rid = ver.Next
+				break
+			}
+			rid = ver.Next
+		}
+		if !anchor.Valid() || !rid.Valid() {
+			continue
+		}
+		// Unlink: clear the anchor's predecessor pointer, then delete the
+		// tail of the chain.
+		if err := h.clearNext(anchor); err != nil {
+			return removed, err
+		}
+		for rid.Valid() {
+			ver, ok, err := h.readAt(rid)
+			if err != nil {
+				return removed, err
+			}
+			if !ok {
+				break
+			}
+			if err := h.deleteRecord(rid); err != nil {
+				return removed, err
+			}
+			removed++
+			rid = ver.Next
+		}
+	}
+	return removed, nil
+}
+
+func (h *SiasHeap) clearNext(rid storage.RecordID) error {
+	fr, err := h.pool.Get(h.file, rid.Page.PageNo())
+	if err != nil {
+		return err
+	}
+	p := page.Wrap(fr.Data())
+	rec := p.Get(int(rid.Slot))
+	if rec == nil {
+		h.pool.Unpin(fr, false)
+		return nil
+	}
+	v := decodeVersion(rec)
+	v.Next = storage.RecordID{}
+	v.Data = append([]byte(nil), v.Data...)
+	ok := p.Replace(int(rid.Slot), encodeVersion(nil, &v))
+	h.pool.Unpin(fr, ok)
+	return nil
+}
+
+func (h *SiasHeap) deleteRecord(rid storage.RecordID) error {
+	fr, err := h.pool.Get(h.file, rid.Page.PageNo())
+	if err != nil {
+		return err
+	}
+	p := page.Wrap(fr.Data())
+	p.Delete(int(rid.Slot))
+	h.pool.Unpin(fr, true)
+	return nil
+}

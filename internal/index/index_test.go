@@ -1,0 +1,52 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mvpbt/internal/storage"
+)
+
+func TestRefCodecRoundTrip(t *testing.T) {
+	f := func(file uint32, pageNo uint64, slot uint16, vid uint64) bool {
+		r := Ref{
+			RID: storage.RecordID{
+				Page: storage.NewPageID(storage.FileID(file&0xFFFFFF), pageNo&(1<<40-1)),
+				Slot: slot,
+			},
+			VID: vid,
+		}
+		enc := EncodeRef(nil, r)
+		if len(enc) != RefLen {
+			return false
+		}
+		return DecodeRef(enc) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyInRange(t *testing.T) {
+	cases := []struct {
+		key, lo, hi string
+		hiNil       bool
+		want        bool
+	}{
+		{"b", "a", "c", false, true},
+		{"a", "a", "c", false, true},  // lo inclusive
+		{"c", "a", "c", false, false}, // hi exclusive
+		{"d", "a", "c", false, false},
+		{"z", "a", "", true, true}, // nil hi = +inf
+		{"a", "b", "", true, false},
+	}
+	for _, c := range cases {
+		var hi []byte
+		if !c.hiNil {
+			hi = []byte(c.hi)
+		}
+		if got := KeyInRange([]byte(c.key), []byte(c.lo), hi); got != c.want {
+			t.Errorf("KeyInRange(%q, %q, %q/nil=%v) = %v want %v", c.key, c.lo, c.hi, c.hiNil, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+// Package lsm implements the LSM-Tree baseline the paper compares MV-PBT
+// against (§5 "Comparison to LSM-Trees", Figure 15): a skiplist memtable,
+// tiered L0 runs flushed from it, and levelled compaction below — each run
+// an immutable bulk-built B-Tree segment with a bloom filter, like
+// WiredTiger's LSM components. Point lookups probe the memtable and then
+// every run newest-to-oldest (bloom filters skip runs); range scans merge
+// all runs with newest-wins shadowing; deletes are tombstones that
+// compaction drops at the bottom level.
+package lsm
+
+import (
+	"bytes"
+	"sync"
+
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/skiplist"
+	"mvpbt/internal/util"
+)
+
+// Options configures an LSM tree.
+type Options struct {
+	Name string
+	// MemtableBytes is the flush threshold (default 1 MiB).
+	MemtableBytes int
+	// L0Runs is the number of L0 runs that triggers compaction into L1
+	// (default 4).
+	L0Runs int
+	// LevelRatio is the size ratio between adjacent levels (default 10).
+	LevelRatio int
+	// BloomBits is the per-run bloom filter size in bits per key
+	// (default 10; 0 disables).
+	BloomBits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.L0Runs <= 0 {
+		o.L0Runs = 4
+	}
+	if o.LevelRatio <= 0 {
+		o.LevelRatio = 10
+	}
+	return o
+}
+
+// memEntry is a memtable value.
+type memEntry struct {
+	seq  uint64
+	tomb bool
+	val  []byte
+}
+
+// Body encoding in runs: [seq varint][flags 1B][value...].
+func encodeBody(e memEntry) []byte {
+	out := util.PutUvarint(nil, e.seq)
+	var f byte
+	if e.tomb {
+		f = 1
+	}
+	out = append(out, f)
+	return append(out, e.val...)
+}
+
+func decodeBody(b []byte) memEntry {
+	seq, n := util.Uvarint(b)
+	return memEntry{seq: seq, tomb: b[n]&1 != 0, val: b[n+1:]}
+}
+
+// Stats aggregates LSM activity.
+type Stats struct {
+	Flushes     int64
+	Compactions int64
+	// BloomNegatives counts runs skipped during gets.
+	BloomNegatives int64
+}
+
+// Tree is an LSM tree. Safe for concurrent use.
+type Tree struct {
+	mu    sync.Mutex
+	opts  Options
+	pool  *buffer.Pool
+	file  *sfile.File
+	mem   *skiplist.List[[]byte, memEntry]
+	seq   uint64
+	l0    []*part.Segment // newest first
+	lower []*part.Segment // levels[i] = L(i+1); nil slots allowed
+	runNo int
+	stats Stats
+}
+
+// New creates an empty LSM tree stored in file.
+func New(pool *buffer.Pool, file *sfile.File, opts Options) *Tree {
+	t := &Tree{opts: opts.withDefaults(), pool: pool, file: file}
+	t.mem = newMem()
+	return t
+}
+
+func newMem() *skiplist.List[[]byte, memEntry] {
+	return skiplist.New[[]byte, memEntry](bytes.Compare, func(k []byte, v memEntry) int {
+		return len(k) + len(v.val) + 24
+	})
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Tree) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// NumRuns returns the total number of on-disk runs.
+func (t *Tree) NumRuns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.l0)
+	for _, s := range t.lower {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Put stores key → val.
+func (t *Tree) Put(key, val []byte) error {
+	return t.write(key, memEntry{tomb: false, val: append([]byte(nil), val...)})
+}
+
+// Delete removes key (a tombstone shadows older values until compaction
+// drops both at the bottom level).
+func (t *Tree) Delete(key []byte) error {
+	return t.write(key, memEntry{tomb: true})
+}
+
+func (t *Tree) write(key []byte, e memEntry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	e.seq = t.seq
+	t.mem.Set(append([]byte(nil), key...), e)
+	if t.mem.Bytes() >= t.opts.MemtableBytes {
+		return t.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the newest value for key (nil, false when absent or
+// tombstoned).
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.mem.Get(key); ok {
+		if e.tomb {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.val...), true, nil
+	}
+	probe := func(seg *part.Segment) (memEntry, bool, error) {
+		if !seg.MayContainKey(key) {
+			t.stats.BloomNegatives++
+			return memEntry{}, false, nil
+		}
+		it := seg.Seek(key)
+		if it.Err() != nil {
+			return memEntry{}, false, it.Err()
+		}
+		if it.Valid() && bytes.Equal(it.Record().Key, key) {
+			return decodeBody(it.Record().Body), true, nil
+		}
+		return memEntry{}, false, nil
+	}
+	for _, seg := range t.l0 {
+		e, ok, err := probe(seg)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.tomb {
+				return nil, false, nil
+			}
+			return e.val, true, nil
+		}
+	}
+	for _, seg := range t.lower {
+		if seg == nil {
+			continue
+		}
+		e, ok, err := probe(seg)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.tomb {
+				return nil, false, nil
+			}
+			return e.val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// source is one input to the merge: the memtable or a run, with rank 0 =
+// newest.
+type source struct {
+	// memtable cursor
+	memIt *skiplist.Iterator[[]byte, memEntry]
+	segIt *part.Iterator
+}
+
+func (s *source) valid() bool {
+	if s.memIt != nil {
+		return s.memIt.Valid()
+	}
+	return s.segIt.Valid()
+}
+
+func (s *source) key() []byte {
+	if s.memIt != nil {
+		return s.memIt.Key()
+	}
+	return s.segIt.Record().Key
+}
+
+func (s *source) entry() memEntry {
+	if s.memIt != nil {
+		return s.memIt.Value()
+	}
+	return decodeBody(s.segIt.Record().Body)
+}
+
+func (s *source) next() {
+	if s.memIt != nil {
+		s.memIt.Next()
+	} else {
+		s.segIt.Next()
+	}
+}
+
+// Scan calls fn for every live key in [lo, hi) in key order, newest value
+// per key, skipping tombstoned keys. Returning false stops.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	srcs := t.sources(lo)
+	for {
+		// Pick the smallest key; among equals the lowest-rank (newest)
+		// source wins, the rest are shadowed.
+		var minKey []byte
+		best := -1
+		for i := range srcs {
+			if !srcs[i].valid() {
+				continue
+			}
+			k := srcs[i].key()
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				continue
+			}
+			if best < 0 || bytes.Compare(k, minKey) < 0 {
+				minKey, best = k, i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		e := srcs[best].entry()
+		key := append([]byte(nil), minKey...)
+		for i := range srcs {
+			if srcs[i].valid() && bytes.Equal(srcs[i].key(), key) {
+				srcs[i].next()
+			}
+		}
+		if e.tomb {
+			continue
+		}
+		if !fn(key, e.val) {
+			return nil
+		}
+	}
+}
+
+// sources builds merge inputs positioned at lo, newest first.
+func (t *Tree) sources(lo []byte) []*source {
+	var srcs []*source
+	mit := t.mem.Seek(lo)
+	srcs = append(srcs, &source{memIt: &mit})
+	for _, seg := range t.l0 {
+		srcs = append(srcs, &source{segIt: seg.Seek(lo)})
+	}
+	for _, seg := range t.lower {
+		if seg != nil {
+			srcs = append(srcs, &source{segIt: seg.Seek(lo)})
+		}
+	}
+	return srcs
+}
+
+// Flush forces the memtable out (mainly for tests and shutdown).
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tree) flushLocked() error {
+	if t.mem.Len() == 0 {
+		return nil
+	}
+	kvs := make([]part.KV, 0, t.mem.Len())
+	for it := t.mem.Min(); it.Valid(); it.Next() {
+		kvs = append(kvs, part.KV{Key: it.Key(), Body: encodeBody(it.Value())})
+	}
+	seg, err := part.Build(t.pool, t.file, t.runNo, kvs, 0, 0, part.BuildOptions{BloomBitsPerKey: t.opts.BloomBits})
+	if err != nil {
+		return err
+	}
+	t.runNo++
+	t.l0 = append([]*part.Segment{seg}, t.l0...)
+	t.mem = newMem()
+	t.stats.Flushes++
+	return t.maybeCompactLocked()
+}
+
+func (t *Tree) maybeCompactLocked() error {
+	// L0 → L1 when L0 has too many runs.
+	if len(t.l0) >= t.opts.L0Runs {
+		inputs := append([]*part.Segment{}, t.l0...)
+		if len(t.lower) > 0 && t.lower[0] != nil {
+			inputs = append(inputs, t.lower[0])
+		}
+		merged, err := t.mergeRuns(inputs, t.bottomEmpty(0))
+		if err != nil {
+			return err
+		}
+		for _, s := range inputs {
+			s.Free()
+		}
+		t.l0 = nil
+		if len(t.lower) == 0 {
+			t.lower = append(t.lower, nil)
+		}
+		t.lower[0] = merged
+		t.stats.Compactions++
+	}
+	// Cascade: level i overflows into level i+1.
+	target := t.opts.LevelRatio * t.opts.MemtableBytes
+	for i := 0; i < len(t.lower); i++ {
+		if t.lower[i] == nil || t.lower[i].SizeBytes <= target {
+			target *= t.opts.LevelRatio
+			continue
+		}
+		inputs := []*part.Segment{t.lower[i]}
+		if i+1 < len(t.lower) && t.lower[i+1] != nil {
+			inputs = append(inputs, t.lower[i+1])
+		}
+		merged, err := t.mergeRuns(inputs, t.bottomEmpty(i+1))
+		if err != nil {
+			return err
+		}
+		for _, s := range inputs {
+			s.Free()
+		}
+		t.lower[i] = nil
+		if i+1 >= len(t.lower) {
+			t.lower = append(t.lower, nil)
+		}
+		t.lower[i+1] = merged
+		t.stats.Compactions++
+		target *= t.opts.LevelRatio
+	}
+	return nil
+}
+
+// bottomEmpty reports whether no run exists below level index i (tombstones
+// can then be dropped).
+func (t *Tree) bottomEmpty(i int) bool {
+	for j := i + 1; j < len(t.lower); j++ {
+		if t.lower[j] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRuns merges runs (newest first) into one, newest entry per key
+// winning; dropTombs drops tombstones (safe only at the bottom).
+func (t *Tree) mergeRuns(runs []*part.Segment, dropTombs bool) (*part.Segment, error) {
+	its := make([]*part.Iterator, len(runs))
+	for i, r := range runs {
+		its[i] = r.Min()
+	}
+	var out []part.KV
+	for {
+		var minKey []byte
+		best := -1
+		for i, it := range its {
+			if !it.Valid() {
+				continue
+			}
+			k := it.Record().Key
+			if best < 0 || bytes.Compare(k, minKey) < 0 {
+				minKey, best = k, i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := its[best].Record()
+		e := decodeBody(rec.Body)
+		if !(dropTombs && e.tomb) {
+			out = append(out, part.KV{Key: rec.Key, Body: rec.Body})
+		}
+		for _, it := range its {
+			if it.Valid() && bytes.Equal(it.Record().Key, minKey) {
+				it.Next()
+			}
+		}
+	}
+	for _, it := range its {
+		if it.Err() != nil {
+			return nil, it.Err()
+		}
+	}
+	seg, err := part.Build(t.pool, t.file, t.runNo, out, 0, 0, part.BuildOptions{BloomBitsPerKey: t.opts.BloomBits})
+	if err != nil {
+		return nil, err
+	}
+	t.runNo++
+	return seg, nil
+}

@@ -1,0 +1,94 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGetFromEveryLevel(t *testing.T) {
+	// Force keys into distinct storage locations: memtable, L0 run, and a
+	// compacted lower level; Get must find all of them.
+	tr, _ := newTree(2048, Options{MemtableBytes: 4 << 10, L0Runs: 2, LevelRatio: 2})
+	// Old data, pushed down by compaction.
+	for i := 0; i < 1000; i++ {
+		tr.Put([]byte(fmt.Sprintf("old-%04d", i)), []byte("deep"))
+	}
+	tr.Flush()
+	// Fresh L0 run.
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("mid-%04d", i)), []byte("run"))
+	}
+	tr.Flush()
+	// Memtable only.
+	tr.Put([]byte("new-0001"), []byte("mem"))
+
+	for _, c := range []struct{ k, v string }{
+		{"old-0500", "deep"}, {"mid-0025", "run"}, {"new-0001", "mem"},
+	} {
+		v, ok, err := tr.Get([]byte(c.k))
+		if err != nil || !ok || string(v) != c.v {
+			t.Fatalf("%s: %q %v %v", c.k, v, ok, err)
+		}
+	}
+	if tr.NumRuns() < 2 {
+		t.Fatalf("expected multiple runs, got %d", tr.NumRuns())
+	}
+}
+
+func TestScanAcrossCompactionBoundary(t *testing.T) {
+	tr, _ := newTree(2048, Options{MemtableBytes: 8 << 10, L0Runs: 2, LevelRatio: 2})
+	for i := 0; i < 3000; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	// Overwrite a band so newest-wins spans the level boundary.
+	for i := 1000; i < 1100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("NEW"))
+	}
+	n, news := 0, 0
+	err := tr.Scan([]byte("k00900"), []byte("k01200"), func(k, v []byte) bool {
+		n++
+		if string(v) == "NEW" {
+			news++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 || news != 100 {
+		t.Fatalf("scan saw %d rows (%d NEW), want 300/100", n, news)
+	}
+}
+
+func TestEmptyTreeOperations(t *testing.T) {
+	tr, _ := newTree(64, Options{})
+	if _, ok, _ := tr.Get([]byte("x")); ok {
+		t.Fatal("empty tree found a key")
+	}
+	if err := tr.Delete([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	// Only the tombstone-shadowed key exists; scan must skip it.
+	if n != 0 {
+		t.Fatalf("empty-tree scan returned %d rows", n)
+	}
+	if tr.NumRuns() > 1 {
+		t.Fatalf("empty flushes created %d runs", tr.NumRuns())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	tr, _ := newTree(2048, Options{MemtableBytes: 4 << 10, L0Runs: 2, LevelRatio: 2, BloomBits: 10})
+	for i := 0; i < 2000; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("vvvvvvvv"))
+	}
+	st := tr.Stats()
+	if st.Flushes == 0 || st.Compactions == 0 {
+		t.Fatalf("stats flat: %+v", st)
+	}
+}

@@ -1,0 +1,122 @@
+package mvpbt
+
+import (
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/index"
+	"mvpbt/internal/txn"
+)
+
+func TestBulkLoadBasic(t *testing.T) {
+	e := newEnv(512, 1<<22)
+	tr := e.tree(Options{BloomBits: 10, Unique: true})
+	var entries []index.Entry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, index.Entry{Key: []byte(fmt.Sprintf("k%06d", i)), Ref: e.ref()})
+	}
+	e.commit(func(tx *txn.Tx) {
+		if err := tr.BulkLoad(tx, entries); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if tr.NumPartitions() != 1 {
+		t.Fatalf("partitions=%d", tr.NumPartitions())
+	}
+	if tr.PNBytes() != 0 {
+		t.Fatal("bulk load went through PN")
+	}
+	r := e.mgr.Begin()
+	defer e.mgr.Commit(r)
+	for i := 0; i < 5000; i += 333 {
+		rids := lookupRIDs(t, tr, r, entries[i].Key)
+		if len(rids) != 1 || rids[0] != entries[i].Ref.RID {
+			t.Fatalf("key %d wrong after bulk load: %v", i, rids)
+		}
+	}
+}
+
+func TestBulkLoadInvisibleUntilCommit(t *testing.T) {
+	e := newEnv(512, 1<<22)
+	tr := e.tree(Options{Unique: true})
+	w := e.mgr.Begin()
+	err := tr.BulkLoad(w, []index.Entry{{Key: []byte("k"), Ref: e.ref()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.mgr.Begin()
+	if len(lookupRIDs(t, tr, r, []byte("k"))) != 0 {
+		t.Fatal("uncommitted bulk load visible")
+	}
+	e.mgr.Commit(w)
+	e.mgr.Commit(r)
+	r2 := e.mgr.Begin()
+	defer e.mgr.Commit(r2)
+	if len(lookupRIDs(t, tr, r2, []byte("k"))) != 1 {
+		t.Fatal("committed bulk load invisible")
+	}
+}
+
+func TestBulkLoadThenUpdates(t *testing.T) {
+	// Records written on top of a bulk-loaded partition supersede it.
+	e := newEnv(512, 1<<22)
+	tr := e.tree(Options{Unique: true})
+	v0, v1 := e.ref(), e.ref()
+	e.commit(func(tx *txn.Tx) {
+		if err := tr.BulkLoad(tx, []index.Entry{{Key: []byte("k"), Ref: v0}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.commit(func(tx *txn.Tx) { tr.InsertReplacement(tx, []byte("k"), v1, v0.RID) })
+	r := e.mgr.Begin()
+	defer e.mgr.Commit(r)
+	rids := lookupRIDs(t, tr, r, []byte("k"))
+	if len(rids) != 1 || rids[0] != v1.RID {
+		t.Fatalf("update over bulk load wrong: %v", rids)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	e := newEnv(512, 1<<22)
+	tr := e.tree(Options{})
+	tx := e.mgr.Begin()
+	defer e.mgr.Abort(tx)
+	err := tr.BulkLoad(tx, []index.Entry{
+		{Key: []byte("b"), Ref: e.ref()},
+		{Key: []byte("a"), Ref: e.ref()},
+	})
+	if err == nil {
+		t.Fatal("unsorted bulk load accepted")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	e := newEnv(512, 1<<22)
+	tr := e.tree(Options{})
+	tx := e.mgr.Begin()
+	defer e.mgr.Commit(tx)
+	if err := tr.BulkLoad(tx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPartitions() != 0 {
+		t.Fatal("empty bulk load created a partition")
+	}
+}
+
+func TestBulkLoadWithValues(t *testing.T) {
+	e := newEnv(512, 1<<22)
+	tr := e.tree(Options{Unique: true})
+	e.commit(func(tx *txn.Tx) {
+		tr.BulkLoad(tx, []index.Entry{{Key: []byte("k"), Ref: e.ref(), Val: []byte("inline")}})
+	})
+	r := e.mgr.Begin()
+	defer e.mgr.Commit(r)
+	var got []byte
+	tr.Lookup(r, []byte("k"), func(en index.Entry) bool {
+		got = append([]byte(nil), en.Val...)
+		return false
+	})
+	if string(got) != "inline" {
+		t.Fatalf("value lost in bulk load: %q", got)
+	}
+}

@@ -1,0 +1,58 @@
+package mvpbt
+
+import (
+	"bytes"
+	"fmt"
+
+	"mvpbt/internal/txn"
+)
+
+// DumpEntry describes one index record for diagnostics (cmd/mvpbt-inspect).
+type DumpEntry struct {
+	Where string // "PN" or "P<n>"
+	Key   string
+	Rec   Record
+}
+
+func (d DumpEntry) String() string {
+	s := fmt.Sprintf("%-4s key=%q %s ts=%d", d.Where, d.Key, d.Rec.Type, d.Rec.TS)
+	if d.Rec.Matter() {
+		s += fmt.Sprintf(" rid=%v vid=%d", d.Rec.Ref.RID, d.Rec.Ref.VID)
+	}
+	if d.Rec.OldRID.Valid() {
+		s += fmt.Sprintf(" old=%v", d.Rec.OldRID)
+	}
+	if d.Rec.GC {
+		s += " GC"
+	}
+	return s
+}
+
+// DumpKey returns every index record for key, in processing order (PN
+// first, then partitions newest to oldest).
+func (t *Tree) DumpKey(key []byte) []DumpEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []DumpEntry
+	for it := t.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key().key, key) {
+			break
+		}
+		out = append(out, DumpEntry{Where: "PN", Key: string(key), Rec: *it.Value()})
+	}
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		for it := seg.Seek(key); it.Valid(); it.Next() {
+			r := it.Record()
+			if !bytes.Equal(r.Key, key) {
+				break
+			}
+			rec, err := decodeRecord(r.Body)
+			if err != nil {
+				continue
+			}
+			out = append(out, DumpEntry{Where: fmt.Sprintf("P%d", seg.No), Key: string(key), Rec: rec})
+		}
+	}
+	return out
+}

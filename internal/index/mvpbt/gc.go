@@ -1,0 +1,176 @@
+package mvpbt
+
+import (
+	"bytes"
+
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+)
+
+// sweepPNLocked is garbage-collection phase 2 (§4.6): remove the records
+// that scans flagged (phase 1) from the main-memory partition, reclaiming
+// space before the next insert. Called with t.mu held when the garbage
+// ratio crosses the threshold.
+func (t *Tree) sweepPNLocked() {
+	var victims []pnKey
+	for it := t.pn.Min(); it.Valid(); it.Next() {
+		if it.Value().GC {
+			victims = append(victims, it.Key())
+		}
+	}
+	for _, k := range victims {
+		t.pn.Delete(k)
+	}
+	t.stats.GCSweptPN += int64(len(victims))
+	t.pnGarbage = 0
+}
+
+// pnEntry pairs a PN key with its record during eviction.
+type pnEntry struct {
+	key pnKey
+	rec *Record
+}
+
+// EvictPN implements part.Owner — the partition eviction pipeline of
+// Algorithm 4:
+//
+//  1. PN is frozen (a fresh PN replaces it for ongoing modifications).
+//  2. Version chains are analysed and obsolete records garbage collected
+//     (phase 3 of §4.6): a record superseded below the GC horizon by a
+//     committed successor of the same key is invisible to every present
+//     and future snapshot and is dropped, with its anti-matter inherited
+//     by the successor; aborted and flagged records are dropped; anti and
+//     tombstone records whose whole chain lived in PN vanish entirely.
+//  3. The survivors are dense-packed into leaf pages with prefix
+//     truncation, internal levels are built bottom-up, and all pages are
+//     written out strictly sequentially.
+//  4. Bloom and prefix-bloom filters are computed from the same pass.
+//  5. The new partition is attached to the partition metadata.
+func (t *Tree) EvictPN() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pn.Len() == 0 {
+		return nil
+	}
+	entries := make([]pnEntry, 0, t.pn.Len())
+	for it := t.pn.Min(); it.Valid(); it.Next() {
+		entries = append(entries, pnEntry{key: it.Key(), rec: it.Value()})
+	}
+	if !t.opts.DisableGC {
+		if t.opts.Unique {
+			entries = t.uniqueEvictGC(entries, false)
+		} else {
+			entries = t.evictGC(entries)
+		}
+	}
+	if len(entries) == 0 {
+		t.pn = newPN()
+		t.pnGarbage = 0
+		return nil
+	}
+	kvs := make([]part.KV, len(entries))
+	minTS, maxTS := ^txn.TxID(0), txn.TxID(0)
+	for i, e := range entries {
+		kvs[i] = part.KV{Key: e.key.key, Body: encodeRecord(nil, e.rec)}
+		if e.rec.TS < minTS {
+			minTS = e.rec.TS
+		}
+		if e.rec.TS > maxTS {
+			maxTS = e.rec.TS
+		}
+	}
+	seg, err := part.Build(t.pool, t.file, t.nextNo, kvs, uint64(minTS), uint64(maxTS), part.BuildOptions{
+		BloomBitsPerKey: t.opts.BloomBits,
+		PrefixLen:       t.opts.PrefixLen,
+	})
+	if err != nil {
+		return err
+	}
+	t.nextNo++
+	if seg != nil {
+		t.parts = append(t.parts, seg)
+	}
+	t.pn = newPN()
+	t.pnGarbage = 0
+	t.stats.Evictions++
+	if t.opts.MaxPartitions > 0 && len(t.parts) > t.opts.MaxPartitions {
+		return t.mergePartitionsLocked()
+	}
+	return nil
+}
+
+// evictGC is phase 3: chain-collapsing garbage collection over the frozen
+// PN contents. entries are in (key asc, ts desc) order; the returned slice
+// preserves that order.
+func (t *Tree) evictGC(entries []pnEntry) []pnEntry {
+	horizon := t.mgr.Horizon()
+	drop := make([]bool, len(entries))
+
+	// committedBelow reports whether the record is committed with a
+	// timestamp below the horizon — i.e. visible to (or superseded for)
+	// every present and future snapshot.
+	committedBelow := func(rec *Record) bool {
+		return rec.TS < horizon && t.mgr.StatusOf(rec.TS) == txn.Committed
+	}
+
+	// Matter index: rid of the validated version → entry index.
+	byMatter := make(map[storage.RecordID]int)
+	for i, e := range entries {
+		if e.rec.Matter() && e.rec.Ref.RID.Valid() {
+			byMatter[e.rec.Ref.RID] = i
+		}
+		// Aborted and phase-1-flagged records are dropped outright.
+		if e.rec.GC || t.mgr.StatusOf(e.rec.TS) == txn.Aborted {
+			drop[i] = true
+		}
+	}
+
+	// Chain collapse. Only predecessors under the SAME key are collapsed:
+	// a key update's replacement record must not consume the old-key chain
+	// (the simultaneously inserted anti-record owns that suppression).
+	for i := range entries {
+		r := entries[i].rec
+		if drop[i] || !r.AntiMatter() || !committedBelow(r) {
+			continue
+		}
+		cur := i
+		for entries[cur].rec.OldRID.Valid() {
+			j, ok := byMatter[entries[cur].rec.OldRID]
+			if !ok || drop[j] {
+				break
+			}
+			pred := entries[j].rec
+			if !bytes.Equal(entries[j].key.key, entries[i].key.key) || !committedBelow(pred) {
+				break
+			}
+			drop[j] = true
+			// The collapsing record inherits the predecessor's anti-matter
+			// so that suppression of still older (possibly on-disk)
+			// records is preserved.
+			entries[cur].rec.OldRID = pred.OldRID
+		}
+	}
+
+	// Pure anti-matter whose whole chain lived in PN has nothing left to
+	// extinguish: the tombstone/anti record itself vanishes.
+	for i := range entries {
+		r := entries[i].rec
+		if drop[i] {
+			continue
+		}
+		if (r.Type == Tombstone || r.Type == Anti) && !r.OldRID.Valid() && committedBelow(r) {
+			drop[i] = true
+		}
+	}
+
+	out := entries[:0]
+	for i := range entries {
+		if drop[i] {
+			t.stats.GCEvict++
+			continue
+		}
+		out = append(out, entries[i])
+	}
+	return out
+}

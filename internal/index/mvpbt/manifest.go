@@ -1,0 +1,102 @@
+package mvpbt
+
+import (
+	"fmt"
+
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/util"
+)
+
+// Index-level manifest: persisted partition metadata (§4.7 — the filters
+// are "persisted as part of the partition metadata"). SaveManifest writes
+// the metadata of every persisted partition into fresh pages of the index
+// file; LoadManifest rebuilds the partition list of a freshly constructed
+// Tree over the same file. PN is main-memory state and is NOT covered —
+// evict it first (or accept losing it, as a crash would; the WAL covers
+// logical durability).
+
+const manifestMagic = 0x4D56504254 // "MVPBT"
+
+// SaveManifest persists the current partition metadata and returns the
+// page run holding it.
+func (t *Tree) SaveManifest() (startPage uint64, numPages int, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	body := util.PutUvarint(nil, manifestMagic)
+	body = util.PutUvarint(body, uint64(t.nextNo))
+	body = util.PutUvarint(body, uint64(len(t.parts)))
+	for _, s := range t.parts {
+		body = part.EncodeMeta(body, s)
+	}
+	n := (len(body) + 8 + storage.PageSize - 1) / storage.PageSize
+	start := t.file.AllocRun(n)
+	framed := util.EncodeUint64(nil, uint64(len(body)))
+	framed = append(framed, body...)
+	page := make([]byte, storage.PageSize)
+	for i := 0; i < n; i++ {
+		lo := i * storage.PageSize
+		hi := lo + storage.PageSize
+		if hi > len(framed) {
+			hi = len(framed)
+		}
+		copy(page, framed[lo:hi])
+		for j := hi - lo; j < storage.PageSize; j++ {
+			page[j] = 0
+		}
+		t.file.WritePage(start+uint64(i), page)
+	}
+	return start, n, nil
+}
+
+// LoadManifest reads a manifest written by SaveManifest and installs its
+// partitions. The tree must be freshly constructed over the same file.
+func (t *Tree) LoadManifest(startPage uint64, numPages int) (err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Corrupt metadata surfaces as an error, not a crash.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mvpbt: corrupt manifest: %v", r)
+		}
+	}()
+	if len(t.parts) != 0 || t.pn.Len() != 0 {
+		return fmt.Errorf("mvpbt: LoadManifest on a non-empty tree")
+	}
+	framed := make([]byte, 0, numPages*storage.PageSize)
+	buf := make([]byte, storage.PageSize)
+	for i := 0; i < numPages; i++ {
+		t.file.ReadPage(startPage+uint64(i), buf)
+		framed = append(framed, buf...)
+	}
+	if len(framed) < 8 {
+		return fmt.Errorf("mvpbt: manifest too short")
+	}
+	bl := util.DecodeUint64(framed)
+	if int(bl)+8 > len(framed) {
+		return fmt.Errorf("mvpbt: manifest truncated")
+	}
+	body := framed[8 : 8+int(bl)]
+	i := 0
+	read := func() uint64 {
+		v, n := util.Uvarint(body[i:])
+		i += n
+		return v
+	}
+	if read() != manifestMagic {
+		return fmt.Errorf("mvpbt: bad manifest magic")
+	}
+	t.nextNo = int(read())
+	count := int(read())
+	parts := make([]*part.Segment, 0, count)
+	for j := 0; j < count; j++ {
+		seg, n, err := part.DecodeMeta(t.pool, t.file, body[i:])
+		if err != nil {
+			return err
+		}
+		i += n
+		parts = append(parts, seg)
+	}
+	t.parts = parts
+	return nil
+}

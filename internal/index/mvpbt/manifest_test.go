@@ -1,0 +1,104 @@
+package mvpbt
+
+import (
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/index"
+	"mvpbt/internal/txn"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	e := newEnv(1024, 1<<24)
+	tr := e.tree(Options{BloomBits: 10, PrefixLen: 4, Unique: true})
+	cur := map[int]index.Ref{}
+	for gen := 0; gen < 3; gen++ {
+		e.commit(func(tx *txn.Tx) {
+			for k := 0; k < 200; k++ {
+				key := []byte(fmt.Sprintf("key-%04d", k))
+				nr := e.ref()
+				if p, ok := cur[k]; ok {
+					tr.InsertReplacement(tx, key, nr, p.RID)
+				} else {
+					tr.InsertRegular(tx, key, nr)
+				}
+				cur[k] = nr
+			}
+		})
+		if err := tr.EvictPN(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, n, err := tr.SaveManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatal("manifest used no pages")
+	}
+
+	// "Reopen": a fresh tree over the SAME file and buffer pool, with the
+	// same transaction manager (logical time continues).
+	tr2 := New(e.pool, tr.file, e.pbuf, e.mgr, Options{BloomBits: 10, PrefixLen: 4, Unique: true})
+	if err := tr2.LoadManifest(start, n); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumPartitions() != tr.NumPartitions() {
+		t.Fatalf("partitions %d vs %d", tr2.NumPartitions(), tr.NumPartitions())
+	}
+	r := e.mgr.Begin()
+	defer e.mgr.Commit(r)
+	for k := 0; k < 200; k += 11 {
+		key := []byte(fmt.Sprintf("key-%04d", k))
+		rids := lookupRIDs(t, tr2, r, key)
+		if len(rids) != 1 || rids[0] != cur[k].RID {
+			t.Fatalf("key %d wrong after reopen: %v want %v", k, rids, cur[k].RID)
+		}
+	}
+	// Filters survived: lookups for absent keys must skip partitions.
+	before := tr2.Stats().Bloom
+	for i := 0; i < 100; i++ {
+		lookupRIDs(t, tr2, r, []byte(fmt.Sprintf("nope-%04d", i)))
+	}
+	after := tr2.Stats().Bloom
+	if after.Negatives-before.Negatives < 200 {
+		t.Fatalf("rehydrated bloom filters not skipping: %+v", after)
+	}
+	// The reopened tree accepts new writes on top.
+	e.commit(func(tx *txn.Tx) {
+		tr2.InsertReplacement(tx, []byte("key-0000"), e.ref(), cur[0].RID)
+	})
+	if rids := lookupRIDs(t, tr2, r, []byte("key-0000")); len(rids) != 1 || rids[0] != cur[0].RID {
+		t.Fatal("old snapshot disturbed by post-reopen write")
+	}
+}
+
+func TestManifestRejectsGarbage(t *testing.T) {
+	e := newEnv(256, 1<<22)
+	tr := e.tree(Options{})
+	// Write junk pages and try to load them.
+	start := tr.file.AllocRun(1)
+	junk := make([]byte, 8192)
+	for i := range junk {
+		junk[i] = byte(i * 13)
+	}
+	tr.file.WritePage(start, junk)
+	tr2 := New(e.pool, tr.file, e.pbuf, e.mgr, Options{})
+	if err := tr2.LoadManifest(start, 1); err == nil {
+		t.Fatal("garbage manifest accepted")
+	}
+}
+
+func TestManifestOnNonEmptyTreeRejected(t *testing.T) {
+	e := newEnv(256, 1<<22)
+	tr := e.tree(Options{})
+	e.commit(func(tx *txn.Tx) { tr.InsertRegular(tx, []byte("k"), e.ref()) })
+	tr.EvictPN()
+	start, n, err := tr.SaveManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.LoadManifest(start, n); err == nil {
+		t.Fatal("LoadManifest on a non-empty tree accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package mvpbt
+
+import (
+	"bytes"
+
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+)
+
+// MergePartitions reorganizes ALL persisted partitions into one (the
+// paper's on-line "system-transaction merge steps", §4: "They can be
+// reorganized and optimized on-line"). Because the merge input is the
+// complete persisted state, garbage collection can run across partition
+// boundaries: chains are collapsed below the horizon exactly as in
+// partition eviction, and pure anti-matter whose target no longer exists
+// anywhere is dropped. The merged partition is dense-packed, filtered and
+// written sequentially; the inputs are freed.
+func (t *Tree) MergePartitions() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mergePartitionsLocked()
+}
+
+func (t *Tree) mergePartitionsLocked() error {
+	if len(t.parts) < 2 {
+		return nil
+	}
+	horizon := t.mgr.Horizon()
+	committedBelow := func(rec *Record) bool {
+		return rec.TS < horizon && t.mgr.StatusOf(rec.TS) == txn.Committed
+	}
+
+	// K-way merge in (key asc, ts desc, newer partition first) order.
+	type src struct {
+		it   *part.Iterator
+		prio int
+	}
+	srcs := make([]*src, 0, len(t.parts))
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		srcs = append(srcs, &src{it: t.parts[i].Min(), prio: len(t.parts) - i})
+	}
+	type entry struct {
+		key []byte
+		rec Record
+	}
+	var entries []entry
+	for {
+		best := -1
+		var bestKey []byte
+		var bestTS txn.TxID
+		for i, s := range srcs {
+			if !s.it.Valid() {
+				continue
+			}
+			r := s.it.Record()
+			rec, err := decodeRecord(r.Body)
+			if err != nil {
+				return err
+			}
+			if best < 0 {
+				best, bestKey, bestTS = i, r.Key, rec.TS
+				continue
+			}
+			if c := bytes.Compare(r.Key, bestKey); c < 0 || (c == 0 && rec.TS > bestTS) {
+				best, bestKey, bestTS = i, r.Key, rec.TS
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := srcs[best].it.Record()
+		rec, err := decodeRecord(r.Body)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry{key: r.Key, rec: rec})
+		srcs[best].it.Next()
+	}
+	for _, s := range srcs {
+		if err := s.it.Err(); err != nil {
+			return err
+		}
+	}
+
+	var out []entry
+	if t.opts.DisableGC {
+		out = entries
+	} else if t.opts.Unique {
+		// Unique-mode key-based GC. Tombstone deciders are still kept: PN
+		// may hold an older-timestamp record of the key from a
+		// long-running writer, which must stay extinguished.
+		pn := make([]pnEntry, len(entries))
+		for i := range entries {
+			pn[i] = pnEntry{key: pnKey{key: entries[i].key, ts: entries[i].rec.TS}, rec: &entries[i].rec}
+		}
+		kept := t.uniqueEvictGC(pn, false)
+		out = make([]entry, len(kept))
+		for i := range kept {
+			out[i] = entry{key: kept[i].key.key, rec: *kept[i].rec}
+		}
+	} else {
+		// Cross-partition GC: same chain collapse as eviction, plus
+		// removal of dangling pure anti-matter (the input is the complete
+		// persisted state, so a missing target cannot exist elsewhere —
+		// only PN holds strictly newer records).
+		drop := make([]bool, len(entries))
+		byMatter := make(map[storage.RecordID]int)
+		for i := range entries {
+			rec := &entries[i].rec
+			if rec.Matter() && rec.Ref.RID.Valid() {
+				byMatter[rec.Ref.RID] = i
+			}
+			if rec.GC || t.mgr.StatusOf(rec.TS) == txn.Aborted {
+				drop[i] = true
+			}
+		}
+		for i := range entries {
+			r := &entries[i].rec
+			if drop[i] || !r.AntiMatter() || !committedBelow(r) {
+				continue
+			}
+			for r.OldRID.Valid() {
+				j, ok := byMatter[r.OldRID]
+				if !ok || drop[j] {
+					break
+				}
+				pred := &entries[j].rec
+				if !bytes.Equal(entries[j].key, entries[i].key) || !committedBelow(pred) {
+					break
+				}
+				drop[j] = true
+				r.OldRID = pred.OldRID
+			}
+		}
+		for i := range entries {
+			r := &entries[i].rec
+			if drop[i] || r.Matter() || !committedBelow(r) {
+				continue
+			}
+			if !r.OldRID.Valid() {
+				drop[i] = true // chain fully consumed
+				continue
+			}
+			if j, ok := byMatter[r.OldRID]; !ok || drop[j] {
+				drop[i] = true // dangling: the target exists nowhere
+			}
+		}
+		out = entries[:0]
+		for i := range entries {
+			if drop[i] {
+				t.stats.GCEvict++
+				continue
+			}
+			out = append(out, entries[i])
+		}
+	}
+
+	old := t.parts
+	t.parts = nil
+	if len(out) > 0 {
+		kvs := make([]part.KV, len(out))
+		minTS, maxTS := ^txn.TxID(0), txn.TxID(0)
+		for i := range out {
+			kvs[i] = part.KV{Key: out[i].key, Body: encodeRecord(nil, &out[i].rec)}
+			if ts := out[i].rec.TS; ts < minTS {
+				minTS = ts
+			}
+			if ts := out[i].rec.TS; ts > maxTS {
+				maxTS = ts
+			}
+		}
+		seg, err := part.Build(t.pool, t.file, t.nextNo, kvs, uint64(minTS), uint64(maxTS), part.BuildOptions{
+			BloomBitsPerKey: t.opts.BloomBits,
+			PrefixLen:       t.opts.PrefixLen,
+		})
+		if err != nil {
+			t.parts = old // merge failed; keep the previous state
+			return err
+		}
+		t.nextNo++
+		if seg != nil {
+			t.parts = []*part.Segment{seg}
+		}
+	}
+	for _, p := range old {
+		p.Free()
+	}
+	t.stats.Merges++
+	return nil
+}

@@ -1,0 +1,552 @@
+package mvpbt
+
+import (
+	"bytes"
+	"sync"
+
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/index"
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/skiplist"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+)
+
+// pnKey orders PN records per §4.3: primary sort on the search key
+// (ascending), secondary on the transaction timestamp DESCENDING, so that
+// within one partition the records of newer versions always precede those
+// of older versions of the same tuple. seq (descending) breaks ties among
+// records of the same transaction: its later operations supersede earlier
+// ones.
+type pnKey struct {
+	key []byte
+	ts  txn.TxID
+	seq uint64
+}
+
+func cmpPNKey(a, b pnKey) int {
+	if c := bytes.Compare(a.key, b.key); c != 0 {
+		return c
+	}
+	switch {
+	case a.ts > b.ts:
+		return -1
+	case a.ts < b.ts:
+		return 1
+	}
+	switch {
+	case a.seq > b.seq:
+		return -1
+	case a.seq < b.seq:
+		return 1
+	}
+	return 0
+}
+
+// Options configures an MV-PBT.
+type Options struct {
+	Name string
+	// Unique lets point lookups stop at the first visible match (§4.2).
+	Unique bool
+	// BloomBits enables per-partition bloom filters (bits per key);
+	// 0 disables them (Figure 14c's "no filters" configuration).
+	BloomBits int
+	// PrefixLen enables prefix bloom filters of that prefix length for
+	// range scans; 0 disables them.
+	PrefixLen int
+	// DisableGC turns off partition garbage collection (§4.6) for the
+	// ablations of Figures 12a/12b/14d.
+	DisableGC bool
+	// MaxPartitions triggers an on-line merge of all persisted partitions
+	// when their count exceeds it (0 disables merging). See
+	// MergePartitions.
+	MaxPartitions int
+}
+
+// FilterStats counts partition-filter consultations (Figure 13).
+type FilterStats struct {
+	// Negatives: partitions skipped (key/range cannot be present).
+	Negatives int64
+	// Positives: filter said yes and the partition had a match.
+	Positives int64
+	// FalsePositives: filter said yes but the search found nothing.
+	FalsePositives int64
+}
+
+// Stats aggregates index activity.
+type Stats struct {
+	Bloom  FilterStats
+	Prefix FilterStats
+	// GCMarked counts records flagged by scans (phase 1).
+	GCMarked int64
+	// GCSweptPN counts records removed from PN by phase 2.
+	GCSweptPN int64
+	// GCEvict counts records removed during partition eviction (phase 3).
+	GCEvict int64
+	// Evictions counts partition evictions.
+	Evictions int64
+	// Merges counts partition reorganizations (MergePartitions).
+	Merges int64
+}
+
+// Tree is a Multi-Version Partitioned B-Tree. Safe for concurrent use.
+type Tree struct {
+	mu        sync.Mutex
+	opts      Options
+	pool      *buffer.Pool
+	file      *sfile.File
+	pbuf      *part.PartitionBuffer
+	mgr       *txn.Manager
+	pn        *skiplist.List[pnKey, *Record]
+	pnSeq     uint64
+	pnGarbage int
+	parts     []*part.Segment
+	nextNo    int
+	stats     Stats
+}
+
+// New creates an empty MV-PBT storing partitions in file, registered with
+// the shared partition buffer.
+func New(pool *buffer.Pool, file *sfile.File, pbuf *part.PartitionBuffer, mgr *txn.Manager, opts Options) *Tree {
+	t := &Tree{opts: opts, pool: pool, file: file, pbuf: pbuf, mgr: mgr}
+	t.pn = newPN()
+	pbuf.Register(t)
+	return t
+}
+
+func newPN() *skiplist.List[pnKey, *Record] {
+	return skiplist.New[pnKey, *Record](cmpPNKey, func(k pnKey, v *Record) int {
+		return recordSize(k.key, v)
+	})
+}
+
+// Name implements part.Owner.
+func (t *Tree) Name() string { return t.opts.Name }
+
+// PNBytes implements part.Owner.
+func (t *Tree) PNBytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pn.Bytes()
+}
+
+// NumPartitions returns the number of persisted partitions.
+func (t *Tree) NumPartitions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.parts)
+}
+
+// Partitions returns the persisted partition metadata, oldest first.
+func (t *Tree) Partitions() []*part.Segment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*part.Segment(nil), t.parts...)
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Tree) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// ---- Modification operations (§4.2): all writes go to PN only.
+
+func (t *Tree) pnPut(tx *txn.Tx, key []byte, rec *Record) error {
+	t.mu.Lock()
+	k := pnKey{key: append([]byte(nil), key...), ts: rec.TS, seq: t.pnSeq}
+	t.pnSeq++
+	t.pn.Set(k, rec)
+	if !t.opts.DisableGC && t.pnGarbage > 64 && t.pnGarbage > t.pn.Len()/8 {
+		t.sweepPNLocked()
+	}
+	t.mu.Unlock()
+	return t.pbuf.MaybeEvict()
+}
+
+// InsertRegular implements index.VersionAware.
+func (t *Tree) InsertRegular(tx *txn.Tx, key []byte, ref index.Ref) error {
+	return t.pnPut(tx, key, &Record{Type: Regular, TS: tx.ID, Ref: ref})
+}
+
+// InsertRegularVal is InsertRegular with an inline payload — MV-PBT as a
+// clustered multi-version store (the WiredTiger integration of §5).
+func (t *Tree) InsertRegularVal(tx *txn.Tx, key []byte, ref index.Ref, val []byte) error {
+	return t.pnPut(tx, key, &Record{Type: Regular, TS: tx.ID, Ref: ref, Val: append([]byte(nil), val...)})
+}
+
+// InsertReplacement implements index.VersionAware.
+func (t *Tree) InsertReplacement(tx *txn.Tx, key []byte, newRef index.Ref, oldRID storage.RecordID) error {
+	return t.pnPut(tx, key, &Record{Type: Replacement, TS: tx.ID, Ref: newRef, OldRID: oldRID})
+}
+
+// InsertReplacementVal is InsertReplacement with an inline payload.
+func (t *Tree) InsertReplacementVal(tx *txn.Tx, key []byte, newRef index.Ref, oldRID storage.RecordID, val []byte) error {
+	return t.pnPut(tx, key, &Record{Type: Replacement, TS: tx.ID, Ref: newRef, OldRID: oldRID, Val: append([]byte(nil), val...)})
+}
+
+// InsertKeyUpdate implements index.VersionAware: an anti-record under the
+// old key plus a replacement record under the new key (§4.1).
+func (t *Tree) InsertKeyUpdate(tx *txn.Tx, oldKey, newKey []byte, newRef index.Ref, oldRID storage.RecordID) error {
+	if err := t.pnPut(tx, oldKey, &Record{Type: Anti, TS: tx.ID, OldRID: oldRID}); err != nil {
+		return err
+	}
+	return t.pnPut(tx, newKey, &Record{Type: Replacement, TS: tx.ID, Ref: newRef, OldRID: oldRID})
+}
+
+// InsertTombstone implements index.VersionAware.
+func (t *Tree) InsertTombstone(tx *txn.Tx, key []byte, oldRID storage.RecordID) error {
+	return t.pnPut(tx, key, &Record{Type: Tombstone, TS: tx.ID, OldRID: oldRID})
+}
+
+// BulkLoad builds one immutable partition directly from pre-sorted
+// entries, bypassing PN — the bulk-load functionality the paper
+// attributes to partitions (§4: "Partitions can support additional
+// functionalities, like bulk loads"). Entries must be sorted by key
+// ascending; every entry becomes a regular record stamped with tx. The
+// partition is placed as the OLDEST (searched last): a bulk load may only
+// introduce keys that have no newer records yet.
+func (t *Tree) BulkLoad(tx *txn.Tx, entries []index.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kvs := make([]part.KV, len(entries))
+	for i, e := range entries {
+		if i > 0 && bytes.Compare(entries[i-1].Key, e.Key) > 0 {
+			return errNotSorted
+		}
+		rec := Record{Type: Regular, TS: tx.ID, Ref: e.Ref, Val: e.Val}
+		kvs[i] = part.KV{Key: e.Key, Body: encodeRecord(nil, &rec)}
+	}
+	seg, err := part.Build(t.pool, t.file, t.nextNo, kvs, uint64(tx.ID), uint64(tx.ID), part.BuildOptions{
+		BloomBitsPerKey: t.opts.BloomBits,
+		PrefixLen:       t.opts.PrefixLen,
+	})
+	if err != nil {
+		return err
+	}
+	t.nextNo++
+	if seg != nil {
+		t.parts = append([]*part.Segment{seg}, t.parts...)
+	}
+	return nil
+}
+
+type mvpbtError string
+
+func (e mvpbtError) Error() string { return string(e) }
+
+const errNotSorted = mvpbtError("mvpbt: bulk load entries not sorted by key")
+
+// ---- Index-only visibility check (§4.4, Algorithm 3).
+
+// visCheck carries the per-scan anti-matter map. Records are processed
+// newest-first per chain (guaranteed by §4.3 ordering), so a record's
+// suppressor is always seen before it.
+type visCheck struct {
+	t       *txn.Tx
+	tree    *Tree
+	horizon txn.TxID
+	anti    map[storage.RecordID]txn.TxID
+}
+
+func (t *Tree) newVisCheck(tx *txn.Tx) *visCheck {
+	return &visCheck{t: tx, tree: t, horizon: t.mgr.Horizon(), anti: make(map[storage.RecordID]txn.TxID)}
+}
+
+// check classifies one record. inPN enables cooperative GC phase-1 marking
+// (only main-memory records are mutable). It returns true when the record
+// is VISIBLE to the calling transaction.
+//
+// Deviation from the paper's Algorithm 3 as printed: anti-matter is
+// registered for every committed snapshot-visible record BEFORE the
+// suppression test, which makes suppression transitive across chains of
+// three and more versions (see DESIGN.md §4).
+func (v *visCheck) check(rec *Record, inPN bool) bool {
+	if rec.GC {
+		return false
+	}
+	if !v.t.Sees(rec.TS) {
+		// Aborted records are garbage regardless of snapshots.
+		if inPN && !v.tree.opts.DisableGC && rec.TS < v.horizon &&
+			v.tree.mgr.StatusOf(rec.TS) == txn.Aborted {
+			v.mark(rec)
+		}
+		return false
+	}
+	if rec.AntiMatter() {
+		if ts, ok := v.anti[rec.OldRID]; !ok || rec.TS > ts {
+			v.anti[rec.OldRID] = rec.TS
+		}
+	}
+	if !rec.Matter() {
+		return false // pure anti-matter (anti- or tombstone record)
+	}
+	if ts, ok := v.anti[rec.Ref.RID]; ok && rec.TS <= ts {
+		// Superseded. If the suppressor is below the horizon the record is
+		// invisible to every present and future snapshot: GC victim
+		// (phase 1, §4.6) — but ONLY pure-matter records may be marked.
+		// Records carrying anti-matter (replacements) are still required
+		// to invalidate their predecessors in older partitions; they are
+		// purged with inheritance during partition eviction (phase 3).
+		if inPN && !v.tree.opts.DisableGC && ts < v.horizon && !rec.AntiMatter() {
+			v.mark(rec)
+		}
+		return false
+	}
+	return true
+}
+
+func (v *visCheck) mark(rec *Record) {
+	if !rec.GC {
+		rec.GC = true
+		v.tree.pnGarbage++
+		v.tree.stats.GCMarked++
+	}
+}
+
+// Lookup implements index.VersionAware (Algorithm 1): visible entries for
+// exactly this key, newest version first, PN before persisted partitions.
+func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opts.Unique {
+		return t.uniqueLookupLocked(tx, key, fn)
+	}
+	vis := t.newVisCheck(tx)
+	stop := false
+	emit := func(rec *Record) bool {
+		if !fn(index.Entry{Key: key, Ref: rec.Ref, Val: rec.Val}) || t.opts.Unique {
+			stop = true
+		}
+		return !stop
+	}
+	for it := t.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key().key, key) {
+			break
+		}
+		if vis.check(it.Value(), true) && !emit(it.Value()) {
+			return nil
+		}
+	}
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
+			// Minimum Transaction Timestamp filter (§4.2): nothing in this
+			// partition can be visible — but newer partitions cannot
+			// suppress older ones we still need, so just skip this one.
+			continue
+		}
+		if !seg.MayContainKey(key) {
+			t.stats.Bloom.Negatives++
+			continue
+		}
+		found := false
+		it := seg.Seek(key)
+		for ; it.Valid(); it.Next() {
+			r := it.Record()
+			if !bytes.Equal(r.Key, key) {
+				break
+			}
+			found = true
+			rec, err := decodeRecord(r.Body)
+			if err != nil {
+				return err
+			}
+			if vis.check(&rec, false) && !emit(&rec) {
+				t.countBloom(true)
+				return nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		t.countBloom(found)
+	}
+	return nil
+}
+
+func (t *Tree) countBloom(found bool) {
+	if found {
+		t.stats.Bloom.Positives++
+	} else {
+		t.stats.Bloom.FalsePositives++
+	}
+}
+
+// scanSource is one merge input: the main-memory partition or a persisted
+// partition, both already ordered (key asc, ts desc).
+type scanSource struct {
+	prio  int // lower = newer (0 = PN)
+	pnIt  *skiplist.Iterator[pnKey, *Record]
+	segIt *part.Iterator
+	// decoded current record for segment sources
+	rec   Record
+	key   []byte
+	valid bool
+}
+
+func (s *scanSource) load(hi []byte) error {
+	if s.pnIt != nil {
+		if !s.pnIt.Valid() || !index.KeyInRange(s.pnIt.Key().key, nil, hi) {
+			s.valid = false
+			return nil
+		}
+		s.key = s.pnIt.Key().key
+		s.valid = true
+		return nil
+	}
+	if !s.segIt.Valid() {
+		s.valid = false
+		return s.segIt.Err()
+	}
+	r := s.segIt.Record()
+	if !index.KeyInRange(r.Key, nil, hi) {
+		s.valid = false
+		return nil
+	}
+	rec, err := decodeRecord(r.Body)
+	if err != nil {
+		return err
+	}
+	s.rec = rec
+	s.key = r.Key
+	s.valid = true
+	return nil
+}
+
+func (s *scanSource) record() *Record {
+	if s.pnIt != nil {
+		return s.pnIt.Value()
+	}
+	return &s.rec
+}
+
+func (s *scanSource) ts() txn.TxID {
+	if s.pnIt != nil {
+		return s.pnIt.Key().ts
+	}
+	return s.rec.TS
+}
+
+func (s *scanSource) next(hi []byte) error {
+	if s.pnIt != nil {
+		s.pnIt.Next()
+	} else {
+		s.segIt.Next()
+	}
+	return s.load(hi)
+}
+
+// Scan implements index.VersionAware (Algorithm 2): visible entries with
+// lo <= key < hi (hi nil = +inf), streamed in key order. The inputs — PN
+// and every partition — are merged on (key asc, ts desc, partition
+// newest-first), which preserves the §4.3 invariant that a record's
+// suppressor is processed before it, while allowing early termination
+// (LIMIT-style scans stop without draining the range). Unique indexes use
+// the per-key decision rule instead of the anti-matter map (see
+// unique.go).
+func (t *Tree) Scan(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opts.Unique {
+		return t.uniqueScanLocked(tx, lo, hi, fn)
+	}
+	vis := t.newVisCheck(tx)
+	srcs, err := t.scanSourcesLocked(tx, lo, hi)
+	if err != nil {
+		return err
+	}
+	for {
+		s := nextSource(srcs)
+		if s == nil {
+			return nil
+		}
+		rec := s.record()
+		if vis.check(rec, s.pnIt != nil) {
+			if !fn(index.Entry{Key: s.key, Ref: rec.Ref, Val: rec.Val}) {
+				return nil
+			}
+		}
+		if err := s.next(hi); err != nil {
+			return err
+		}
+	}
+}
+
+// scanSourcesLocked builds the merge inputs for [lo, hi): the PN iterator
+// plus one iterator per partition surviving the timestamp and range
+// filters, all positioned at lo.
+func (t *Tree) scanSourcesLocked(tx *txn.Tx, lo, hi []byte) ([]*scanSource, error) {
+	var srcs []*scanSource
+	pnIt := t.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)})
+	srcs = append(srcs, &scanSource{prio: 0, pnIt: &pnIt})
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
+			continue
+		}
+		if !seg.MayContainRange(lo, hi) {
+			t.stats.Prefix.Negatives++
+			continue
+		}
+		t.stats.Prefix.Positives++
+		srcs = append(srcs, &scanSource{prio: len(t.parts) - i, segIt: seg.Seek(lo)})
+	}
+	for _, s := range srcs {
+		if err := s.load(hi); err != nil {
+			return nil, err
+		}
+	}
+	return srcs, nil
+}
+
+// ScanAllMatter returns every matter record in [lo, hi) WITHOUT the
+// index-only visibility check — the "MV-PBT w/o idxVC" ablation of Figure
+// 12a, where the caller must verify candidates against the base table.
+func (t *Tree) ScanAllMatter(lo, hi []byte, fn func(index.Entry) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for it := t.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+		if !index.KeyInRange(it.Key().key, lo, hi) {
+			break
+		}
+		if rec := it.Value(); rec.Matter() {
+			if !fn(index.Entry{Key: it.Key().key, Ref: rec.Ref}) {
+				return nil
+			}
+		}
+	}
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		if !seg.MayContainRange(lo, hi) {
+			continue
+		}
+		it := seg.Seek(lo)
+		for ; it.Valid(); it.Next() {
+			r := it.Record()
+			if !index.KeyInRange(r.Key, lo, hi) {
+				break
+			}
+			rec, err := decodeRecord(r.Body)
+			if err != nil {
+				return err
+			}
+			if rec.Matter() {
+				if !fn(index.Entry{Key: r.Key, Ref: rec.Ref}) {
+					return nil
+				}
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ index.VersionAware = (*Tree)(nil)

@@ -1,0 +1,174 @@
+package mvpbt
+
+import (
+	"bytes"
+
+	"mvpbt/internal/index"
+	"mvpbt/internal/txn"
+)
+
+// Unique-index visibility: with at most one live tuple per key, the
+// NEWEST record whose transaction the caller sees decides the key — a
+// visible matter record yields the key's current version, a visible
+// tombstone (or anti-record) means the key is absent, and everything
+// older is superseded without inspecting anti-matter at all. This enables
+// BLIND writes (replacements and tombstones without predecessor
+// recordIDs), which is how the KV integration of §5 achieves LSM-like
+// write behaviour: updates just hit PN.
+//
+// Correctness rests on the paper's §4.3 ordering guarantee: within a
+// partition and across partitions, newer records of a key are always
+// encountered before older ones.
+
+// uniqueLookupLocked is the point-lookup path for unique indexes: PN
+// first, then partitions newest to oldest with bloom skipping, stopping
+// at the first record the transaction sees.
+func (t *Tree) uniqueLookupLocked(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
+	decide := func(rec *Record) (done bool) {
+		if rec.GC || !tx.Sees(rec.TS) {
+			return false
+		}
+		if rec.Matter() {
+			fn(index.Entry{Key: key, Ref: rec.Ref, Val: rec.Val})
+		}
+		return true
+	}
+	for it := t.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key().key, key) {
+			break
+		}
+		if decide(it.Value()) {
+			return nil
+		}
+	}
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
+			continue
+		}
+		if !seg.MayContainKey(key) {
+			t.stats.Bloom.Negatives++
+			continue
+		}
+		found := false
+		it := seg.Seek(key)
+		for ; it.Valid(); it.Next() {
+			r := it.Record()
+			if !bytes.Equal(r.Key, key) {
+				break
+			}
+			found = true
+			rec, err := decodeRecord(r.Body)
+			if err != nil {
+				return err
+			}
+			if decide(&rec) {
+				t.countBloom(true)
+				return nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		t.countBloom(found)
+	}
+	return nil
+}
+
+// uniqueScanLocked is the range-scan path for unique indexes: the merged
+// (key asc, ts desc) stream with per-key decisions; once a key is decided
+// its remaining records are skipped without visibility checks.
+func (t *Tree) uniqueScanLocked(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error {
+	srcs, err := t.scanSourcesLocked(tx, lo, hi)
+	if err != nil {
+		return err
+	}
+	var decided []byte
+	haveDecided := false
+	for {
+		s := nextSource(srcs)
+		if s == nil {
+			return nil
+		}
+		if haveDecided && bytes.Equal(s.key, decided) {
+			if err := s.next(hi); err != nil {
+				return err
+			}
+			continue
+		}
+		rec := s.record()
+		if !rec.GC && tx.Sees(rec.TS) {
+			decided = append(decided[:0], s.key...)
+			haveDecided = true
+			if rec.Matter() {
+				if !fn(index.Entry{Key: s.key, Ref: rec.Ref, Val: rec.Val}) {
+					return nil
+				}
+			}
+		}
+		if err := s.next(hi); err != nil {
+			return err
+		}
+	}
+}
+
+// nextSource picks the source with the smallest (key, ts desc, prio)
+// position, or nil when all are exhausted.
+func nextSource(srcs []*scanSource) *scanSource {
+	best := -1
+	for i, s := range srcs {
+		if !s.valid {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := srcs[best]
+		if c := bytes.Compare(s.key, b.key); c < 0 ||
+			(c == 0 && (s.ts() > b.ts() || (s.ts() == b.ts() && s.prio < b.prio))) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return srcs[best]
+}
+
+// uniqueEvictGC is the unique-mode phase-3 GC: per key (entries arrive in
+// key asc, ts desc order) keep every record down to and INCLUDING the
+// first committed-below-horizon one — the all-visible decider — and drop
+// the rest. Tombstone deciders are kept: they may still extinguish the
+// key in older partitions. Aborted records are dropped anywhere.
+func (t *Tree) uniqueEvictGC(entries []pnEntry, dropDecidedTombstones bool) []pnEntry {
+	horizon := t.mgr.Horizon()
+	out := entries[:0]
+	var curKey []byte
+	anchored := false
+	for i := range entries {
+		rec := entries[i].rec
+		if !bytes.Equal(entries[i].key.key, curKey) {
+			curKey = entries[i].key.key
+			anchored = false
+		}
+		switch {
+		case anchored:
+			t.stats.GCEvict++
+			continue
+		case rec.GC || t.mgr.StatusOf(rec.TS) == txn.Aborted:
+			t.stats.GCEvict++
+			continue
+		case rec.TS < horizon && t.mgr.StatusOf(rec.TS) == txn.Committed:
+			anchored = true
+			if dropDecidedTombstones && !rec.Matter() {
+				// Safe only when the GC input is the complete key history
+				// (a full merge with no older records of the key in PN).
+				t.stats.GCEvict++
+				continue
+			}
+		}
+		out = append(out, entries[i])
+	}
+	return out
+}

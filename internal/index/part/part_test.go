@@ -1,0 +1,323 @@
+package part
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/simclock"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/util"
+)
+
+type env struct {
+	dev  *ssd.Device
+	pool *buffer.Pool
+	file *sfile.File
+	fm   *sfile.Manager
+}
+
+func newEnv(frames int) *env {
+	dev := ssd.New(simclock.New(), ssd.IntelP3600)
+	fm := sfile.NewManager(dev)
+	return &env{dev: dev, pool: buffer.New(frames), file: fm.Create("part", sfile.ClassIndex), fm: fm}
+}
+
+func sortedKVs(n int) []KV {
+	kvs := make([]KV, n)
+	for i := 0; i < n; i++ {
+		kvs[i] = KV{
+			Key:  []byte(fmt.Sprintf("key-%08d", i)),
+			Body: []byte(fmt.Sprintf("body-%d", i)),
+		}
+	}
+	return kvs
+}
+
+func TestBuildAndFullIteration(t *testing.T) {
+	e := newEnv(256)
+	kvs := sortedKVs(10000)
+	seg, err := Build(e.pool, e.file, 1, kvs, 5, 99, BuildOptions{BloomBitsPerKey: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.NumRecords != 10000 || seg.NumLeaves < 2 {
+		t.Fatalf("meta wrong: %+v", seg)
+	}
+	if seg.MinTS != 5 || seg.MaxTS != 99 {
+		t.Fatal("timestamp bounds lost")
+	}
+	i := 0
+	for it := seg.Min(); it.Valid(); it.Next() {
+		r := it.Record()
+		if !bytes.Equal(r.Key, kvs[i].Key) || !bytes.Equal(r.Body, kvs[i].Body) {
+			t.Fatalf("record %d mismatch: %q/%q", i, r.Key, r.Body)
+		}
+		i++
+	}
+	if i != 10000 {
+		t.Fatalf("iterated %d records", i)
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	e := newEnv(16)
+	seg, err := Build(e.pool, e.file, 1, nil, 0, 0, BuildOptions{})
+	if err != nil || seg != nil {
+		t.Fatalf("empty build: %v %v", seg, err)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	e := newEnv(256)
+	kvs := sortedKVs(5000)
+	seg, err := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []int{0, 1, 499, 2500, 4999} {
+		it := seg.Seek(kvs[probe].Key)
+		if !it.Valid() || !bytes.Equal(it.Record().Key, kvs[probe].Key) {
+			t.Fatalf("seek to %d failed", probe)
+		}
+	}
+	// Seek between keys lands on the successor.
+	it := seg.Seek([]byte("key-00000001x"))
+	if !it.Valid() || !bytes.Equal(it.Record().Key, []byte("key-00000002")) {
+		t.Fatalf("between-keys seek landed on %q", it.Record().Key)
+	}
+	// Seek past the end.
+	it = seg.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("seek past end should be invalid")
+	}
+	// Seek before the start.
+	it = seg.Seek([]byte("a"))
+	if !it.Valid() || !bytes.Equal(it.Record().Key, kvs[0].Key) {
+		t.Fatal("seek before start should land on min")
+	}
+}
+
+func TestDuplicateKeysPreserveOrder(t *testing.T) {
+	e := newEnv(128)
+	var kvs []KV
+	for i := 0; i < 100; i++ {
+		kvs = append(kvs, KV{Key: []byte("same"), Body: []byte(fmt.Sprintf("b%03d", i))})
+	}
+	seg, err := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for it := seg.Seek([]byte("same")); it.Valid(); it.Next() {
+		if string(it.Record().Body) != fmt.Sprintf("b%03d", i) {
+			t.Fatalf("duplicate order broken at %d: %q", i, it.Record().Body)
+		}
+		i++
+	}
+	if i != 100 {
+		t.Fatalf("got %d duplicates", i)
+	}
+}
+
+func TestSequentialWritePattern(t *testing.T) {
+	// Figure 12c: a partition write-out must be one sequential stream.
+	e := newEnv(256)
+	e.dev.ResetStats()
+	kvs := sortedKVs(20000)
+	seg, err := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{BloomBitsPerKey: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.dev.Stats()
+	if s.Writes < 10 {
+		t.Fatalf("too few writes: %+v", s)
+	}
+	if float64(s.SeqWrites)/float64(s.Writes) < 0.95 {
+		t.Fatalf("write-out not sequential: seq=%d total=%d", s.SeqWrites, s.Writes)
+	}
+	_ = seg
+}
+
+func TestDensePacking(t *testing.T) {
+	e := newEnv(256)
+	kvs := sortedKVs(10000)
+	dense, _ := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{FillFraction: 1.0})
+	loose, _ := Build(e.pool, e.file, 2, kvs, 0, 0, BuildOptions{FillFraction: 0.67})
+	if dense.NumLeaves >= loose.NumLeaves {
+		t.Fatalf("dense packing not denser: %d vs %d leaves", dense.NumLeaves, loose.NumLeaves)
+	}
+}
+
+func TestPrefixTruncationSavesSpace(t *testing.T) {
+	e := newEnv(256)
+	// Long shared prefixes: front-coding should cut leaves substantially
+	// versus the naive encoding size.
+	var kvs []KV
+	for i := 0; i < 5000; i++ {
+		kvs = append(kvs, KV{Key: []byte(fmt.Sprintf("warehouse-0001-district-%06d", i)), Body: []byte("x")})
+	}
+	seg, _ := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{})
+	rawBytes := 0
+	for _, kv := range kvs {
+		rawBytes += len(kv.Key) + len(kv.Body)
+	}
+	if seg.SizeBytes >= rawBytes*3/4 {
+		t.Fatalf("front-coding ineffective: %d vs raw %d", seg.SizeBytes, rawBytes)
+	}
+}
+
+func TestBloomFilterSkipping(t *testing.T) {
+	e := newEnv(256)
+	kvs := sortedKVs(5000)
+	seg, _ := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{BloomBitsPerKey: 10})
+	for i := 0; i < 5000; i += 111 {
+		if !seg.MayContainKey(kvs[i].Key) {
+			t.Fatalf("bloom false negative on %q", kvs[i].Key)
+		}
+	}
+	skipped := 0
+	for i := 0; i < 2000; i++ {
+		if !seg.MayContainKey([]byte(fmt.Sprintf("key-1%07d", i))) {
+			skipped++
+		}
+	}
+	if skipped < 1800 {
+		t.Fatalf("bloom skipped only %d/2000 absent keys", skipped)
+	}
+	// Out-of-bounds keys are skipped by min/max alone.
+	if seg.MayContainKey([]byte("aaa")) || seg.MayContainKey([]byte("zzz")) {
+		t.Fatal("min/max key filter broken")
+	}
+}
+
+func TestPrefixFilterRange(t *testing.T) {
+	e := newEnv(256)
+	var kvs []KV
+	for i := 0; i < 1000; i++ {
+		kvs = append(kvs, KV{Key: []byte(fmt.Sprintf("AAAA%06d", i)), Body: []byte("x")})
+	}
+	for i := 0; i < 1000; i++ {
+		kvs = append(kvs, KV{Key: []byte(fmt.Sprintf("MMMM%06d", i)), Body: []byte("x")})
+	}
+	seg, _ := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{BloomBitsPerKey: 10, PrefixLen: 4})
+	if !seg.MayContainRange([]byte("AAAA000000"), []byte("AAAA999999")) {
+		t.Fatal("present prefix range skipped")
+	}
+	if seg.MayContainRange([]byte("CCCC000000"), []byte("CCCC999999")) {
+		t.Fatal("absent prefix range not skipped")
+	}
+	// Out of min/max bounds entirely.
+	if seg.MayContainRange([]byte("ZZZZ0"), []byte("ZZZZ9")) {
+		t.Fatal("out-of-bounds range not skipped")
+	}
+}
+
+func TestFreeReleasesExtents(t *testing.T) {
+	e := newEnv(256)
+	kvs := sortedKVs(10000)
+	seg, _ := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{})
+	before := e.fm.FreeExtents()
+	seg.Free()
+	if e.fm.FreeExtents() <= before {
+		t.Fatal("Free did not release extents")
+	}
+}
+
+func TestRandomKeysModel(t *testing.T) {
+	e := newEnv(512)
+	r := util.NewRand(77)
+	seen := map[string]bool{}
+	var kvs []KV
+	for len(kvs) < 3000 {
+		k := make([]byte, 5+r.Intn(20))
+		r.Letters(k)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		kvs = append(kvs, KV{Key: k, Body: []byte{byte(len(kvs))}})
+	}
+	sortKVs(kvs)
+	seg, err := Build(e.pool, e.file, 1, kvs, 0, 0, BuildOptions{BloomBitsPerKey: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(kvs); i += 53 {
+		it := seg.Seek(kvs[i].Key)
+		if !it.Valid() || !bytes.Equal(it.Record().Key, kvs[i].Key) {
+			t.Fatalf("random key %q not found", kvs[i].Key)
+		}
+		if !bytes.Equal(it.Record().Body, kvs[i].Body) {
+			t.Fatalf("random key %q wrong body", kvs[i].Key)
+		}
+	}
+}
+
+func sortKVs(kvs []KV) {
+	// insertion of pre-sorted slices is the norm; this helper sorts test data
+	for i := 1; i < len(kvs); i++ {
+		for j := i; j > 0 && bytes.Compare(kvs[j].Key, kvs[j-1].Key) < 0; j-- {
+			kvs[j], kvs[j-1] = kvs[j-1], kvs[j]
+		}
+	}
+}
+
+// fakeOwner implements Owner for buffer tests.
+type fakeOwner struct {
+	name    string
+	size    int
+	evicted int
+}
+
+func (f *fakeOwner) Name() string { return f.name }
+func (f *fakeOwner) PNBytes() int { return f.size }
+func (f *fakeOwner) EvictPN() error {
+	f.evicted++
+	f.size = 0
+	return nil
+}
+
+func TestPartitionBufferEvictsLargest(t *testing.T) {
+	b := NewPartitionBuffer(100)
+	small := &fakeOwner{name: "small", size: 20}
+	big := &fakeOwner{name: "big", size: 90}
+	b.Register(small)
+	b.Register(big)
+	if err := b.MaybeEvict(); err != nil {
+		t.Fatal(err)
+	}
+	if big.evicted != 1 || small.evicted != 0 {
+		t.Fatalf("largest-victim policy violated: big=%d small=%d", big.evicted, small.evicted)
+	}
+	if b.Used() != 20 {
+		t.Fatalf("Used=%d want 20", b.Used())
+	}
+	if b.Evictions() != 1 {
+		t.Fatalf("Evictions=%d", b.Evictions())
+	}
+}
+
+func TestPartitionBufferUnderLimitNoEviction(t *testing.T) {
+	b := NewPartitionBuffer(1000)
+	o := &fakeOwner{name: "o", size: 500}
+	b.Register(o)
+	b.MaybeEvict()
+	if o.evicted != 0 {
+		t.Fatal("evicted while under limit")
+	}
+}
+
+func TestPartitionBufferEvictsUntilUnderLimit(t *testing.T) {
+	b := NewPartitionBuffer(100)
+	a := &fakeOwner{name: "a", size: 80}
+	c := &fakeOwner{name: "c", size: 70}
+	b.Register(a)
+	b.Register(c)
+	b.MaybeEvict()
+	if b.Used() > 100 {
+		t.Fatalf("still over limit: %d", b.Used())
+	}
+}

@@ -1,0 +1,93 @@
+package part
+
+import "sync"
+
+// Owner is an index holding a main-memory partition PN inside the shared
+// MV-PBT buffer.
+type Owner interface {
+	// Name identifies the index in diagnostics.
+	Name() string
+	// PNBytes returns the current size of the index's main-memory
+	// partition.
+	PNBytes() int
+	// EvictPN freezes and persists the main-memory partition (paper
+	// Algorithm 4).
+	EvictPN() error
+}
+
+// PartitionBuffer is the shared MV-PBT buffer of §4.5: all partitioned
+// indexes place their PN here, and when the total size crosses the limit
+// the LARGEST partition is evicted as a whole — giving update-intensive
+// indexes room to grow while small partitions are flushed before they
+// fragment the index into many tiny partitions.
+type PartitionBuffer struct {
+	mu     sync.Mutex
+	limit  int
+	owners []Owner
+	// evictions counts whole-partition evictions performed.
+	evictions int64
+}
+
+// NewPartitionBuffer returns a buffer with the given byte limit.
+func NewPartitionBuffer(limit int) *PartitionBuffer {
+	if limit < 1 {
+		limit = 1
+	}
+	return &PartitionBuffer{limit: limit}
+}
+
+// Register adds an index to the buffer's accounting.
+func (b *PartitionBuffer) Register(o Owner) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.owners = append(b.owners, o)
+}
+
+// Used returns the total bytes of all main-memory partitions.
+func (b *PartitionBuffer) Used() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.usedLocked()
+}
+
+func (b *PartitionBuffer) usedLocked() int {
+	total := 0
+	for _, o := range b.owners {
+		total += o.PNBytes()
+	}
+	return total
+}
+
+// Limit returns the configured byte limit.
+func (b *PartitionBuffer) Limit() int { return b.limit }
+
+// Evictions returns the number of partition evictions so far.
+func (b *PartitionBuffer) Evictions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evictions
+}
+
+// MaybeEvict evicts largest-first until the buffer is within its limit.
+// Indexes call it after inserting into their PN.
+func (b *PartitionBuffer) MaybeEvict() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.usedLocked() > b.limit {
+		var victim Owner
+		max := 0
+		for _, o := range b.owners {
+			if s := o.PNBytes(); s > max {
+				max, victim = s, o
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		if err := victim.EvictPN(); err != nil {
+			return err
+		}
+		b.evictions++
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+// Package part provides the partition machinery shared by the Partitioned
+// B-Tree and the Multi-Version Partitioned B-Tree: immutable, bulk-built
+// B-Tree segments (dense-packed prefix-truncated leaves, bottom-up internal
+// levels, strictly sequential write-out — paper §4.5/4.7), per-partition
+// bloom and prefix-bloom filters, and the shared MV-PBT buffer that evicts
+// whole main-memory partitions, largest victim first.
+package part
+
+import (
+	"bytes"
+	"fmt"
+
+	"mvpbt/internal/bloom"
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/page"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/util"
+)
+
+// KV is one index record for bulk building: an opaque body under a search
+// key. Records must be handed to Build in final sort order.
+type KV struct {
+	Key  []byte
+	Body []byte
+}
+
+// BuildOptions tunes segment construction.
+type BuildOptions struct {
+	// BloomBitsPerKey sizes the partition bloom filter; 0 disables it.
+	BloomBitsPerKey int
+	// PrefixLen enables a prefix bloom filter over the leading PrefixLen
+	// key bytes; 0 disables it.
+	PrefixLen int
+	// FillFraction is the leaf fill target (1.0 = dense-packed, the
+	// default; in-memory B-tree nodes use ~0.67 per §4.7).
+	FillFraction float64
+}
+
+// Leaf records are front-coded against their predecessor within the page:
+// [sharedLen varint][suffixLen varint][suffix][body]. Internal records:
+// [keyLen varint][key][child varint] with child page numbers RELATIVE to
+// the segment start, so pages can be written sequentially without
+// patching.
+
+// Segment is one immutable on-disk partition: a dense B-Tree over sorted
+// records, plus filters and metadata. Reads go through the shared buffer
+// pool; the segment itself is read-only.
+type Segment struct {
+	No         int // partition number
+	pool       *buffer.Pool
+	file       *sfile.File
+	StartPage  uint64
+	NumPages   int
+	NumLeaves  int
+	rootRel    int // page number of the root, relative to StartPage
+	height     int
+	MinKey     []byte
+	MaxKey     []byte
+	MinTS      uint64
+	MaxTS      uint64
+	NumRecords int
+	SizeBytes  int
+	Filter     *bloom.Filter
+	PFilter    *bloom.PrefixFilter
+
+	// memo caches the most recently decoded leaf (memoRel = rel+1; 0 =
+	// none). Guarded by the owning index's lock, like all segment reads.
+	memoRel int
+	memo    []KV
+}
+
+// Build writes a segment from sorted records and returns its metadata. The
+// page writes form one sequential run. Build returns nil for an empty
+// record set.
+//
+// minTS/maxTS are caller-provided timestamp bounds of the records (the
+// Minimum Transaction Timestamp partition filter of §4.2); pass 0,0 if
+// unused.
+func Build(pool *buffer.Pool, file *sfile.File, no int, kvs []KV, minTS, maxTS uint64, opts BuildOptions) (*Segment, error) {
+	if len(kvs) == 0 {
+		return nil, nil
+	}
+	fill := opts.FillFraction
+	if fill <= 0 || fill > 1 {
+		fill = 1.0
+	}
+	// ---- Pack leaves (in memory first: page numbers of internal levels
+	// depend on the leaf count, and the final write-out must be one
+	// sequential pass in page order).
+	var pages [][]byte
+	newNode := func(level int) page.Page {
+		buf := make([]byte, storage.PageSize)
+		p := page.Wrap(buf)
+		p.Init()
+		p.Client()[0] = byte(level)
+		pages = append(pages, buf)
+		return p
+	}
+
+	type childRef struct {
+		firstKey []byte
+		rel      int
+	}
+	var leafRefs []childRef
+
+	leaf := newNode(0)
+	var prevKey []byte
+	budget := int(float64(storage.PageSize-64) * fill)
+	used := 0
+	size := 0
+	for i := range kvs {
+		rec := encodeLeafRec(prevKey, kvs[i].Key, kvs[i].Body)
+		if used+len(rec)+4 > budget && leaf.NumSlots() > 0 {
+			leaf = newNode(0)
+			leafRefs = append(leafRefs, childRef{firstKey: kvs[i].Key, rel: len(pages) - 1})
+			prevKey = nil
+			used = 0
+			rec = encodeLeafRec(nil, kvs[i].Key, kvs[i].Body)
+		} else if leaf.NumSlots() == 0 {
+			if len(leafRefs) == 0 || leafRefs[len(leafRefs)-1].rel != len(pages)-1 {
+				leafRefs = append(leafRefs, childRef{firstKey: kvs[i].Key, rel: len(pages) - 1})
+			}
+		}
+		if !leaf.InsertAt(leaf.NumSlots(), rec) {
+			return nil, fmt.Errorf("part: record too large for leaf (%d bytes)", len(rec))
+		}
+		used += len(rec) + 4
+		size += len(rec)
+		prevKey = kvs[i].Key
+	}
+	numLeaves := len(pages)
+
+	// ---- Build internal levels bottom-up until a single root remains.
+	height := 1
+	refs := leafRefs
+	for len(refs) > 1 {
+		height++
+		var up []childRef
+		node := newNode(height - 1)
+		up = append(up, childRef{firstKey: refs[0].firstKey, rel: len(pages) - 1})
+		for _, r := range refs {
+			rec := encodeInternalRec(r.firstKey, r.rel)
+			if !node.InsertAt(node.NumSlots(), rec) {
+				node = newNode(height - 1)
+				up = append(up, childRef{firstKey: r.firstKey, rel: len(pages) - 1})
+				if !node.InsertAt(node.NumSlots(), rec) {
+					return nil, fmt.Errorf("part: separator too large")
+				}
+			}
+		}
+		refs = up
+	}
+
+	// ---- Filters are computed concurrently with the sequential
+	// write-out, like Algorithm 4's worker pair (worker1 loadAndFlush,
+	// worker2 createFilters).
+	type filters struct {
+		bloom  *bloom.Filter
+		prefix *bloom.PrefixFilter
+	}
+	fch := make(chan filters, 1)
+	go func() {
+		var f filters
+		if opts.BloomBitsPerKey > 0 {
+			f.bloom = bloom.New(len(kvs), opts.BloomBitsPerKey)
+			for i := range kvs {
+				f.bloom.Add(kvs[i].Key)
+			}
+		}
+		if opts.PrefixLen > 0 {
+			f.prefix = bloom.NewPrefix(len(kvs), opts.BloomBitsPerKey+2, opts.PrefixLen)
+			for i := range kvs {
+				f.prefix.Add(kvs[i].Key)
+			}
+		}
+		fch <- f
+	}()
+
+	// ---- Sequential write-out.
+	start := file.AllocRun(len(pages))
+	for i, buf := range pages {
+		file.WritePage(start+uint64(i), buf)
+	}
+	flt := <-fch
+
+	seg := &Segment{
+		No:         no,
+		pool:       pool,
+		file:       file,
+		StartPage:  start,
+		NumPages:   len(pages),
+		NumLeaves:  numLeaves,
+		rootRel:    len(pages) - 1,
+		height:     height,
+		MinKey:     append([]byte(nil), kvs[0].Key...),
+		MaxKey:     append([]byte(nil), kvs[len(kvs)-1].Key...),
+		MinTS:      minTS,
+		MaxTS:      maxTS,
+		NumRecords: len(kvs),
+		SizeBytes:  size,
+	}
+	seg.Filter = flt.bloom
+	seg.PFilter = flt.prefix
+	return seg, nil
+}
+
+func encodeLeafRec(prevKey, key, body []byte) []byte {
+	shared := util.CommonPrefix(prevKey, key)
+	out := util.PutUvarint(nil, uint64(shared))
+	out = util.PutUvarint(out, uint64(len(key)-shared))
+	out = append(out, key[shared:]...)
+	return append(out, body...)
+}
+
+func encodeInternalRec(key []byte, rel int) []byte {
+	out := util.PutUvarint(nil, uint64(len(key)))
+	out = append(out, key...)
+	return util.PutUvarint(out, uint64(rel))
+}
+
+func decodeInternalRec(rec []byte) (key []byte, rel int) {
+	kl, n := util.Uvarint(rec)
+	key = rec[n : n+int(kl)]
+	r, _ := util.Uvarint(rec[n+int(kl):])
+	return key, int(r)
+}
+
+// MayContainKey consults the bloom filter (true when absent or filters are
+// disabled means "must search").
+func (s *Segment) MayContainKey(key []byte) bool {
+	if bytes.Compare(key, s.MinKey) < 0 || bytes.Compare(key, s.MaxKey) > 0 {
+		return false
+	}
+	if s.Filter != nil {
+		return s.Filter.MayContain(key)
+	}
+	return true
+}
+
+// MayContainRange consults min/max keys and the prefix bloom filter for a
+// scan over [lo, hi) (hi nil = +inf).
+func (s *Segment) MayContainRange(lo, hi []byte) bool {
+	if hi != nil && bytes.Compare(s.MinKey, hi) >= 0 {
+		return false
+	}
+	if bytes.Compare(s.MaxKey, lo) < 0 {
+		return false
+	}
+	if s.PFilter != nil && hi != nil {
+		// The prefix filter needs an inclusive upper bound sharing the
+		// prefix; approximate with hi itself (conservative: extra trues
+		// only when hi is exactly on a prefix boundary).
+		return s.PFilter.MayContainRange(lo, hi)
+	}
+	return true
+}
+
+// readLeaf decodes all records of relative leaf page rel. Decoded leaves
+// are memoized (segments are immutable; access is serialized by the
+// owning index's lock), which makes repeated seeks into a hot partition
+// cheap.
+func (s *Segment) readLeaf(rel int) ([]KV, error) {
+	if s.memoRel == rel+1 {
+		return s.memo, nil
+	}
+	fr, err := s.pool.Get(s.file, s.StartPage+uint64(rel))
+	if err != nil {
+		return nil, err
+	}
+	p := page.Wrap(fr.Data())
+	n := p.NumSlots()
+	out := make([]KV, 0, n)
+	// Single backing buffer for all decoded keys and bodies: two passes,
+	// first to size it (front-coding means decoded keys are larger than
+	// their stored suffixes).
+	total := 0
+	for i := 0; i < n; i++ {
+		rec := p.Get(i)
+		shared, c := util.Uvarint(rec)
+		_, c2 := util.Uvarint(rec[c:])
+		total += int(shared) + len(rec) - c - c2
+	}
+	buf := make([]byte, 0, total)
+	var prev []byte
+	for i := 0; i < n; i++ {
+		rec := p.Get(i)
+		shared, c := util.Uvarint(rec)
+		sl, c2 := util.Uvarint(rec[c:])
+		kStart := len(buf)
+		buf = append(buf, prev[:shared]...)
+		buf = append(buf, rec[c+c2:c+c2+int(sl)]...)
+		key := buf[kStart:len(buf):len(buf)]
+		bStart := len(buf)
+		buf = append(buf, rec[c+c2+int(sl):]...)
+		body := buf[bStart:len(buf):len(buf)]
+		out = append(out, KV{Key: key, Body: body})
+		prev = key
+	}
+	s.pool.Unpin(fr, false)
+	s.memoRel = rel + 1
+	s.memo = out
+	return out, nil
+}
+
+// findLeaf descends to the first relative leaf page that could contain
+// key. Because duplicate keys may span leaf boundaries, the descent picks
+// the LAST child whose first key is strictly below key — a run of equal
+// keys beginning at a leaf boundary is then entered from its first record
+// (the iterator skips the preceding leaf's smaller keys).
+func (s *Segment) findLeaf(key []byte) (int, error) {
+	rel := s.rootRel
+	for level := s.height - 1; level >= 1; level-- {
+		fr, err := s.pool.Get(s.file, s.StartPage+uint64(rel))
+		if err != nil {
+			return 0, err
+		}
+		p := page.Wrap(fr.Data())
+		// First child whose first key >= key; descend into its
+		// predecessor (default: the first child).
+		lo, hi := 0, p.NumSlots()
+		for lo < hi {
+			mid := (lo + hi) / 2
+			k, _ := decodeInternalRec(p.Get(mid))
+			if bytes.Compare(k, key) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx := lo - 1
+		if idx < 0 {
+			idx = 0
+		}
+		_, rel = decodeInternalRec(p.Get(idx))
+		s.pool.Unpin(fr, false)
+	}
+	return rel, nil
+}
+
+// Iterator walks a segment's records in key order.
+type Iterator struct {
+	seg  *Segment
+	leaf int
+	recs []KV
+	pos  int
+	err  error
+}
+
+// Seek positions an iterator at the first record with key >= key.
+func (s *Segment) Seek(key []byte) *Iterator {
+	it := &Iterator{seg: s}
+	rel, err := s.findLeaf(key)
+	if err != nil {
+		it.err = err
+		return it
+	}
+	it.leaf = rel
+	it.recs, it.err = s.readLeaf(rel)
+	for it.Valid() && bytes.Compare(it.recs[it.pos].Key, key) < 0 {
+		it.Next()
+	}
+	return it
+}
+
+// Min positions an iterator at the segment's first record.
+func (s *Segment) Min() *Iterator {
+	it := &Iterator{seg: s}
+	it.recs, it.err = s.readLeaf(0)
+	return it
+}
+
+func (it *Iterator) advanceLeaf() {
+	it.leaf++
+	it.pos = 0
+	if it.leaf >= it.seg.NumLeaves {
+		it.recs = nil
+		return
+	}
+	it.recs, it.err = it.seg.readLeaf(it.leaf)
+}
+
+// Valid reports whether the iterator is on a record.
+func (it *Iterator) Valid() bool { return it.err == nil && it.pos < len(it.recs) }
+
+// Err returns the first error the iterator hit.
+func (it *Iterator) Err() error { return it.err }
+
+// Record returns the current record.
+func (it *Iterator) Record() KV { return it.recs[it.pos] }
+
+// Next advances to the following record.
+func (it *Iterator) Next() {
+	it.pos++
+	if it.pos >= len(it.recs) {
+		it.advanceLeaf()
+	}
+}
+
+// Free releases the segment's pages: the extents return to the space
+// manager and any cached pages are dropped. The segment must not be used
+// afterwards.
+func (s *Segment) Free() {
+	s.pool.DropFilePages(s.file, s.StartPage, s.NumPages)
+	s.file.FreeRun(s.StartPage, s.NumPages)
+}

@@ -1,0 +1,207 @@
+// Package pbt implements the basic Partitioned B-Tree of Graefe [12,13] as
+// the paper evaluates it: version-oblivious, but with append-based write
+// behaviour. New index entries accumulate in a main-memory partition PN
+// (held in the shared MV-PBT buffer); when evicted, the partition is
+// dense-packed and written to storage as one sequential stream and becomes
+// immutable. Lookups and scans process partitions newest to oldest and
+// return version CANDIDATES — the base-table visibility check still pays
+// one random read per matching entry (Figure 3's "PBT" curve).
+package pbt
+
+import (
+	"bytes"
+	"sync"
+
+	"mvpbt/internal/buffer"
+	"mvpbt/internal/index"
+	"mvpbt/internal/index/part"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/skiplist"
+)
+
+// pnKey orders PN entries by (key asc, insertion sequence asc).
+type pnKey struct {
+	key []byte
+	seq uint64
+}
+
+func cmpPNKey(a, b pnKey) int {
+	if c := bytes.Compare(a.key, b.key); c != 0 {
+		return c
+	}
+	switch {
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Options configures a PBT.
+type Options struct {
+	Name string
+	// BloomBits enables per-partition bloom filters (bits per key).
+	BloomBits int
+	// PrefixLen enables prefix bloom filters for range scans.
+	PrefixLen int
+}
+
+// Tree is a Partitioned B-Tree. Safe for concurrent use.
+type Tree struct {
+	mu     sync.Mutex
+	opts   Options
+	pool   *buffer.Pool
+	file   *sfile.File
+	pbuf   *part.PartitionBuffer
+	pn     *skiplist.List[pnKey, []byte]
+	pnSeq  uint64
+	parts  []*part.Segment
+	nextNo int
+}
+
+// New creates an empty PBT storing partitions in file and registering its
+// PN with the shared partition buffer.
+func New(pool *buffer.Pool, file *sfile.File, pbuf *part.PartitionBuffer, opts Options) *Tree {
+	t := &Tree{opts: opts, pool: pool, file: file, pbuf: pbuf}
+	t.pn = newPN()
+	pbuf.Register(t)
+	return t
+}
+
+func newPN() *skiplist.List[pnKey, []byte] {
+	return skiplist.New[pnKey, []byte](cmpPNKey, func(k pnKey, v []byte) int {
+		return len(k.key) + 12 + len(v)
+	})
+}
+
+// Name implements part.Owner.
+func (t *Tree) Name() string { return t.opts.Name }
+
+// PNBytes implements part.Owner.
+func (t *Tree) PNBytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pn.Bytes()
+}
+
+// NumPartitions returns the number of persisted partitions.
+func (t *Tree) NumPartitions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.parts)
+}
+
+// Insert implements index.Candidates: the entry goes to PN only — no
+// in-place update of persisted partitions, ever.
+func (t *Tree) Insert(key []byte, ref index.Ref) error {
+	t.mu.Lock()
+	k := pnKey{key: append([]byte(nil), key...), seq: t.pnSeq}
+	t.pnSeq++
+	t.pn.Set(k, index.EncodeRef(nil, ref))
+	t.mu.Unlock()
+	return t.pbuf.MaybeEvict()
+}
+
+// EvictPN implements part.Owner (Algorithm 4, without the version steps):
+// dense-pack PN into an immutable partition, write it sequentially, attach
+// it to the partition list.
+func (t *Tree) EvictPN() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pn.Len() == 0 {
+		return nil
+	}
+	kvs := make([]part.KV, 0, t.pn.Len())
+	for it := t.pn.Min(); it.Valid(); it.Next() {
+		kvs = append(kvs, part.KV{Key: it.Key().key, Body: it.Value()})
+	}
+	seg, err := part.Build(t.pool, t.file, t.nextNo, kvs, 0, 0, part.BuildOptions{
+		BloomBitsPerKey: t.opts.BloomBits,
+		PrefixLen:       t.opts.PrefixLen,
+	})
+	if err != nil {
+		return err
+	}
+	t.nextNo++
+	if seg != nil {
+		t.parts = append(t.parts, seg)
+	}
+	t.pn = newPN()
+	return nil
+}
+
+// LookupCandidates implements index.Candidates: all entries for key, PN
+// first, then partitions newest to oldest (bloom filters skip partitions).
+func (t *Tree) LookupCandidates(key []byte, fn func(index.Entry) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for it := t.pn.Seek(pnKey{key: key}); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key().key, key) {
+			break
+		}
+		if !fn(index.Entry{Key: it.Key().key, Ref: index.DecodeRef(it.Value())}) {
+			return nil
+		}
+	}
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		if !seg.MayContainKey(key) {
+			continue
+		}
+		it := seg.Seek(key)
+		for ; it.Valid(); it.Next() {
+			r := it.Record()
+			if !bytes.Equal(r.Key, key) {
+				break
+			}
+			if !fn(index.Entry{Key: r.Key, Ref: index.DecodeRef(r.Body)}) {
+				return nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanCandidates implements index.Candidates: every entry in [lo, hi)
+// across PN and all partitions. Entries arrive grouped by partition
+// (newest first), each group in key order — the caller's visibility check
+// does not depend on global ordering for candidates.
+func (t *Tree) ScanCandidates(lo, hi []byte, fn func(index.Entry) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for it := t.pn.Seek(pnKey{key: lo}); it.Valid(); it.Next() {
+		if !index.KeyInRange(it.Key().key, lo, hi) {
+			break
+		}
+		if !fn(index.Entry{Key: it.Key().key, Ref: index.DecodeRef(it.Value())}) {
+			return nil
+		}
+	}
+	for i := len(t.parts) - 1; i >= 0; i-- {
+		seg := t.parts[i]
+		if !seg.MayContainRange(lo, hi) {
+			continue
+		}
+		it := seg.Seek(lo)
+		for ; it.Valid(); it.Next() {
+			r := it.Record()
+			if !index.KeyInRange(r.Key, lo, hi) {
+				break
+			}
+			if !fn(index.Entry{Key: r.Key, Ref: index.DecodeRef(r.Body)}) {
+				return nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ index.Candidates = (*Tree)(nil)

@@ -1,0 +1,315 @@
+// Package page implements the slotted 8 KiB database page used by the
+// heaps and by persisted index nodes. A page holds variable-length records
+// addressed by stable slot numbers (slot numbers survive compaction, so
+// RecordIDs pointing into a page stay valid until the record is deleted).
+//
+// Layout:
+//
+//	[0:2)   number of slots
+//	[2:4)   freeHi — offset where the record area begins (grows downward)
+//	[4:6)   page flags (e.g. FlagHasGarbage, §4.6 of the paper)
+//	[6:8)   garbage bytes reclaimable by compaction
+//	[8:44)  client header — 36 bytes owned by the page's user (B-tree node
+//	        headers, heap page metadata, ...)
+//	[44:)   slot directory, 4 bytes per slot (offset, length); record data
+//	        grows from the end of the page towards the directory.
+package page
+
+import (
+	"encoding/binary"
+
+	"mvpbt/internal/storage"
+)
+
+const (
+	headerEnd = 8
+	clientLen = 36
+	slotBase  = headerEnd + clientLen
+	slotSize  = 4
+)
+
+// MaxRecordLen is the largest record a page can hold.
+const MaxRecordLen = storage.PageSize - slotBase - slotSize
+
+// Page flags. The low byte is reserved for this package's users (the heap
+// and index node implementations define their own bits there).
+const (
+	// FlagHasGarbage marks pages containing index records eligible for
+	// cooperative garbage collection (paper §4.6, phase 1).
+	FlagHasGarbage uint16 = 1 << 15
+)
+
+// Page is a view over an 8 KiB buffer-pool frame. The zero Page is invalid;
+// construct with Wrap.
+type Page struct {
+	b []byte
+}
+
+// Wrap interprets b (which must be storage.PageSize long) as a page. It
+// does not initialize the page; call Init on fresh frames.
+func Wrap(b []byte) Page {
+	if len(b) != storage.PageSize {
+		panic("page: Wrap with wrong buffer size")
+	}
+	return Page{b: b}
+}
+
+// Init formats the page as empty.
+func (p Page) Init() {
+	for i := range p.b[:slotBase] {
+		p.b[i] = 0
+	}
+	p.setNumSlots(0)
+	p.setFreeHi(storage.PageSize)
+	p.setGarbage(0)
+}
+
+// Bytes returns the underlying buffer.
+func (p Page) Bytes() []byte { return p.b }
+
+// Client returns the 36-byte client header area.
+func (p Page) Client() []byte { return p.b[headerEnd:slotBase] }
+
+func (p Page) numSlots() int     { return int(binary.LittleEndian.Uint16(p.b[0:2])) }
+func (p Page) setNumSlots(n int) { binary.LittleEndian.PutUint16(p.b[0:2], uint16(n)) }
+func (p Page) freeHi() int       { return int(binary.LittleEndian.Uint16(p.b[2:4])) }
+func (p Page) setFreeHi(v int)   { binary.LittleEndian.PutUint16(p.b[2:4], uint16(v)) }
+func (p Page) garbage() int      { return int(binary.LittleEndian.Uint16(p.b[6:8])) }
+func (p Page) setGarbage(v int)  { binary.LittleEndian.PutUint16(p.b[6:8], uint16(v)) }
+
+// Flags returns the page flag word.
+func (p Page) Flags() uint16 { return binary.LittleEndian.Uint16(p.b[4:6]) }
+
+// SetFlags stores the page flag word.
+func (p Page) SetFlags(f uint16) { binary.LittleEndian.PutUint16(p.b[4:6], f) }
+
+// SetFlag sets the given flag bits.
+func (p Page) SetFlag(f uint16) { p.SetFlags(p.Flags() | f) }
+
+// ClearFlag clears the given flag bits.
+func (p Page) ClearFlag(f uint16) { p.SetFlags(p.Flags() &^ f) }
+
+// HasFlag reports whether all given flag bits are set.
+func (p Page) HasFlag(f uint16) bool { return p.Flags()&f == f }
+
+// NumSlots returns the size of the slot directory, including dead slots.
+func (p Page) NumSlots() int { return p.numSlots() }
+
+func (p Page) slot(i int) (off, length int) {
+	base := slotBase + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.b[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.b[base+2 : base+4]))
+}
+
+func (p Page) setSlot(i, off, length int) {
+	base := slotBase + i*slotSize
+	binary.LittleEndian.PutUint16(p.b[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.b[base+2:base+4], uint16(length))
+}
+
+func (p Page) slotEnd() int { return slotBase + p.numSlots()*slotSize }
+
+// Get returns the record in slot i, or nil if the slot is dead. The
+// returned slice aliases the page buffer; callers must not hold it across
+// page modifications.
+func (p Page) Get(i int) []byte {
+	if i < 0 || i >= p.numSlots() {
+		return nil
+	}
+	off, l := p.slot(i)
+	if l == 0 {
+		return nil
+	}
+	return p.b[off : off+l]
+}
+
+// Live reports whether slot i holds a record.
+func (p Page) Live(i int) bool {
+	if i < 0 || i >= p.numSlots() {
+		return false
+	}
+	_, l := p.slot(i)
+	return l != 0
+}
+
+// FreeSpace returns the bytes available for record data after compaction,
+// not counting slot-directory overhead for new slots.
+func (p Page) FreeSpace() int {
+	return p.freeHi() - p.slotEnd() + p.garbage()
+}
+
+// HasRoomFor reports whether a record of n bytes can be inserted
+// (accounting for a possibly needed new directory slot).
+func (p Page) HasRoomFor(n int) bool {
+	need := n
+	if p.deadSlot() < 0 {
+		need += slotSize
+	}
+	return p.FreeSpace() >= need
+}
+
+// deadSlot returns the index of a reusable dead slot, or -1.
+func (p Page) deadSlot() int {
+	for i, n := 0, p.numSlots(); i < n; i++ {
+		if _, l := p.slot(i); l == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert stores rec in the page, returning its slot number. ok is false if
+// the record does not fit (the page is left unchanged).
+func (p Page) Insert(rec []byte) (slot int, ok bool) {
+	if len(rec) == 0 || len(rec) > MaxRecordLen {
+		return 0, false
+	}
+	slot = p.deadSlot()
+	need := len(rec)
+	newSlot := slot < 0
+	if newSlot {
+		need += slotSize
+	}
+	contig := p.freeHi() - p.slotEnd()
+	if contig < need {
+		if p.FreeSpace() < need {
+			return 0, false
+		}
+		p.Compact()
+		contig = p.freeHi() - p.slotEnd()
+		if contig < need {
+			return 0, false
+		}
+	}
+	if newSlot {
+		slot = p.numSlots()
+		p.setNumSlots(slot + 1)
+	}
+	off := p.freeHi() - len(rec)
+	copy(p.b[off:], rec)
+	p.setFreeHi(off)
+	p.setSlot(slot, off, len(rec))
+	return slot, true
+}
+
+// Delete removes the record in slot i. The slot becomes dead and may be
+// reused by later inserts.
+func (p Page) Delete(i int) {
+	if !p.Live(i) {
+		return
+	}
+	_, l := p.slot(i)
+	p.setSlot(i, 0, 0)
+	p.setGarbage(p.garbage() + l)
+}
+
+// Replace overwrites the record in slot i with rec, relocating it within
+// the page if it grew. ok is false if the new record does not fit (the old
+// record is preserved).
+func (p Page) Replace(i int, rec []byte) bool {
+	if !p.Live(i) || len(rec) == 0 || len(rec) > MaxRecordLen {
+		return false
+	}
+	off, l := p.slot(i)
+	if len(rec) <= l {
+		copy(p.b[off:], rec)
+		p.setSlot(i, off, len(rec))
+		p.setGarbage(p.garbage() + l - len(rec))
+		return true
+	}
+	// Must relocate: free space check counts the old copy as garbage.
+	if p.FreeSpace()+l < len(rec) {
+		return false
+	}
+	p.setSlot(i, 0, 0)
+	p.setGarbage(p.garbage() + l)
+	contig := p.freeHi() - p.slotEnd()
+	if contig < len(rec) {
+		p.Compact()
+	}
+	noff := p.freeHi() - len(rec)
+	copy(p.b[noff:], rec)
+	p.setFreeHi(noff)
+	p.setSlot(i, noff, len(rec))
+	return true
+}
+
+// InsertAt inserts rec as slot i, shifting slots [i, n) up by one. Unlike
+// Insert, slot numbers are NOT stable across InsertAt/DeleteAt — this is
+// for logically ordered nodes (B-tree pages), where slot order is key
+// order and nothing points at slots from outside.
+func (p Page) InsertAt(i int, rec []byte) bool {
+	n := p.numSlots()
+	if i < 0 || i > n || len(rec) == 0 || len(rec) > MaxRecordLen {
+		return false
+	}
+	need := len(rec) + slotSize
+	contig := p.freeHi() - p.slotEnd()
+	if contig < need {
+		if p.FreeSpace() < need {
+			return false
+		}
+		p.Compact()
+		if p.freeHi()-p.slotEnd() < need {
+			return false
+		}
+	}
+	// Shift the slot directory entries [i, n) up by one slot.
+	base := slotBase + i*slotSize
+	end := slotBase + n*slotSize
+	copy(p.b[base+slotSize:end+slotSize], p.b[base:end])
+	p.setNumSlots(n + 1)
+	off := p.freeHi() - len(rec)
+	copy(p.b[off:], rec)
+	p.setFreeHi(off)
+	p.setSlot(i, off, len(rec))
+	return true
+}
+
+// DeleteAt removes slot i entirely, shifting slots [i+1, n) down by one.
+// See InsertAt for the stability caveat.
+func (p Page) DeleteAt(i int) {
+	n := p.numSlots()
+	if i < 0 || i >= n {
+		return
+	}
+	_, l := p.slot(i)
+	if l != 0 {
+		p.setGarbage(p.garbage() + l)
+	}
+	base := slotBase + i*slotSize
+	end := slotBase + n*slotSize
+	copy(p.b[base:end-slotSize], p.b[base+slotSize:end])
+	p.setNumSlots(n - 1)
+}
+
+// Compact rewrites the record area to reclaim garbage from deleted and
+// shrunk records. Slot numbers are unchanged.
+func (p Page) Compact() {
+	var tmp [storage.PageSize]byte
+	hi := storage.PageSize
+	n := p.numSlots()
+	for i := 0; i < n; i++ {
+		off, l := p.slot(i)
+		if l == 0 {
+			continue
+		}
+		hi -= l
+		copy(tmp[hi:], p.b[off:off+l])
+		p.setSlot(i, hi, l)
+	}
+	copy(p.b[hi:], tmp[hi:])
+	p.setFreeHi(hi)
+	p.setGarbage(0)
+}
+
+// LiveCount returns the number of live records.
+func (p Page) LiveCount() int {
+	c := 0
+	for i, n := 0, p.numSlots(); i < n; i++ {
+		if _, l := p.slot(i); l != 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+package sfile
+
+import (
+	"bytes"
+	"testing"
+
+	"mvpbt/internal/simclock"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/storage"
+)
+
+func newMgr() *Manager {
+	return NewManager(ssd.New(simclock.New(), ssd.IntelP3600))
+}
+
+func TestCreateAndIdentity(t *testing.T) {
+	m := newMgr()
+	f1 := m.Create("table-a", ClassTable)
+	f2 := m.Create("index-a", ClassIndex)
+	if f1.ID() == f2.ID() {
+		t.Fatal("file ids collide")
+	}
+	if m.Lookup(f1.ID()) != f1 || m.Lookup(f2.ID()) != f2 {
+		t.Fatal("lookup broken")
+	}
+	if f1.Class() != ClassTable || f2.Class() != ClassIndex {
+		t.Fatal("class lost")
+	}
+	if !f1.PageID(0).Valid() {
+		t.Fatal("page id of first page invalid")
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	m := newMgr()
+	f := m.Create("t", ClassTable)
+	buf := make([]byte, storage.PageSize)
+	for i := 0; i < 100; i++ {
+		no := f.AllocPage()
+		if no != uint64(i) {
+			t.Fatalf("page numbers not dense: got %d want %d", no, i)
+		}
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		f.WritePage(no, buf)
+	}
+	got := make([]byte, storage.PageSize)
+	for i := 0; i < 100; i++ {
+		f.ReadPage(uint64(i), got)
+		if got[0] != byte(i) || got[storage.PageSize-1] != byte(i) {
+			t.Fatalf("page %d content wrong", i)
+		}
+	}
+}
+
+func TestTwoFilesDoNotOverlap(t *testing.T) {
+	m := newMgr()
+	a := m.Create("a", ClassTable)
+	b := m.Create("b", ClassTable)
+	bufA := bytes.Repeat([]byte{0xAA}, storage.PageSize)
+	bufB := bytes.Repeat([]byte{0xBB}, storage.PageSize)
+	for i := 0; i < 2*ExtentPages; i++ {
+		a.AllocPage()
+		b.AllocPage()
+		a.WritePage(uint64(i), bufA)
+		b.WritePage(uint64(i), bufB)
+	}
+	got := make([]byte, storage.PageSize)
+	for i := 0; i < 2*ExtentPages; i++ {
+		a.ReadPage(uint64(i), got)
+		if got[17] != 0xAA {
+			t.Fatalf("file a page %d corrupted by file b", i)
+		}
+	}
+}
+
+func TestAllocRunAlignedAndSequential(t *testing.T) {
+	m := newMgr()
+	f := m.Create("idx", ClassIndex)
+	f.AllocPage() // leave the file mid-extent
+	start := f.AllocRun(100)
+	if start%ExtentPages != 0 {
+		t.Fatalf("run start %d not extent-aligned", start)
+	}
+	// Writing the run in order must be sequential on the device.
+	dev := m.Device()
+	dev.ResetStats()
+	buf := make([]byte, storage.PageSize)
+	for i := 0; i < 100; i++ {
+		f.WritePage(start+uint64(i), buf)
+	}
+	s := dev.Stats()
+	if s.SeqWrites < 95 {
+		t.Fatalf("run write-out not sequential: seq=%d rand=%d", s.SeqWrites, s.RandWrites)
+	}
+}
+
+func TestFreeRunRecyclesExtents(t *testing.T) {
+	m := newMgr()
+	f := m.Create("idx", ClassIndex)
+	start := f.AllocRun(ExtentPages * 3)
+	if m.FreeExtents() != 0 {
+		t.Fatal("free list should start empty")
+	}
+	f.FreeRun(start, ExtentPages*3)
+	if m.FreeExtents() != 3 {
+		t.Fatalf("freed %d extents, want 3", m.FreeExtents())
+	}
+	before := m.AllocatedBytes()
+	g := m.Create("other", ClassTable)
+	for i := 0; i < ExtentPages*3; i++ {
+		g.AllocPage()
+	}
+	if m.AllocatedBytes() != before {
+		t.Fatal("regular allocation did not reuse freed extents")
+	}
+}
+
+func TestAccessFreedRunPanics(t *testing.T) {
+	m := newMgr()
+	f := m.Create("idx", ClassIndex)
+	start := f.AllocRun(ExtentPages)
+	f.FreeRun(start, ExtentPages)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading a freed page should panic")
+		}
+	}()
+	f.ReadPage(start, make([]byte, storage.PageSize))
+}
+
+func TestPageIDComposition(t *testing.T) {
+	m := newMgr()
+	f := m.Create("x", ClassMeta)
+	no := f.AllocPage()
+	pid := f.PageID(no)
+	if pid.File() != f.ID() || pid.PageNo() != no {
+		t.Fatalf("PageID decomposition wrong: %v", pid)
+	}
+}

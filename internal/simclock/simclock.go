@@ -1,0 +1,52 @@
+// Package simclock provides a virtual clock that accumulates simulated I/O
+// time. The SSD simulator (internal/ssd) charges a latency to the clock for
+// every I/O it serves; benchmark harnesses combine the accumulated virtual
+// I/O time with measured CPU time to derive hardware-independent throughput
+// figures (see DESIGN.md §4 "Virtual time").
+package simclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock accumulates virtual nanoseconds. It is safe for concurrent use.
+type Clock struct {
+	ns atomic.Int64
+}
+
+// New returns a clock at zero.
+func New() *Clock { return &Clock{} }
+
+// Advance adds d to the virtual clock.
+func (c *Clock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// Now returns the accumulated virtual time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.ns.Load()) }
+
+// Reset sets the clock back to zero.
+func (c *Clock) Reset() { c.ns.Store(0) }
+
+// Stopwatch measures a composite elapsed time: real (CPU) wall time plus
+// virtual I/O time accumulated on a Clock since Start. This is the time base
+// for all reported throughputs.
+type Stopwatch struct {
+	clock     *Clock
+	wallStart time.Time
+	simStart  time.Duration
+}
+
+// StartStopwatch begins measuring against clock.
+func StartStopwatch(clock *Clock) *Stopwatch {
+	return &Stopwatch{clock: clock, wallStart: time.Now(), simStart: clock.Now()}
+}
+
+// Elapsed returns CPU wall time plus virtual I/O time since Start.
+func (s *Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.wallStart) + (s.clock.Now() - s.simStart)
+}
+
+// SimElapsed returns only the virtual I/O time since Start.
+func (s *Stopwatch) SimElapsed() time.Duration {
+	return s.clock.Now() - s.simStart
+}

@@ -1,0 +1,154 @@
+// Package skiplist provides an ordered in-memory map with a caller-supplied
+// comparator. It backs the LSM memtable and the MV-PBT main-memory
+// partition PN, whose ordering (search key ascending, transaction
+// timestamp descending — paper §4.3) is not a plain byte ordering.
+package skiplist
+
+import "mvpbt/internal/util"
+
+const maxLevel = 20
+
+// List is a skiplist from K to V ordered by the comparator. Not safe for
+// concurrent use; callers synchronize.
+type List[K any, V any] struct {
+	cmp   func(a, b K) int
+	head  *node[K, V]
+	level int
+	n     int
+	rnd   *util.Rand
+	bytes int
+	size  func(k K, v V) int
+}
+
+type node[K any, V any] struct {
+	key  K
+	val  V
+	next []*node[K, V]
+}
+
+// New returns an empty list ordered by cmp. size, if non-nil, is used to
+// account approximate memory usage (Bytes).
+func New[K any, V any](cmp func(a, b K) int, size func(k K, v V) int) *List[K, V] {
+	return &List[K, V]{
+		cmp:   cmp,
+		head:  &node[K, V]{next: make([]*node[K, V], maxLevel)},
+		level: 1,
+		rnd:   util.NewRand(0x5EEDF00D),
+		size:  size,
+	}
+}
+
+// Len returns the number of entries.
+func (l *List[K, V]) Len() int { return l.n }
+
+// Bytes returns the accumulated size of all entries (per the size
+// function; 0 if none was given).
+func (l *List[K, V]) Bytes() int { return l.bytes }
+
+func (l *List[K, V]) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && l.rnd.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findGE returns the first node with key >= k, filling prev with the
+// predecessor at each level when prev is non-nil.
+func (l *List[K, V]) findGE(k K, prev []*node[K, V]) *node[K, V] {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && l.cmp(x.next[i].key, k) < 0 {
+			x = x.next[i]
+		}
+		if prev != nil {
+			prev[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Set inserts or overwrites the entry for k.
+func (l *List[K, V]) Set(k K, v V) {
+	var prev [maxLevel]*node[K, V]
+	x := l.findGE(k, prev[:])
+	if x != nil && l.cmp(x.key, k) == 0 {
+		if l.size != nil {
+			l.bytes += l.size(k, v) - l.size(x.key, x.val)
+		}
+		x.key, x.val = k, v
+		return
+	}
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		for i := l.level; i < lvl; i++ {
+			prev[i] = l.head
+		}
+		l.level = lvl
+	}
+	nd := &node[K, V]{key: k, val: v, next: make([]*node[K, V], lvl)}
+	for i := 0; i < lvl; i++ {
+		nd.next[i] = prev[i].next[i]
+		prev[i].next[i] = nd
+	}
+	l.n++
+	if l.size != nil {
+		l.bytes += l.size(k, v)
+	}
+}
+
+// Get returns the value for k.
+func (l *List[K, V]) Get(k K) (V, bool) {
+	x := l.findGE(k, nil)
+	if x != nil && l.cmp(x.key, k) == 0 {
+		return x.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes the entry for k, reporting whether it existed.
+func (l *List[K, V]) Delete(k K) bool {
+	var prev [maxLevel]*node[K, V]
+	x := l.findGE(k, prev[:])
+	if x == nil || l.cmp(x.key, k) != 0 {
+		return false
+	}
+	for i := 0; i < len(x.next); i++ {
+		if prev[i].next[i] == x {
+			prev[i].next[i] = x.next[i]
+		}
+	}
+	l.n--
+	if l.size != nil {
+		l.bytes -= l.size(x.key, x.val)
+	}
+	return true
+}
+
+// Iterator walks entries in order. The zero Iterator is exhausted.
+type Iterator[K any, V any] struct {
+	nd *node[K, V]
+}
+
+// Min returns an iterator at the smallest entry.
+func (l *List[K, V]) Min() Iterator[K, V] {
+	return Iterator[K, V]{nd: l.head.next[0]}
+}
+
+// Seek returns an iterator at the first entry with key >= k.
+func (l *List[K, V]) Seek(k K) Iterator[K, V] {
+	return Iterator[K, V]{nd: l.findGE(k, nil)}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it Iterator[K, V]) Valid() bool { return it.nd != nil }
+
+// Key returns the current key; only valid when Valid.
+func (it Iterator[K, V]) Key() K { return it.nd.key }
+
+// Value returns the current value; only valid when Valid.
+func (it Iterator[K, V]) Value() V { return it.nd.val }
+
+// Next advances to the following entry.
+func (it *Iterator[K, V]) Next() { it.nd = it.nd.next[0] }

@@ -1,0 +1,174 @@
+package skiplist
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"mvpbt/internal/util"
+)
+
+func intList() *List[int, string] {
+	return New[int, string](func(a, b int) int { return a - b }, nil)
+}
+
+func TestSetGetDelete(t *testing.T) {
+	l := intList()
+	l.Set(3, "three")
+	l.Set(1, "one")
+	l.Set(2, "two")
+	if v, ok := l.Get(2); !ok || v != "two" {
+		t.Fatalf("Get(2)=%q,%v", v, ok)
+	}
+	if _, ok := l.Get(9); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	if !l.Delete(2) || l.Delete(2) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len=%d want 2", l.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	l := intList()
+	l.Set(1, "a")
+	l.Set(1, "b")
+	if l.Len() != 1 {
+		t.Fatalf("overwrite changed Len: %d", l.Len())
+	}
+	if v, _ := l.Get(1); v != "b" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := intList()
+	r := util.NewRand(99)
+	want := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		k := r.Intn(10000)
+		l.Set(k, "")
+		want[k] = true
+	}
+	var keys []int
+	for it := l.Min(); it.Valid(); it.Next() {
+		keys = append(keys, it.Key())
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(keys), len(want))
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("iteration not sorted")
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := intList()
+	for _, k := range []int{10, 20, 30, 40} {
+		l.Set(k, "")
+	}
+	it := l.Seek(25)
+	if !it.Valid() || it.Key() != 30 {
+		t.Fatalf("Seek(25) at %v", it.Key())
+	}
+	it = l.Seek(30)
+	if !it.Valid() || it.Key() != 30 {
+		t.Fatalf("Seek(30) at %v", it.Key())
+	}
+	it = l.Seek(41)
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+	it = l.Seek(5)
+	if !it.Valid() || it.Key() != 10 {
+		t.Fatal("Seek before begin should land on min")
+	}
+}
+
+func TestCustomComparatorCompositeOrder(t *testing.T) {
+	// The MV-PBT PN ordering: key ascending, timestamp DESCENDING.
+	type k struct {
+		key []byte
+		ts  uint64
+	}
+	cmp := func(a, b k) int {
+		if c := bytes.Compare(a.key, b.key); c != 0 {
+			return c
+		}
+		switch {
+		case a.ts > b.ts:
+			return -1
+		case a.ts < b.ts:
+			return 1
+		default:
+			return 0
+		}
+	}
+	l := New[k, int](cmp, nil)
+	l.Set(k{[]byte("a"), 1}, 0)
+	l.Set(k{[]byte("a"), 5}, 0)
+	l.Set(k{[]byte("a"), 3}, 0)
+	l.Set(k{[]byte("b"), 2}, 0)
+	var got []uint64
+	for it := l.Min(); it.Valid(); it.Next() {
+		if string(it.Key().key) == "a" {
+			got = append(got, it.Key().ts)
+		}
+	}
+	want := []uint64{5, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ts order %v, want %v (newest first)", got, want)
+		}
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := New[string, string](func(a, b string) int {
+		return bytes.Compare([]byte(a), []byte(b))
+	}, func(k, v string) int { return len(k) + len(v) })
+	l.Set("abc", "1234")
+	if l.Bytes() != 7 {
+		t.Fatalf("Bytes=%d want 7", l.Bytes())
+	}
+	l.Set("abc", "12") // overwrite shrinks
+	if l.Bytes() != 5 {
+		t.Fatalf("Bytes=%d want 5", l.Bytes())
+	}
+	l.Delete("abc")
+	if l.Bytes() != 0 {
+		t.Fatalf("Bytes=%d want 0", l.Bytes())
+	}
+}
+
+func TestModelProperty(t *testing.T) {
+	l := intList()
+	model := map[int]string{}
+	r := util.NewRand(7)
+	vals := []string{"x", "y", "z"}
+	for step := 0; step < 30000; step++ {
+		k := r.Intn(500)
+		switch r.Intn(3) {
+		case 0:
+			v := vals[r.Intn(3)]
+			l.Set(k, v)
+			model[k] = v
+		case 1:
+			got, ok := l.Get(k)
+			want, wok := model[k]
+			if ok != wok || got != want {
+				t.Fatalf("step %d: Get(%d)=%q,%v want %q,%v", step, k, got, ok, want, wok)
+			}
+		case 2:
+			if l.Delete(k) != (func() bool { _, ok := model[k]; return ok })() {
+				t.Fatalf("step %d: Delete(%d) mismatch", step, k)
+			}
+			delete(model, k)
+		}
+	}
+	if l.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", l.Len(), len(model))
+	}
+}

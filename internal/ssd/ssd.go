@@ -1,0 +1,298 @@
+// Package ssd simulates an enterprise flash device (modelled on the Intel
+// DC P3600 of the paper's Figure 8). The simulator serves reads and writes
+// from RAM, charges each I/O a latency derived from the paper's measured
+// IOPS table to a virtual clock (internal/simclock), classifies each I/O as
+// sequential or random by LBA adjacency, and optionally records an LBA
+// trace (Figure 12c).
+//
+// The essential property preserved from real flash is the read/write
+// asymmetry: small random reads are fast and parallel, small random writes
+// are an order of magnitude slower, and large sequential writes are the
+// only efficient write pattern. Every experiment in the paper is driven by
+// this asymmetry.
+package ssd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mvpbt/internal/simclock"
+)
+
+// SectorSize is the LBA unit used in traces, matching common disk tooling
+// (blktrace reports 512-byte sectors).
+const SectorSize = 512
+
+// storeBlock is the internal storage granularity of the simulator.
+const storeBlock = 8192
+
+// Profile holds the calibration points of the latency model: the duration
+// of one 8 KiB and one 64 KiB operation for each of the four I/O classes.
+// Latencies for other sizes are interpolated piecewise-linearly (see
+// latency).
+type Profile struct {
+	ReadSeq8, ReadSeq64     time.Duration
+	ReadRand8, ReadRand64   time.Duration
+	WriteSeq8, WriteSeq64   time.Duration
+	WriteRand8, WriteRand64 time.Duration
+}
+
+// IntelP3600 is the latency profile derived from the paper's Figure 8
+// (latency = 1 / IOPS for each class and block size).
+//
+//	                 8 KiB IOPS   64 KiB IOPS
+//	sequential read     122382        24180
+//	random read         112479        23631
+//	sequential write     11104         1343
+//	random write          7185           56
+var IntelP3600 = Profile{
+	ReadSeq8:    time.Second / 122382,
+	ReadSeq64:   time.Second / 24180,
+	ReadRand8:   time.Second / 112479,
+	ReadRand64:  time.Second / 23631,
+	WriteSeq8:   time.Second / 11104,
+	WriteSeq64:  time.Second / 1343,
+	WriteRand8:  time.Second / 7185,
+	WriteRand64: time.Second / 56,
+}
+
+// latency interpolates the duration of an n-byte operation from the two
+// calibration points (8 KiB, lat8) and (64 KiB, lat64): proportional below
+// 8 KiB, linear between the points, slope-extrapolated above 64 KiB.
+func latency(lat8, lat64 time.Duration, n int) time.Duration {
+	const p8, p64 = 8 << 10, 64 << 10
+	switch {
+	case n <= 0:
+		return 0
+	case n <= p8:
+		return time.Duration(int64(lat8) * int64(n) / p8)
+	case n <= p64:
+		frac := float64(n-p8) / float64(p64-p8)
+		return lat8 + time.Duration(float64(lat64-lat8)*frac)
+	default:
+		slope := float64(lat64-lat8) / float64(p64-p8) // ns per byte
+		return lat64 + time.Duration(slope*float64(n-p64))
+	}
+}
+
+// Op identifies the direction of a traced I/O.
+type Op uint8
+
+// I/O directions.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "R"
+	}
+	return "W"
+}
+
+// TraceEntry records a single device I/O for write-pattern analysis
+// (Figure 12c).
+type TraceEntry struct {
+	Time time.Duration // virtual time at completion
+	Op   Op
+	LBA  int64 // 512-byte sector address
+	Len  int   // bytes
+	Seq  bool  // classified as sequential
+}
+
+// Stats aggregates device activity since the last reset.
+type Stats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	SeqReads, RandReads     int64
+	SeqWrites, RandWrites   int64
+	ReadTime, WriteTime     time.Duration
+}
+
+// Sub returns s - o, for windowed measurements.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes,
+		BytesRead: s.BytesRead - o.BytesRead, BytesWritten: s.BytesWritten - o.BytesWritten,
+		SeqReads: s.SeqReads - o.SeqReads, RandReads: s.RandReads - o.RandReads,
+		SeqWrites: s.SeqWrites - o.SeqWrites, RandWrites: s.RandWrites - o.RandWrites,
+		ReadTime: s.ReadTime - o.ReadTime, WriteTime: s.WriteTime - o.WriteTime,
+	}
+}
+
+// IOTime returns the total virtual time spent in I/O.
+func (s Stats) IOTime() time.Duration { return s.ReadTime + s.WriteTime }
+
+// Device is a simulated flash device. All methods are safe for concurrent
+// use; the latency of each I/O is charged to the shared virtual clock.
+type Device struct {
+	mu        sync.Mutex
+	clock     *simclock.Clock
+	prof      Profile
+	blocks    map[int64][]byte
+	lastRdEnd int64
+	lastWrEnd int64
+	stats     Stats
+	tracing   bool
+	trace     []TraceEntry
+}
+
+// New returns an empty device with the given latency profile, charging I/O
+// time to clock.
+func New(clock *simclock.Clock, prof Profile) *Device {
+	return &Device{clock: clock, prof: prof, blocks: make(map[int64][]byte), lastRdEnd: -1, lastWrEnd: -1}
+}
+
+// Clock returns the virtual clock the device charges.
+func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// ReadAt reads len(p) bytes at byte offset off. Unwritten regions read as
+// zeros (like a trimmed SSD).
+func (d *Device) ReadAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	d.mu.Lock()
+	seq := off == d.lastRdEnd
+	d.lastRdEnd = off + int64(len(p))
+	var lat time.Duration
+	if seq {
+		lat = latency(d.prof.ReadSeq8, d.prof.ReadSeq64, len(p))
+		d.stats.SeqReads++
+	} else {
+		lat = latency(d.prof.ReadRand8, d.prof.ReadRand64, len(p))
+		d.stats.RandReads++
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += int64(len(p))
+	d.stats.ReadTime += lat
+	d.copyOut(p, off)
+	if d.tracing {
+		d.trace = append(d.trace, TraceEntry{Time: d.clock.Now() + lat, Op: OpRead, LBA: off / SectorSize, Len: len(p), Seq: seq})
+	}
+	d.mu.Unlock()
+	d.clock.Advance(lat)
+}
+
+// WriteAt writes len(p) bytes at byte offset off.
+func (d *Device) WriteAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	d.mu.Lock()
+	seq := off == d.lastWrEnd
+	d.lastWrEnd = off + int64(len(p))
+	var lat time.Duration
+	if seq {
+		lat = latency(d.prof.WriteSeq8, d.prof.WriteSeq64, len(p))
+		d.stats.SeqWrites++
+	} else {
+		lat = latency(d.prof.WriteRand8, d.prof.WriteRand64, len(p))
+		d.stats.RandWrites++
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(len(p))
+	d.stats.WriteTime += lat
+	d.copyIn(p, off)
+	if d.tracing {
+		d.trace = append(d.trace, TraceEntry{Time: d.clock.Now() + lat, Op: OpWrite, LBA: off / SectorSize, Len: len(p), Seq: seq})
+	}
+	d.mu.Unlock()
+	d.clock.Advance(lat)
+}
+
+// Discard releases the storage backing [off, off+n) (like TRIM). Only whole
+// internal blocks are released; subsequent reads of the region return
+// zeros for released blocks. Discard charges no latency.
+func (d *Device) Discard(off, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	first := (off + storeBlock - 1) / storeBlock
+	last := (off + n) / storeBlock
+	for b := first; b < last; b++ {
+		delete(d.blocks, b)
+	}
+}
+
+func (d *Device) copyOut(p []byte, off int64) {
+	for len(p) > 0 {
+		b := off / storeBlock
+		bo := int(off % storeBlock)
+		n := storeBlock - bo
+		if n > len(p) {
+			n = len(p)
+		}
+		if blk, ok := d.blocks[b]; ok {
+			copy(p[:n], blk[bo:bo+n])
+		} else {
+			for i := 0; i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+func (d *Device) copyIn(p []byte, off int64) {
+	for len(p) > 0 {
+		b := off / storeBlock
+		bo := int(off % storeBlock)
+		n := storeBlock - bo
+		if n > len(p) {
+			n = len(p)
+		}
+		blk, ok := d.blocks[b]
+		if !ok {
+			blk = make([]byte, storeBlock)
+			d.blocks[b] = blk
+		}
+		copy(blk[bo:bo+n], p[:n])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters (the stored data is kept).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// SetTracing enables or disables LBA tracing. Enabling clears any previous
+// trace.
+func (d *Device) SetTracing(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracing = on
+	if on {
+		d.trace = nil
+	}
+}
+
+// Trace returns a copy of the recorded trace.
+func (d *Device) Trace() []TraceEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]TraceEntry, len(d.trace))
+	copy(out, d.trace)
+	return out
+}
+
+// String summarizes the counters for logs and the inspect tool.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d (seq=%d rand=%d, %.1f MiB) writes=%d (seq=%d rand=%d, %.1f MiB) readTime=%v writeTime=%v",
+		s.Reads, s.SeqReads, s.RandReads, float64(s.BytesRead)/(1<<20),
+		s.Writes, s.SeqWrites, s.RandWrites, float64(s.BytesWritten)/(1<<20),
+		s.ReadTime, s.WriteTime)
+}

@@ -1,0 +1,232 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mvpbt/internal/simclock"
+)
+
+func newDev() *Device {
+	return New(simclock.New(), IntelP3600)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := newDev()
+	data := []byte("hello, flash translation layer")
+	d.WriteAt(data, 12345)
+	got := make([]byte, len(data))
+	d.ReadAt(got, 12345)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q != %q", got, data)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	d := newDev()
+	p := make([]byte, 64)
+	for i := range p {
+		p[i] = 0xFF
+	}
+	d.ReadAt(p, 9999999)
+	for i, b := range p {
+		if b != 0 {
+			t.Fatalf("byte %d not zero: %x", i, b)
+		}
+	}
+}
+
+func TestCrossBlockWrite(t *testing.T) {
+	d := newDev()
+	data := make([]byte, 3*storeBlock)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	off := int64(storeBlock - 100) // straddles several internal blocks
+	d.WriteAt(data, off)
+	got := make([]byte, len(data))
+	d.ReadAt(got, off)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-block round trip mismatch")
+	}
+}
+
+func TestSequentialClassification(t *testing.T) {
+	d := newDev()
+	buf := make([]byte, 8192)
+	d.WriteAt(buf, 0)     // first write: random (no predecessor)
+	d.WriteAt(buf, 8192)  // adjacent: sequential
+	d.WriteAt(buf, 16384) // adjacent: sequential
+	d.WriteAt(buf, 65536) // gap: random
+	s := d.Stats()
+	if s.SeqWrites != 2 || s.RandWrites != 2 {
+		t.Fatalf("classification wrong: seq=%d rand=%d", s.SeqWrites, s.RandWrites)
+	}
+}
+
+func TestReadWriteStreamsIndependent(t *testing.T) {
+	d := newDev()
+	buf := make([]byte, 8192)
+	d.WriteAt(buf, 0)
+	d.ReadAt(buf, 1<<20) // interleaved read must not break the write stream
+	d.WriteAt(buf, 8192)
+	s := d.Stats()
+	if s.SeqWrites != 1 {
+		t.Fatalf("interleaved read broke write stream: seq=%d", s.SeqWrites)
+	}
+}
+
+func TestLatencyAsymmetry(t *testing.T) {
+	// The defining property: random 8K writes are much slower than random
+	// 8K reads, and sequential writes much faster than random writes at 64K.
+	if IntelP3600.WriteRand8 < 10*IntelP3600.ReadRand8 {
+		t.Fatalf("random write should be >=10x random read: %v vs %v",
+			IntelP3600.WriteRand8, IntelP3600.ReadRand8)
+	}
+	if IntelP3600.WriteRand64 < 10*IntelP3600.WriteSeq64 {
+		t.Fatalf("random 64K write should be >=10x sequential: %v vs %v",
+			IntelP3600.WriteRand64, IntelP3600.WriteSeq64)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	clk := simclock.New()
+	d := New(clk, IntelP3600)
+	buf := make([]byte, 8192)
+	d.ReadAt(buf, 0)
+	want := IntelP3600.ReadRand8
+	if clk.Now() != want {
+		t.Fatalf("clock advanced %v want %v", clk.Now(), want)
+	}
+	d.ReadAt(buf, 8192) // sequential
+	if clk.Now() != want+IntelP3600.ReadSeq8 {
+		t.Fatalf("clock advanced %v want %v", clk.Now(), want+IntelP3600.ReadSeq8)
+	}
+}
+
+func TestLatencyInterpolation(t *testing.T) {
+	lat8, lat64 := 8*time.Microsecond, 40*time.Microsecond
+	if got := latency(lat8, lat64, 8<<10); got != lat8 {
+		t.Fatalf("8K latency %v want %v", got, lat8)
+	}
+	if got := latency(lat8, lat64, 64<<10); got != lat64 {
+		t.Fatalf("64K latency %v want %v", got, lat64)
+	}
+	if got := latency(lat8, lat64, 4<<10); got != lat8/2 {
+		t.Fatalf("4K latency %v want %v", got, lat8/2)
+	}
+	mid := latency(lat8, lat64, 36<<10)
+	if mid <= lat8 || mid >= lat64 {
+		t.Fatalf("36K latency %v not between %v and %v", mid, lat8, lat64)
+	}
+	big := latency(lat8, lat64, 128<<10)
+	if big <= lat64 {
+		t.Fatalf("128K latency %v not above %v", big, lat64)
+	}
+	if latency(lat8, lat64, 0) != 0 {
+		t.Fatal("zero-length latency not zero")
+	}
+}
+
+func TestLatencyMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		lx := latency(IntelP3600.WriteSeq8, IntelP3600.WriteSeq64, x*512)
+		ly := latency(IntelP3600.WriteSeq8, IntelP3600.WriteSeq64, y*512)
+		return lx <= ly
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	d := newDev()
+	d.SetTracing(true)
+	buf := make([]byte, 8192)
+	d.WriteAt(buf, 0)
+	d.WriteAt(buf, 8192)
+	d.ReadAt(buf, 0)
+	tr := d.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length %d want 3", len(tr))
+	}
+	if tr[0].Op != OpWrite || tr[0].LBA != 0 || tr[0].Seq {
+		t.Fatalf("entry 0 wrong: %+v", tr[0])
+	}
+	if tr[1].LBA != 8192/SectorSize || !tr[1].Seq {
+		t.Fatalf("entry 1 wrong: %+v", tr[1])
+	}
+	if tr[2].Op != OpRead {
+		t.Fatalf("entry 2 wrong: %+v", tr[2])
+	}
+	d.SetTracing(false)
+	d.WriteAt(buf, 0)
+	if len(d.Trace()) != 3 {
+		t.Fatal("tracing kept recording after disable")
+	}
+}
+
+func TestStatsSubAndReset(t *testing.T) {
+	d := newDev()
+	buf := make([]byte, 8192)
+	d.WriteAt(buf, 0)
+	before := d.Stats()
+	d.WriteAt(buf, 8192)
+	delta := d.Stats().Sub(before)
+	if delta.Writes != 1 || delta.BytesWritten != 8192 {
+		t.Fatalf("delta wrong: %+v", delta)
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.Writes != 0 || s.Reads != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	d := newDev()
+	buf := make([]byte, storeBlock)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	d.WriteAt(buf, 0)
+	d.WriteAt(buf, storeBlock)
+	d.Discard(0, storeBlock)
+	got := make([]byte, storeBlock)
+	d.ReadAt(got, 0)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("discarded block not zeroed")
+		}
+	}
+	d.ReadAt(got, storeBlock)
+	if got[0] != 0xAB {
+		t.Fatal("discard released the wrong block")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := newDev()
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			buf := make([]byte, 4096)
+			for i := 0; i < 200; i++ {
+				d.WriteAt(buf, int64(g*1000+i)*4096)
+				d.ReadAt(buf, int64(g*1000+i)*4096)
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if s := d.Stats(); s.Writes != 800 || s.Reads != 800 {
+		t.Fatalf("concurrent counters wrong: %+v", s)
+	}
+}

@@ -1,0 +1,77 @@
+// Package storage defines the identifiers shared by every storage-layer
+// component: file ids, page ids and record ids (the physical references of
+// §3.5 of the paper).
+package storage
+
+import (
+	"fmt"
+
+	"mvpbt/internal/util"
+)
+
+// PageSize is the database page size (the paper's engine and the simulated
+// device both use 8 KiB pages).
+const PageSize = 8192
+
+// FileID identifies a storage object (a base table segment or an index
+// file). FileID 0 is invalid so that the zero PageID is invalid too.
+type FileID uint32
+
+// PageID identifies a page: the owning file in the top 24 bits and the page
+// number within the file in the lower 40 bits. The zero value is invalid.
+type PageID uint64
+
+// InvalidPageID is the zero, never-allocated page id.
+const InvalidPageID PageID = 0
+
+// NewPageID composes a page id from a file and a page number.
+func NewPageID(f FileID, pageNo uint64) PageID {
+	return PageID(uint64(f)<<40 | (pageNo & (1<<40 - 1)))
+}
+
+// File returns the owning file.
+func (p PageID) File() FileID { return FileID(p >> 40) }
+
+// PageNo returns the page number within the file.
+func (p PageID) PageNo() uint64 { return uint64(p) & (1<<40 - 1) }
+
+// Valid reports whether p refers to an allocatable page.
+func (p PageID) Valid() bool { return p != InvalidPageID }
+
+func (p PageID) String() string {
+	return fmt.Sprintf("%d:%d", p.File(), p.PageNo())
+}
+
+// RecordID is a physical tuple-version reference: page and slot. It is the
+// paper's recordID (§3.5).
+type RecordID struct {
+	Page PageID
+	Slot uint16
+}
+
+// InvalidRecordID is the zero, never-assigned record id.
+var InvalidRecordID = RecordID{}
+
+// Valid reports whether r refers to a stored record.
+func (r RecordID) Valid() bool { return r.Page.Valid() }
+
+func (r RecordID) String() string {
+	return fmt.Sprintf("%v/%d", r.Page, r.Slot)
+}
+
+// RecordIDLen is the encoded size of a RecordID.
+const RecordIDLen = 10
+
+// EncodeRecordID appends the fixed-width encoding of r to dst.
+func EncodeRecordID(dst []byte, r RecordID) []byte {
+	dst = util.EncodeUint64(dst, uint64(r.Page))
+	return append(dst, byte(r.Slot>>8), byte(r.Slot))
+}
+
+// DecodeRecordID reads a RecordID written by EncodeRecordID.
+func DecodeRecordID(src []byte) RecordID {
+	return RecordID{
+		Page: PageID(util.DecodeUint64(src)),
+		Slot: uint16(src[8])<<8 | uint16(src[9]),
+	}
+}

@@ -1,0 +1,45 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageIDComposeDecompose(t *testing.T) {
+	f := func(file uint32, pageNo uint64) bool {
+		f24 := FileID(file & 0xFFFFFF)
+		no := pageNo & (1<<40 - 1)
+		pid := NewPageID(f24, no)
+		return pid.File() == f24 && pid.PageNo() == no
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidPageID(t *testing.T) {
+	if InvalidPageID.Valid() {
+		t.Fatal("invalid page id reports valid")
+	}
+	if !NewPageID(1, 0).Valid() {
+		t.Fatal("file 1 page 0 should be valid")
+	}
+	var r RecordID
+	if r.Valid() {
+		t.Fatal("zero record id reports valid")
+	}
+}
+
+func TestRecordIDCodec(t *testing.T) {
+	f := func(file uint32, pageNo uint64, slot uint16) bool {
+		rid := RecordID{Page: NewPageID(FileID(file&0xFFFFFF), pageNo&(1<<40-1)), Slot: slot}
+		enc := EncodeRecordID(nil, rid)
+		if len(enc) != RecordIDLen {
+			return false
+		}
+		return DecodeRecordID(enc) == rid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package txn implements the multi-version concurrency control substrate:
+// transaction identifiers that double as logical timestamps, PostgreSQL
+// style snapshots (xmin/xmax/active-set), a commit log, and the visibility
+// primitives used by both the base-table visibility check (§2 of the
+// paper) and the MV-PBT index-only visibility check (§4.4).
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TxID is a transaction identifier. TxIDs are assigned monotonically at
+// transaction begin and serve as the logical timestamps stored in version
+// records and MV-PBT index records. 0 is invalid.
+type TxID uint64
+
+// InvalidTxID is the zero, never-assigned transaction id. Version records
+// use it as the "no invalidator" timestamp under two-point invalidation.
+const InvalidTxID TxID = 0
+
+// Status is the commit-log state of a transaction.
+type Status uint8
+
+// Transaction states.
+const (
+	InProgress Status = iota
+	Committed
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case InProgress:
+		return "in-progress"
+	case Committed:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// Snapshot captures the set of transactions visible to a transaction at its
+// start (snapshot isolation): everything that committed before Xmax and was
+// not in-progress (Active) at snapshot time.
+type Snapshot struct {
+	Xmin   TxID   // lowest transaction id still active at snapshot time
+	Xmax   TxID   // first transaction id NOT visible (next to be assigned)
+	Active []TxID // sorted ids active at snapshot time (excluding the owner)
+}
+
+// contains reports whether id is in the snapshot's active set.
+func (s *Snapshot) contains(id TxID) bool {
+	i := sort.Search(len(s.Active), func(i int) bool { return s.Active[i] >= id })
+	return i < len(s.Active) && s.Active[i] == id
+}
+
+// Tx is a running (or finished) transaction handle.
+type Tx struct {
+	ID   TxID
+	Snap Snapshot
+	mgr  *Manager
+	done bool
+}
+
+// Manager assigns transaction ids, tracks active transactions and keeps the
+// commit log. It is safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	next   TxID
+	active map[TxID]*Tx
+	status []Status // indexed by TxID; grows as ids are assigned
+}
+
+// NewManager returns a manager with no history; the first transaction gets
+// id 1.
+func NewManager() *Manager {
+	return &Manager{next: 1, active: make(map[TxID]*Tx), status: make([]Status, 1, 1024)}
+}
+
+// Begin starts a transaction, assigning it the next id and a snapshot of
+// the currently active set.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.next
+	m.next++
+	m.status = append(m.status, InProgress)
+	snap := Snapshot{Xmin: id, Xmax: id}
+	if len(m.active) > 0 {
+		snap.Active = make([]TxID, 0, len(m.active))
+		for a := range m.active {
+			snap.Active = append(snap.Active, a)
+		}
+		sort.Slice(snap.Active, func(i, j int) bool { return snap.Active[i] < snap.Active[j] })
+		if snap.Active[0] < snap.Xmin {
+			snap.Xmin = snap.Active[0]
+		}
+	}
+	tx := &Tx{ID: id, Snap: snap, mgr: m}
+	m.active[id] = tx
+	return tx
+}
+
+// Commit marks tx committed and removes it from the active set.
+func (m *Manager) Commit(tx *Tx) {
+	m.finish(tx, Committed)
+}
+
+// Abort marks tx aborted and removes it from the active set.
+func (m *Manager) Abort(tx *Tx) {
+	m.finish(tx, Aborted)
+}
+
+func (m *Manager) finish(tx *Tx, st Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tx.done {
+		panic(fmt.Sprintf("txn: double finish of %d", tx.ID))
+	}
+	tx.done = true
+	m.status[tx.ID] = st
+	delete(m.active, tx.ID)
+}
+
+// StatusOf returns the commit-log state of id.
+func (m *Manager) StatusOf(id TxID) Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.statusLocked(id)
+}
+
+func (m *Manager) statusLocked(id TxID) Status {
+	if id == InvalidTxID || id >= m.next {
+		return InProgress
+	}
+	return m.status[id]
+}
+
+// Sees reports whether the effects of transaction id are visible to the
+// transaction holding snapshot snap with identity self: its own effects
+// always are; otherwise id must have committed before the snapshot was
+// taken (id < Xmax, not active at snapshot time, and committed by now —
+// a transaction in the active set is "concurrent" in the paper's Algorithm
+// 3 and never visible, even if it has since committed).
+func (m *Manager) Sees(snap *Snapshot, self, id TxID) bool {
+	if id == InvalidTxID {
+		return false
+	}
+	if id == self {
+		return true
+	}
+	if id >= snap.Xmax {
+		return false
+	}
+	if snap.contains(id) {
+		return false
+	}
+	m.mu.Lock()
+	st := m.statusLocked(id)
+	m.mu.Unlock()
+	return st == Committed
+}
+
+// Sees is the transaction-handle convenience form of Manager.Sees.
+func (t *Tx) Sees(id TxID) bool {
+	return t.mgr.Sees(&t.Snap, t.ID, id)
+}
+
+// Horizon returns the garbage-collection cutoff: the highest transaction id
+// H such that every transaction with id < H is either finished or invisible
+// to no one — i.e. the minimum Xmin over all active snapshots (or the next
+// id if nothing is active). A committed invalidation with timestamp < H is
+// invisible to every present and future snapshot, so the versions it
+// superseded are garbage (paper §4.6 "cutoff-transaction").
+func (m *Manager) Horizon() TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.next
+	for _, tx := range m.active {
+		if tx.Snap.Xmin < h {
+			h = tx.Snap.Xmin
+		}
+	}
+	return h
+}
+
+// ActiveCount returns the number of in-progress transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// NextID returns the id the next transaction will receive.
+func (m *Manager) NextID() TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
+}

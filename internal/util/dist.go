@@ -1,0 +1,116 @@
+package util
+
+import "math"
+
+// Generator produces item indexes in [0, N) following some distribution.
+// All generators in this package are deterministic given their seed and are
+// not safe for concurrent use.
+type Generator interface {
+	// Next returns the next item index.
+	Next() uint64
+}
+
+// Uniform draws items uniformly from [0, n).
+type Uniform struct {
+	r *Rand
+	n uint64
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(r *Rand, n uint64) *Uniform {
+	return &Uniform{r: r, n: n}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() uint64 { return u.r.Uint64() % u.n }
+
+// Zipfian draws items from [0, n) with a zipfian (power-law) distribution,
+// following the rejection-free algorithm from Gray et al. "Quickly
+// Generating Billion-Record Synthetic Databases" that YCSB uses. Item 0 is
+// the most popular.
+type Zipfian struct {
+	r            *Rand
+	items        uint64
+	theta        float64
+	zetaN, zeta2 float64
+	alpha, eta   float64
+}
+
+// ZipfianConstant is YCSB's default skew parameter.
+const ZipfianConstant = 0.99
+
+// NewZipfian returns a zipfian generator over [0, items) with the given
+// theta (use ZipfianConstant for the YCSB default).
+func NewZipfian(r *Rand, items uint64, theta float64) *Zipfian {
+	z := &Zipfian{r: r, items: items, theta: theta}
+	z.zetaN = zeta(items, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(items), 1-theta)) / (1 - z.zeta2/z.zetaN)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetaN
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads zipfian ranks across the key space by hashing,
+// so the popular items are not clustered — YCSB's default request
+// distribution for workloads A and B.
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items uint64
+}
+
+// NewScrambledZipfian returns a scrambled zipfian generator over [0, items).
+func NewScrambledZipfian(r *Rand, items uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(r, items, ZipfianConstant), items: items}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next() uint64 { return FNV64a(s.z.Next()) % s.items }
+
+// Latest skews requests towards recently inserted items — YCSB workload D.
+// The caller advances the insert frontier with SetMax as new items are
+// created.
+type Latest struct {
+	z   *Zipfian
+	max uint64
+}
+
+// NewLatest returns a latest-skewed generator; max is the current number of
+// inserted items (frontier).
+func NewLatest(r *Rand, max uint64) *Latest {
+	return &Latest{z: NewZipfian(r, max, ZipfianConstant), max: max}
+}
+
+// SetMax advances the insert frontier. The underlying zipfian keeps its
+// original zeta (YCSB does an incremental update; for our frontier growth
+// rates the difference is negligible and the shape is preserved).
+func (l *Latest) SetMax(max uint64) { l.max = max }
+
+// Next implements Generator.
+func (l *Latest) Next() uint64 {
+	off := l.z.Next()
+	if off >= l.max {
+		off = l.max - 1
+	}
+	return l.max - 1 - off
+}

@@ -1,0 +1,241 @@
+package util
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck generator")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	u := NewUniform(NewRand(1), 100)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		v := u.Next()
+		if v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("uniform covered only %d/100 items", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(NewRand(3), 1000, ZipfianConstant)
+	counts := make([]int, 1000)
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be by far the most popular: ~1/zeta(1000) of requests.
+	if counts[0] < n/20 {
+		t.Fatalf("zipfian head not popular enough: %d/%d", counts[0], n)
+	}
+	// The tail should still be hit occasionally.
+	tail := 0
+	for _, c := range counts[500:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatal("zipfian never hit the tail half")
+	}
+	if counts[0] <= counts[500] {
+		t.Fatal("zipfian head not more popular than tail")
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	s := NewScrambledZipfian(NewRand(5), 1000)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50000; i++ {
+		v := s.Next()
+		if v >= 1000 {
+			t.Fatalf("scrambled zipfian out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	// Hot items are hashed across the space; a decent fraction is touched.
+	if len(seen) < 200 {
+		t.Fatalf("scrambled zipfian touched only %d items", len(seen))
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	l := NewLatest(NewRand(9), 1000)
+	recent := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := l.Next()
+		if v >= 1000 {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= 900 {
+			recent++
+		}
+	}
+	if recent < n/2 {
+		t.Fatalf("latest distribution not skewed to recent: %d/%d in top decile", recent, n)
+	}
+	l.SetMax(2000)
+	for i := 0; i < 1000; i++ {
+		if v := l.Next(); v >= 2000 {
+			t.Fatalf("latest out of extended range: %d", v)
+		}
+	}
+}
+
+func TestEncodeUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ea := EncodeUint64(nil, a)
+		eb := EncodeUint64(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := EncodeInt64(nil, a)
+		eb := EncodeInt64(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, v uint32) bool {
+		if DecodeUint64(EncodeUint64(nil, u)) != u {
+			return false
+		}
+		if DecodeInt64(EncodeInt64(nil, i)) != i {
+			return false
+		}
+		return DecodeUint32(EncodeUint32(nil, v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetBytes(t *testing.T) {
+	f := func(b []byte, trailer []byte) bool {
+		enc := PutBytes(nil, b)
+		enc = append(enc, trailer...)
+		got, n := GetBytes(enc)
+		return bytes.Equal(got, b) && n == len(enc)-len(trailer)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := PutUvarint(nil, v)
+		got, n := Uvarint(enc)
+		return got == v && n == len(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 3},
+		{"abc", "abd", 2},
+		{"abc", "xbc", 0},
+		{"ab", "abcd", 2},
+		{"abcd", "ab", 2},
+	}
+	for _, c := range cases {
+		if got := CommonPrefix([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("CommonPrefix(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFNV64aDisperses(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		seen[FNV64a(i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("FNV64a collided on sequential inputs: %d unique", len(seen))
+	}
+}

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/simclock"
+	"mvpbt/internal/ssd"
+)
+
+func newFile() *sfile.File {
+	m := sfile.NewManager(ssd.New(simclock.New(), ssd.IntelP3600))
+	return m.Create("wal", sfile.ClassMeta)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpBegin, TxID: 7},
+		{Op: OpInsert, TxID: 7, Table: "accounts", Key: []byte("k1"), Row: []byte("row-bytes")},
+		{Op: OpUpdate, TxID: 7, Table: "accounts", Key: []byte("k1"), Row: []byte("new-row")},
+		{Op: OpDelete, TxID: 7, Table: "accounts", Key: []byte("k1")},
+		{Op: OpCommit, TxID: 7},
+		{Op: OpAbort, TxID: 9},
+	}
+	var buf []byte
+	for i := range recs {
+		buf = encode(buf, &recs[i])
+	}
+	r := NewReaderFromBytes(buf)
+	for i := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		if got.Op != recs[i].Op || got.TxID != recs[i].TxID || got.Table != recs[i].Table ||
+			!bytes.Equal(got.Key, recs[i].Key) || !bytes.Equal(got.Row, recs[i].Row) {
+			t.Fatalf("record %d: %+v != %+v", i, got, recs[i])
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader returned extra record")
+	}
+}
+
+func TestWriterReaderThroughFile(t *testing.T) {
+	f := newFile()
+	w := NewWriter(f)
+	const n = 2000 // spans many pages
+	for i := 0; i < n; i++ {
+		w.Append(&Record{Op: OpInsert, TxID: uint64(i), Table: "t",
+			Key: []byte(fmt.Sprintf("key-%05d", i)), Row: bytes.Repeat([]byte("x"), 40)})
+		if i%10 == 9 {
+			w.Flush()
+		}
+	}
+	w.Flush()
+	r := NewReader(f)
+	for i := 0; i < n; i++ {
+		rec, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing after file round trip", i)
+		}
+		if rec.TxID != uint64(i) {
+			t.Fatalf("record %d out of order: tx=%d", i, rec.TxID)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("extra record after end")
+	}
+}
+
+func TestUnflushedRecordsLost(t *testing.T) {
+	f := newFile()
+	w := NewWriter(f)
+	w.Append(&Record{Op: OpBegin, TxID: 1})
+	w.Flush()
+	w.Append(&Record{Op: OpCommit, TxID: 1}) // never flushed: "crash"
+	r := NewReader(f)
+	rec, ok := r.Next()
+	if !ok || rec.Op != OpBegin {
+		t.Fatalf("flushed record lost: %+v %v", rec, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("unflushed record survived the crash")
+	}
+}
+
+func TestTornRecordEndsRecovery(t *testing.T) {
+	var buf []byte
+	buf = encode(buf, &Record{Op: OpBegin, TxID: 1})
+	buf = encode(buf, &Record{Op: OpCommit, TxID: 1})
+	whole := len(buf)
+	buf = encode(buf, &Record{Op: OpInsert, TxID: 2, Table: "t", Row: bytes.Repeat([]byte("y"), 100)})
+	// Tear the last record.
+	buf = buf[:whole+(len(buf)-whole)/2]
+	r := NewReaderFromBytes(buf)
+	count := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("recovered %d records, want 2 (torn tail must end recovery)", count)
+	}
+}
+
+func TestCorruptChecksumRejected(t *testing.T) {
+	var buf []byte
+	buf = encode(buf, &Record{Op: OpInsert, TxID: 3, Table: "t", Key: []byte("k"), Row: []byte("v")})
+	buf[len(buf)/2] ^= 0xFF
+	r := NewReaderFromBytes(buf)
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt record accepted")
+	}
+}
+
+func TestTailPageRewrite(t *testing.T) {
+	// Many small flushes must keep rewriting the same tail page, not
+	// allocate a page per commit.
+	f := newFile()
+	w := NewWriter(f)
+	for i := 0; i < 20; i++ {
+		w.Append(&Record{Op: OpCommit, TxID: uint64(i)})
+		w.Flush()
+	}
+	if n := f.NumPages(); n > 2 {
+		t.Fatalf("20 tiny commits used %d pages", n)
+	}
+	r := NewReader(f)
+	count := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 20 {
+		t.Fatalf("recovered %d records, want 20", count)
+	}
+}
+
+func TestWrittenCounter(t *testing.T) {
+	f := newFile()
+	w := NewWriter(f)
+	if w.Written() != 0 {
+		t.Fatal("fresh writer reports bytes")
+	}
+	w.Append(&Record{Op: OpBegin, TxID: 1})
+	if w.Written() == 0 {
+		t.Fatal("Written did not grow")
+	}
+	before := w.Written()
+	w.Flush()
+	if w.Written() != before {
+		t.Fatal("Flush changed the logical byte count")
+	}
+}
+
+func TestOpAndRecordStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpBegin: "begin", OpCommit: "commit", OpAbort: "abort",
+		OpInsert: "insert", OpUpdate: "update", OpDelete: "delete", Op(99): "?",
+	} {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String()=%q want %q", op, op.String(), want)
+		}
+	}
+	s := Record{Op: OpInsert, TxID: 4, Table: "t", Key: []byte{0xAB}, Row: []byte("xy")}.String()
+	for _, want := range []string{"insert", "tx=4", `"t"`, "ab", "2B"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("Record.String()=%q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmptyLogRecovers(t *testing.T) {
+	f := newFile()
+	r := NewReader(f)
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty log yielded a record")
+	}
+}
+
+func TestRecordSpanningPages(t *testing.T) {
+	f := newFile()
+	w := NewWriter(f)
+	big := bytes.Repeat([]byte("B"), 3*8192) // record larger than a page
+	w.Append(&Record{Op: OpInsert, TxID: 1, Table: "t", Key: []byte("k"), Row: big})
+	w.Append(&Record{Op: OpCommit, TxID: 1})
+	w.Flush()
+	r := NewReader(f)
+	rec, ok := r.Next()
+	if !ok || len(rec.Row) != len(big) {
+		t.Fatalf("page-spanning record lost: ok=%v len=%d", ok, len(rec.Row))
+	}
+	if rec2, ok := r.Next(); !ok || rec2.Op != OpCommit {
+		t.Fatal("record after page-spanner lost")
+	}
+}

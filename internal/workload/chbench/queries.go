@@ -1,0 +1,122 @@
+package chbench
+
+import (
+	"mvpbt/internal/db"
+	"mvpbt/internal/txn"
+	"mvpbt/internal/util"
+	"mvpbt/internal/workload/tpcc"
+)
+
+// Additional CH-style analytical queries, extending the rotating set of
+// chbench.go towards the benchmark's full query list. Each is expressed
+// as an index scan so the visibility-check strategy (index-only vs
+// base-table) is the dominant cost, as in the paper.
+
+// Q4OrderPriorityCount is the CH Q4 shape: count orders grouped by
+// whether they have been delivered (carrier assigned), over the whole
+// order table.
+func (b *Bench) Q4OrderPriorityCount(tx *txn.Tx) (QueryResult, error) {
+	lo, hi := fullRange()
+	var res QueryResult
+	delivered := 0
+	tbl := b.OrdersTable()
+	err := tbl.Scan(tx, tbl.Indexes()[0], lo, hi, true, func(rr db.RowRef) bool {
+		if tpcc.DecodeOrder(rr.Row).Carrier != 0 {
+			delivered++
+		}
+		res.Rows++
+		return true
+	})
+	res.Sum = int64(delivered)
+	res.Groups = 2
+	return res, err
+}
+
+// Q12CarrierDistribution is the CH Q12 shape: orders per carrier.
+func (b *Bench) Q12CarrierDistribution(tx *txn.Tx) (QueryResult, error) {
+	lo, hi := fullRange()
+	var res QueryResult
+	groups := map[uint32]int{}
+	tbl := b.OrdersTable()
+	err := tbl.Scan(tx, tbl.Indexes()[0], lo, hi, true, func(rr db.RowRef) bool {
+		groups[tpcc.DecodeOrder(rr.Row).Carrier]++
+		res.Rows++
+		return true
+	})
+	res.Groups = len(groups)
+	return res, err
+}
+
+// Q18LargeOrders is the CH Q18 shape: per-customer order counts through
+// the SECONDARY (w,d,c,o) index — exercising secondary-index scans under
+// churn, where version-oblivious indexes accumulate the most garbage.
+func (b *Bench) Q18LargeOrders(tx *txn.Tx, minOrders int) (QueryResult, error) {
+	lo, hi := fullRange()
+	var res QueryResult
+	tbl := b.OrdersTable()
+	perCust := map[string]int{}
+	err := tbl.Scan(tx, tbl.Index("cust"), lo, hi, false, func(rr db.RowRef) bool {
+		// Customer identity is the first 12 key bytes (w, d, c).
+		perCust[string(rr.Key[:12])]++
+		res.Rows++
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, n := range perCust {
+		if n >= minOrders {
+			res.Groups++
+		}
+	}
+	return res, nil
+}
+
+// Q6BandRevenue is a parameterized Q6 variant scanning one district's
+// order lines only — a selective range where partition range-keys and
+// prefix bloom filters can skip partitions.
+func (b *Bench) Q6BandRevenue(tx *txn.Tx, w, d uint32) (QueryResult, error) {
+	lo := util.EncodeUint32(util.EncodeUint32(nil, w), d)
+	hi := util.EncodeUint32(util.EncodeUint32(nil, w), d+1)
+	var res QueryResult
+	tbl := b.OrderLineTable()
+	err := tbl.Scan(tx, tbl.Indexes()[0], lo, hi, false, func(rr db.RowRef) bool {
+		res.Rows++
+		return true
+	})
+	return res, err
+}
+
+// FullQuerySet runs every implemented analytical query once under tx and
+// returns the aggregated row count (a coarse "all 22 queries" sweep).
+func (b *Bench) FullQuerySet(tx *txn.Tx) (int, error) {
+	total := 0
+	for i := 0; i < 4; i++ {
+		r, err := b.AnalyticalQuery(tx, i)
+		if err != nil {
+			return total, err
+		}
+		total += r.Rows
+	}
+	if r, err := b.Q4OrderPriorityCount(tx); err != nil {
+		return total, err
+	} else {
+		total += r.Rows
+	}
+	if r, err := b.Q12CarrierDistribution(tx); err != nil {
+		return total, err
+	} else {
+		total += r.Rows
+	}
+	if r, err := b.Q18LargeOrders(tx, 2); err != nil {
+		return total, err
+	} else {
+		total += r.Rows
+	}
+	if r, err := b.Q6BandRevenue(tx, 1, 1); err != nil {
+		return total, err
+	} else {
+		total += r.Rows
+	}
+	return total, nil
+}

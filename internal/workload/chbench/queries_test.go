@@ -1,0 +1,98 @@
+package chbench
+
+import (
+	"testing"
+
+	"mvpbt/internal/db"
+)
+
+func TestExtendedQueriesConsistentAcrossEngines(t *testing.T) {
+	mv := build(t, db.IdxMVPBT)
+	bt := build(t, db.IdxBTree)
+	if err := mv.Run(250); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Run(250); err != nil {
+		t.Fatal(err)
+	}
+	type q func(b *Bench) (QueryResult, error)
+	queries := map[string]q{
+		"q4": func(b *Bench) (QueryResult, error) {
+			tx := b.Engine().Begin()
+			defer b.Engine().Commit(tx)
+			return b.Q4OrderPriorityCount(tx)
+		},
+		"q12": func(b *Bench) (QueryResult, error) {
+			tx := b.Engine().Begin()
+			defer b.Engine().Commit(tx)
+			return b.Q12CarrierDistribution(tx)
+		},
+		"q18": func(b *Bench) (QueryResult, error) {
+			tx := b.Engine().Begin()
+			defer b.Engine().Commit(tx)
+			return b.Q18LargeOrders(tx, 2)
+		},
+		"q6band": func(b *Bench) (QueryResult, error) {
+			tx := b.Engine().Begin()
+			defer b.Engine().Commit(tx)
+			return b.Q6BandRevenue(tx, 1, 1)
+		},
+	}
+	for name, run := range queries {
+		rm, err := run(mv)
+		if err != nil {
+			t.Fatalf("%s on mvpbt: %v", name, err)
+		}
+		rb, err := run(bt)
+		if err != nil {
+			t.Fatalf("%s on btree: %v", name, err)
+		}
+		if rm != rb {
+			t.Fatalf("%s diverged: mvpbt=%+v btree=%+v", name, rm, rb)
+		}
+		if rm.Rows == 0 {
+			t.Fatalf("%s returned no rows after 250 transactions", name)
+		}
+	}
+}
+
+func TestFullQuerySet(t *testing.T) {
+	b := build(t, db.IdxMVPBT)
+	if err := b.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	tx := b.Engine().Begin()
+	defer b.Engine().Commit(tx)
+	n, err := b.FullQuerySet(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("query sweep saw no rows")
+	}
+}
+
+func TestSecondaryIndexQueryUnderChurn(t *testing.T) {
+	// Q18 runs over the orders.cust secondary index while OLTP keeps
+	// committing — the snapshot's answer must not change.
+	b := build(t, db.IdxMVPBT)
+	if err := b.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Engine().Begin()
+	before, err := b.Q18LargeOrders(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	after, err := b.Q18LargeOrders(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Engine().Commit(snap)
+	if before != after {
+		t.Fatalf("secondary-index snapshot drifted: %+v -> %+v", before, after)
+	}
+}
