@@ -14,6 +14,7 @@ test:
 	go test ./...
 
 race:
+	go vet ./...
 	go test -race ./...
 
 # One testing.B benchmark per paper figure (quick scale).

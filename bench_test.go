@@ -129,6 +129,55 @@ func BenchmarkFig15b_PartitionsOverTime(b *testing.B) {
 	b.ReportMetric(cell(b, res, last, 2), "partitions")
 }
 
+// parallelHarness builds the shared read-path scaling fixture once per
+// benchmark (outside the timed region) and starts the background writer.
+func parallelHarness(b *testing.B) (*bench.ParallelHarness, func() int) {
+	b.Helper()
+	h, err := bench.NewParallelHarness(bench.Quick)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h, h.StartWriter()
+}
+
+// BenchmarkParallelLookup drives point lookups from GOMAXPROCS goroutines
+// (override with -cpu) against a buffer-resident MV-PBT while one writer
+// goroutine churns versions. Compare -cpu 1 vs -cpu 8 ops/s; the numbers
+// are tracked in EXPERIMENTS.md.
+func BenchmarkParallelLookup(b *testing.B) {
+	h, stop := parallelHarness(b)
+	defer stop()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := h.NewClient()
+		defer c.Close()
+		for pb.Next() {
+			if err := c.Lookup(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelScan is the short-range-scan variant of
+// BenchmarkParallelLookup (50 entries per scan).
+func BenchmarkParallelScan(b *testing.B) {
+	h, stop := parallelHarness(b)
+	defer stop()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := h.NewClient()
+		defer c.Close()
+		for pb.Next() {
+			if err := c.Scan(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkExtraWA_WriteAmplification(b *testing.B) {
 	res := runExperimentHelper(b, "extra-wa")
 	b.ReportMetric(cell(b, res, 1, 3), "lsm_write_amp")

@@ -5,29 +5,70 @@
 //	mvpbt-bench -list
 //	mvpbt-bench -run fig12a
 //	mvpbt-bench -all -scale full
+//	mvpbt-bench -run parallel -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Every experiment prints the same rows/series the corresponding figure of
-// the paper reports; EXPERIMENTS.md records paper-vs-measured values.
+// the paper reports; EXPERIMENTS.md records paper-vs-measured values. The
+// -cpuprofile/-memprofile flags write standard pprof profiles covering the
+// experiment run (inspect with `go tool pprof`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mvpbt/internal/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the exit code back to main so that profile-flushing defers
+// execute before the process exits.
+func run() int {
 	var (
-		list  = flag.Bool("list", false, "list all experiments")
-		run   = flag.String("run", "", "run one experiment by id (e.g. fig3)")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.String("scale", "quick", "experiment scale: quick | full")
-		csv   = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+		list       = flag.Bool("list", false, "list all experiments")
+		runID      = flag.String("run", "", "run one experiment by id (e.g. fig3)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.String("scale", "quick", "experiment scale: quick | full")
+		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var s bench.Scale
 	switch *scale {
@@ -37,7 +78,7 @@ func main() {
 		s = bench.Full
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 
 	switch {
@@ -45,27 +86,28 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-	case *run != "":
-		e, ok := bench.Lookup(*run)
+	case *runID != "":
+		e, ok := bench.Lookup(*runID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *runID)
+			return 2
 		}
 		if err := runOne(e, s, *csv); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	case *all:
 		for _, e := range bench.All() {
 			if err := runOne(e, s, *csv); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func runOne(e bench.Experiment, s bench.Scale, csv bool) error {

@@ -2,19 +2,26 @@
 // of page frames with clock-sweep replacement, pin counts, dirty
 // write-back, and per-class request/hit statistics (the paper's Figure 12d
 // compares index-node against base-table-node buffer traffic).
+//
+// The frame set is split into shards addressed by a hash of the page id,
+// each with its own latch, page table, and clock hand, so page fetches
+// from parallel clients do not contend on one pool-wide lock. Small pools
+// (under 64 frames) collapse to a single shard and behave exactly like
+// the unsharded pool, including its eviction order.
 package buffer
 
 import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/storage"
 )
 
-// ErrNoFrames is returned when every frame is pinned and none can be
-// evicted.
+// ErrNoFrames is returned when every frame (of the page's shard) is pinned
+// and none can be evicted.
 var ErrNoFrames = errors.New("buffer: all frames pinned")
 
 // ClassStats counts buffer traffic for one file class.
@@ -31,9 +38,16 @@ func (c ClassStats) Sub(o ClassStats) ClassStats {
 	return ClassStats{Requests: c.Requests - o.Requests, Hits: c.Hits - o.Hits}
 }
 
+// classCounter is the internal atomic form of ClassStats.
+type classCounter struct {
+	requests atomic.Int64
+	hits     atomic.Int64
+}
+
 // Frame is a pinned buffer page. Callers must Unpin every frame they
 // fetched, stating whether they dirtied it.
 type Frame struct {
+	sh    *shard
 	pid   storage.PageID
 	file  *sfile.File
 	data  []byte
@@ -48,15 +62,46 @@ func (fr *Frame) Data() []byte { return fr.data }
 // PageID returns the id of the page held by the frame.
 func (fr *Frame) PageID() storage.PageID { return fr.pid }
 
-// Pool is the shared buffer pool. All methods are safe for concurrent use.
-type Pool struct {
+// shard is one latch domain: a slice of the pool's frames with its own
+// page table and clock hand.
+type shard struct {
 	mu     sync.Mutex
 	frames []*Frame
 	table  map[storage.PageID]*Frame
 	hand   int
-	stats  [sfile.NumClasses]ClassStats
+}
+
+// Sharding bounds: never fewer than minFramesPerShard frames per shard
+// (tiny test pools keep exact single-shard eviction semantics), never more
+// than maxShards shards.
+const (
+	minFramesPerShard = 32
+	maxShards         = 16
+)
+
+// evictHook is a registered page-range observer: fn fires with the
+// range-relative page number whenever a cached page of the range is evicted
+// or invalidated. Immutable-segment readers use it to keep derived caches
+// (decoded pages) from outliving buffer residency.
+type evictHook struct {
+	id    int
+	file  *sfile.File
+	start uint64
+	n     int
+	fn    func(rel int)
+}
+
+// Pool is the shared buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	shards []*shard
+	mask   uint64
+	stats  [sfile.NumClasses]classCounter
 	// evictions counts pages written back dirty (random in-place writes).
-	evictions int64
+	evictions atomic.Int64
+
+	hookMu   sync.RWMutex
+	hooks    []evictHook
+	nextHook int
 }
 
 // New returns a pool with the given number of page frames.
@@ -64,35 +109,81 @@ func New(nFrames int) *Pool {
 	if nFrames < 2 {
 		nFrames = 2
 	}
-	p := &Pool{
-		frames: make([]*Frame, nFrames),
-		table:  make(map[storage.PageID]*Frame, nFrames),
+	nShards := 1
+	for nShards < maxShards && nFrames/(nShards*2) >= minFramesPerShard {
+		nShards *= 2
 	}
-	for i := range p.frames {
-		p.frames[i] = &Frame{data: make([]byte, storage.PageSize)}
+	p := &Pool{
+		shards: make([]*shard, nShards),
+		mask:   uint64(nShards - 1),
+	}
+	for i := range p.shards {
+		// Spread the remainder over the first shards.
+		n := nFrames / nShards
+		if i < nFrames%nShards {
+			n++
+		}
+		sh := &shard{
+			frames: make([]*Frame, n),
+			table:  make(map[storage.PageID]*Frame, n),
+		}
+		for j := range sh.frames {
+			sh.frames[j] = &Frame{sh: sh, data: make([]byte, storage.PageSize)}
+		}
+		p.shards[i] = sh
 	}
 	return p
 }
 
 // NumFrames returns the pool capacity in pages.
-func (p *Pool) NumFrames() int { return len(p.frames) }
+func (p *Pool) NumFrames() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh.frames)
+	}
+	return n
+}
+
+// NumShards returns the number of latch domains the frames are split into.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// shardOf picks the shard for a page id (Fibonacci hash of the full id, so
+// consecutive pages of one file spread across shards).
+func (p *Pool) shardOf(pid storage.PageID) *shard {
+	return p.shards[(uint64(pid)*0x9E3779B97F4A7C15)>>32&p.mask]
+}
+
+// lockAll acquires every shard latch in index order (the only multi-shard
+// lock order, so pool-wide operations cannot deadlock each other).
+func (p *Pool) lockAll() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (p *Pool) unlockAll() {
+	for _, sh := range p.shards {
+		sh.mu.Unlock()
+	}
+}
 
 // Get fetches page pageNo of file f, pinning it. The returned frame must be
 // released with Unpin.
 func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 	pid := f.PageID(pageNo)
-	p.mu.Lock()
-	p.stats[f.Class()].Requests++
-	if fr, ok := p.table[pid]; ok {
-		p.stats[f.Class()].Hits++
+	p.stats[f.Class()].requests.Add(1)
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	if fr, ok := sh.table[pid]; ok {
+		p.stats[f.Class()].hits.Add(1)
 		fr.pin++
 		fr.ref = true
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return fr, nil
 	}
-	fr, err := p.victimLocked()
+	fr, err := sh.victimLocked(p)
 	if err != nil {
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	fr.pid = pid
@@ -100,12 +191,12 @@ func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 	fr.pin = 1
 	fr.ref = true
 	fr.dirty = false
-	p.table[pid] = fr
-	// The read happens under the pool lock so a concurrent Get for the same
-	// page cannot observe a half-filled frame. The device is simulated, so
-	// holding the lock across the "I/O" costs nothing real.
+	sh.table[pid] = fr
+	// The read happens under the shard latch so a concurrent Get for the
+	// same page cannot observe a half-filled frame. The device is simulated,
+	// so holding the latch across the "I/O" costs nothing real.
 	f.ReadPage(pageNo, fr.data)
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	return fr, nil
 }
 
@@ -114,11 +205,12 @@ func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 func (p *Pool) NewPage(f *sfile.File) (*Frame, uint64, error) {
 	pageNo := f.AllocPage()
 	pid := f.PageID(pageNo)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats[f.Class()].Requests++
-	p.stats[f.Class()].Hits++ // fresh pages never touch the device
-	fr, err := p.victimLocked()
+	p.stats[f.Class()].requests.Add(1)
+	p.stats[f.Class()].hits.Add(1) // fresh pages never touch the device
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fr, err := sh.victimLocked(p)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -130,16 +222,17 @@ func (p *Pool) NewPage(f *sfile.File) (*Frame, uint64, error) {
 	for i := range fr.data {
 		fr.data[i] = 0
 	}
-	p.table[pid] = fr
+	sh.table[pid] = fr
 	return fr, pageNo, nil
 }
 
-// victimLocked finds a free or evictable frame, writing it back if dirty.
-func (p *Pool) victimLocked() (*Frame, error) {
-	n := len(p.frames)
+// victimLocked finds a free or evictable frame in the shard, writing it
+// back if dirty.
+func (sh *shard) victimLocked(p *Pool) (*Frame, error) {
+	n := len(sh.frames)
 	for sweep := 0; sweep < 2*n; sweep++ {
-		fr := p.frames[p.hand]
-		p.hand = (p.hand + 1) % n
+		fr := sh.frames[sh.hand]
+		sh.hand = (sh.hand + 1) % n
 		if fr.pin > 0 {
 			continue
 		}
@@ -150,10 +243,11 @@ func (p *Pool) victimLocked() (*Frame, error) {
 		if fr.dirty {
 			fr.file.WritePage(fr.pid.PageNo(), fr.data)
 			fr.dirty = false
-			p.evictions++
+			p.evictions.Add(1)
 		}
 		if fr.pid.Valid() {
-			delete(p.table, fr.pid)
+			delete(sh.table, fr.pid)
+			p.notifyEvict(fr.file, fr.pid)
 			fr.pid = storage.InvalidPageID
 		}
 		return fr, nil
@@ -161,11 +255,51 @@ func (p *Pool) victimLocked() (*Frame, error) {
 	return nil, ErrNoFrames
 }
 
+// AddEvictHook registers fn to fire (with the range-relative page number)
+// whenever a cached page of f in [start, start+n) leaves the pool. fn runs
+// under the page's shard latch and must not block or touch the pool.
+// Returns a handle for RemoveEvictHook.
+func (p *Pool) AddEvictHook(f *sfile.File, start uint64, n int, fn func(rel int)) int {
+	p.hookMu.Lock()
+	defer p.hookMu.Unlock()
+	p.nextHook++
+	p.hooks = append(p.hooks, evictHook{id: p.nextHook, file: f, start: start, n: n, fn: fn})
+	return p.nextHook
+}
+
+// RemoveEvictHook unregisters a hook returned by AddEvictHook.
+func (p *Pool) RemoveEvictHook(id int) {
+	p.hookMu.Lock()
+	defer p.hookMu.Unlock()
+	for i := range p.hooks {
+		if p.hooks[i].id == id {
+			p.hooks = append(p.hooks[:i], p.hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyEvict fires the hooks covering pid. Callers hold the page's shard
+// latch; hook order shard.mu -> hookMu is the only nesting, and hook
+// registration never takes shard latches, so there is no cycle.
+func (p *Pool) notifyEvict(f *sfile.File, pid storage.PageID) {
+	p.hookMu.RLock()
+	defer p.hookMu.RUnlock()
+	pageNo := pid.PageNo()
+	for i := range p.hooks {
+		h := &p.hooks[i]
+		if h.file == f && pageNo >= h.start && pageNo < h.start+uint64(h.n) {
+			h.fn(int(pageNo - h.start))
+		}
+	}
+}
+
 // Unpin releases a frame fetched with Get or NewPage. dirty marks the page
 // as modified, to be written back on eviction or flush.
 func (p *Pool) Unpin(fr *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := fr.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if fr.pin <= 0 {
 		panic("buffer: Unpin of unpinned frame")
 	}
@@ -180,9 +314,10 @@ func (p *Pool) Unpin(fr *Frame, dirty bool) {
 // writes as tail pages fill.
 func (p *Pool) FlushPage(f *sfile.File, pageNo uint64) {
 	pid := f.PageID(pageNo)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fr, ok := p.table[pid]; ok && fr.dirty {
+	sh := p.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fr, ok := sh.table[pid]; ok && fr.dirty {
 		fr.file.WritePage(pageNo, fr.data)
 		fr.dirty = false
 	}
@@ -190,27 +325,31 @@ func (p *Pool) FlushPage(f *sfile.File, pageNo uint64) {
 
 // FlushAll writes back every dirty page.
 func (p *Pool) FlushAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, fr := range p.frames {
-		if fr.pid.Valid() && fr.dirty {
-			fr.file.WritePage(fr.pid.PageNo(), fr.data)
-			fr.dirty = false
+	p.lockAll()
+	defer p.unlockAll()
+	for _, sh := range p.shards {
+		for _, fr := range sh.frames {
+			if fr.pid.Valid() && fr.dirty {
+				fr.file.WritePage(fr.pid.PageNo(), fr.data)
+				fr.dirty = false
+			}
 		}
 	}
 }
 
-// EvictAll flushes every dirty page (in elevator order: sorted by page id,
-// like a checkpointer) and invalidates all unpinned frames. Experiments
-// use it to reproduce the paper's methodology of cleaning the OS page
-// cache every second (§5 "Experimental Setup").
+// EvictAll flushes every dirty page (in pool-wide elevator order: sorted
+// by page id, like a checkpointer) and invalidates all unpinned frames.
+// Experiments use it to reproduce the paper's methodology of cleaning the
+// OS page cache every second (§5 "Experimental Setup").
 func (p *Pool) EvictAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.lockAll()
+	defer p.unlockAll()
 	var dirty []*Frame
-	for _, fr := range p.frames {
-		if fr.pid.Valid() && fr.dirty {
-			dirty = append(dirty, fr)
+	for _, sh := range p.shards {
+		for _, fr := range sh.frames {
+			if fr.pid.Valid() && fr.dirty {
+				dirty = append(dirty, fr)
+			}
 		}
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pid < dirty[j].pid })
@@ -218,11 +357,14 @@ func (p *Pool) EvictAll() {
 		fr.file.WritePage(fr.pid.PageNo(), fr.data)
 		fr.dirty = false
 	}
-	for _, fr := range p.frames {
-		if fr.pid.Valid() && fr.pin == 0 {
-			delete(p.table, fr.pid)
-			fr.pid = storage.InvalidPageID
-			fr.ref = false
+	for _, sh := range p.shards {
+		for _, fr := range sh.frames {
+			if fr.pid.Valid() && fr.pin == 0 {
+				delete(sh.table, fr.pid)
+				p.notifyEvict(fr.file, fr.pid)
+				fr.pid = storage.InvalidPageID
+				fr.ref = false
+			}
 		}
 	}
 }
@@ -231,41 +373,47 @@ func (p *Pool) EvictAll() {
 // without writing them back. Used when partition runs are freed: the pages
 // are dead.
 func (p *Pool) DropFilePages(f *sfile.File, start uint64, n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for i := 0; i < n; i++ {
 		pid := f.PageID(start + uint64(i))
-		if fr, ok := p.table[pid]; ok {
+		sh := p.shardOf(pid)
+		sh.mu.Lock()
+		if fr, ok := sh.table[pid]; ok {
 			if fr.pin > 0 {
+				sh.mu.Unlock()
 				panic("buffer: dropping pinned page")
 			}
-			delete(p.table, pid)
+			delete(sh.table, pid)
 			fr.pid = storage.InvalidPageID
 			fr.dirty = false
 			fr.ref = false
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // Stats returns a snapshot of the per-class counters.
 func (p *Pool) Stats() [sfile.NumClasses]ClassStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var out [sfile.NumClasses]ClassStats
+	for i := range p.stats {
+		out[i] = ClassStats{
+			Requests: p.stats[i].requests.Load(),
+			Hits:     p.stats[i].hits.Load(),
+		}
+	}
+	return out
 }
 
 // Evictions returns the number of dirty write-backs performed by the
 // replacement policy.
 func (p *Pool) Evictions() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.evictions
+	return p.evictions.Load()
 }
 
 // ResetStats zeroes the per-class counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = [sfile.NumClasses]ClassStats{}
-	p.evictions = 0
+	for i := range p.stats {
+		p.stats[i].requests.Store(0)
+		p.stats[i].hits.Store(0)
+	}
+	p.evictions.Store(0)
 }

@@ -22,7 +22,7 @@ func (d DumpEntry) String() string {
 	if d.Rec.OldRID.Valid() {
 		s += fmt.Sprintf(" old=%v", d.Rec.OldRID)
 	}
-	if d.Rec.GC {
+	if d.Rec.GCMarked() {
 		s += " GC"
 	}
 	return s
@@ -31,17 +31,18 @@ func (d DumpEntry) String() string {
 // DumpKey returns every index record for key, in processing order (PN
 // first, then partitions newest to oldest).
 func (t *Tree) DumpKey(key []byte) []DumpEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	v := t.view.Load()
 	var out []DumpEntry
-	for it := t.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+	for it := v.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
 		if !bytes.Equal(it.Key().key, key) {
 			break
 		}
-		out = append(out, DumpEntry{Where: "PN", Key: string(key), Rec: *it.Value()})
+		out = append(out, DumpEntry{Where: "PN", Key: string(key), Rec: it.Value().snapshot()})
 	}
-	for i := len(t.parts) - 1; i >= 0; i-- {
-		seg := t.parts[i]
+	for i := len(v.parts) - 1; i >= 0; i-- {
+		seg := v.parts[i]
 		for it := seg.Seek(key); it.Valid(); it.Next() {
 			r := it.Record()
 			if !bytes.Equal(r.Key, key) {

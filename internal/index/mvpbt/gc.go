@@ -11,19 +11,21 @@ import (
 // sweepPNLocked is garbage-collection phase 2 (§4.6): remove the records
 // that scans flagged (phase 1) from the main-memory partition, reclaiming
 // space before the next insert. Called with t.mu held when the garbage
-// ratio crosses the threshold.
-func (t *Tree) sweepPNLocked() {
+// ratio crosses the threshold. Deleting from the SWMR skiplist is safe
+// against concurrent readers; a reader parked on a removed node continues
+// into the surviving suffix.
+func (t *Tree) sweepPNLocked(v *treeView) {
 	var victims []pnKey
-	for it := t.pn.Min(); it.Valid(); it.Next() {
-		if it.Value().GC {
+	for it := v.pn.Min(); it.Valid(); it.Next() {
+		if it.Value().GCMarked() {
 			victims = append(victims, it.Key())
 		}
 	}
 	for _, k := range victims {
-		t.pn.Delete(k)
+		v.pn.Delete(k)
 	}
-	t.stats.GCSweptPN += int64(len(victims))
-	t.pnGarbage = 0
+	t.stats.gcSweptPN.Add(int64(len(victims)))
+	t.pnGarbage.Store(0)
 }
 
 // pnEntry pairs a PN key with its record during eviction.
@@ -46,16 +48,24 @@ type pnEntry struct {
 //     truncation, internal levels are built bottom-up, and all pages are
 //     written out strictly sequentially.
 //  4. Bloom and prefix-bloom filters are computed from the same pass.
-//  5. The new partition is attached to the partition metadata.
+//  5. The new partition and the fresh PN are published as one view, so a
+//     reader either sees the frozen PN (old view) or the new partition
+//     (new view) — never both or neither.
 func (t *Tree) EvictPN() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.pn.Len() == 0 {
+	v := t.view.Load()
+	if v.pn.Len() == 0 {
 		return nil
 	}
-	entries := make([]pnEntry, 0, t.pn.Len())
-	for it := t.pn.Min(); it.Valid(); it.Next() {
-		entries = append(entries, pnEntry{key: it.Key(), rec: it.Value()})
+	// Freeze: value-copy every record. The frozen PN stays readable
+	// through the old view while GC below rewrites anti-matter chains
+	// (OldRID inheritance), so the mutation must happen on private copies.
+	entries := make([]pnEntry, 0, v.pn.Len())
+	recs := make([]Record, 0, v.pn.Len())
+	for it := v.pn.Min(); it.Valid(); it.Next() {
+		recs = append(recs, it.Value().snapshot())
+		entries = append(entries, pnEntry{key: it.Key(), rec: &recs[len(recs)-1]})
 	}
 	if !t.opts.DisableGC {
 		if t.opts.Unique {
@@ -65,8 +75,8 @@ func (t *Tree) EvictPN() error {
 		}
 	}
 	if len(entries) == 0 {
-		t.pn = newPN()
-		t.pnGarbage = 0
+		t.view.Store(&treeView{pn: newPN(), parts: v.parts})
+		t.pnGarbage.Store(0)
 		return nil
 	}
 	kvs := make([]part.KV, len(entries))
@@ -88,13 +98,16 @@ func (t *Tree) EvictPN() error {
 		return err
 	}
 	t.nextNo++
+	parts := v.parts
 	if seg != nil {
-		t.parts = append(t.parts, seg)
+		parts = make([]*part.Segment, 0, len(v.parts)+1)
+		parts = append(parts, v.parts...)
+		parts = append(parts, seg)
 	}
-	t.pn = newPN()
-	t.pnGarbage = 0
-	t.stats.Evictions++
-	if t.opts.MaxPartitions > 0 && len(t.parts) > t.opts.MaxPartitions {
+	t.view.Store(&treeView{pn: newPN(), parts: parts})
+	t.pnGarbage.Store(0)
+	t.stats.evictions.Add(1)
+	if t.opts.MaxPartitions > 0 && len(parts) > t.opts.MaxPartitions {
 		return t.mergePartitionsLocked()
 	}
 	return nil
@@ -121,7 +134,7 @@ func (t *Tree) evictGC(entries []pnEntry) []pnEntry {
 			byMatter[e.rec.Ref.RID] = i
 		}
 		// Aborted and phase-1-flagged records are dropped outright.
-		if e.rec.GC || t.mgr.StatusOf(e.rec.TS) == txn.Aborted {
+		if e.rec.GCMarked() || t.mgr.StatusOf(e.rec.TS) == txn.Aborted {
 			drop[i] = true
 		}
 	}
@@ -167,7 +180,7 @@ func (t *Tree) evictGC(entries []pnEntry) []pnEntry {
 	out := entries[:0]
 	for i := range entries {
 		if drop[i] {
-			t.stats.GCEvict++
+			t.stats.gcEvict.Add(1)
 			continue
 		}
 		out = append(out, entries[i])

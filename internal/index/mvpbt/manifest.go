@@ -23,10 +23,11 @@ const manifestMagic = 0x4D56504254 // "MVPBT"
 func (t *Tree) SaveManifest() (startPage uint64, numPages int, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	v := t.view.Load()
 	body := util.PutUvarint(nil, manifestMagic)
 	body = util.PutUvarint(body, uint64(t.nextNo))
-	body = util.PutUvarint(body, uint64(len(t.parts)))
-	for _, s := range t.parts {
+	body = util.PutUvarint(body, uint64(len(v.parts)))
+	for _, s := range v.parts {
 		body = part.EncodeMeta(body, s)
 	}
 	n := (len(body) + 8 + storage.PageSize - 1) / storage.PageSize
@@ -60,7 +61,8 @@ func (t *Tree) LoadManifest(startPage uint64, numPages int) (err error) {
 			err = fmt.Errorf("mvpbt: corrupt manifest: %v", r)
 		}
 	}()
-	if len(t.parts) != 0 || t.pn.Len() != 0 {
+	v := t.view.Load()
+	if len(v.parts) != 0 || v.pn.Len() != 0 {
 		return fmt.Errorf("mvpbt: LoadManifest on a non-empty tree")
 	}
 	framed := make([]byte, 0, numPages*storage.PageSize)
@@ -97,6 +99,6 @@ func (t *Tree) LoadManifest(startPage uint64, numPages int) (err error) {
 		i += n
 		parts = append(parts, seg)
 	}
-	t.parts = parts
+	t.view.Store(&treeView{pn: v.pn, parts: parts})
 	return nil
 }

@@ -15,7 +15,8 @@ import (
 // boundaries: chains are collapsed below the horizon exactly as in
 // partition eviction, and pure anti-matter whose target no longer exists
 // anywhere is dropped. The merged partition is dense-packed, filtered and
-// written sequentially; the inputs are freed.
+// written sequentially; the inputs are freed once every in-flight reader
+// has moved past the old view (see the gate in Tree).
 func (t *Tree) MergePartitions() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -23,7 +24,8 @@ func (t *Tree) MergePartitions() error {
 }
 
 func (t *Tree) mergePartitionsLocked() error {
-	if len(t.parts) < 2 {
+	v := t.view.Load()
+	if len(v.parts) < 2 {
 		return nil
 	}
 	horizon := t.mgr.Horizon()
@@ -36,9 +38,9 @@ func (t *Tree) mergePartitionsLocked() error {
 		it   *part.Iterator
 		prio int
 	}
-	srcs := make([]*src, 0, len(t.parts))
-	for i := len(t.parts) - 1; i >= 0; i-- {
-		srcs = append(srcs, &src{it: t.parts[i].Min(), prio: len(t.parts) - i})
+	srcs := make([]*src, 0, len(v.parts))
+	for i := len(v.parts) - 1; i >= 0; i-- {
+		srcs = append(srcs, &src{it: v.parts[i].Min(), prio: len(v.parts) - i})
 	}
 	type entry struct {
 		key []byte
@@ -111,7 +113,7 @@ func (t *Tree) mergePartitionsLocked() error {
 			if rec.Matter() && rec.Ref.RID.Valid() {
 				byMatter[rec.Ref.RID] = i
 			}
-			if rec.GC || t.mgr.StatusOf(rec.TS) == txn.Aborted {
+			if rec.GCMarked() || t.mgr.StatusOf(rec.TS) == txn.Aborted {
 				drop[i] = true
 			}
 		}
@@ -149,15 +151,14 @@ func (t *Tree) mergePartitionsLocked() error {
 		out = entries[:0]
 		for i := range entries {
 			if drop[i] {
-				t.stats.GCEvict++
+				t.stats.gcEvict.Add(1)
 				continue
 			}
 			out = append(out, entries[i])
 		}
 	}
 
-	old := t.parts
-	t.parts = nil
+	var merged []*part.Segment
 	if len(out) > 0 {
 		kvs := make([]part.KV, len(out))
 		minTS, maxTS := ^txn.TxID(0), txn.TxID(0)
@@ -175,17 +176,25 @@ func (t *Tree) mergePartitionsLocked() error {
 			PrefixLen:       t.opts.PrefixLen,
 		})
 		if err != nil {
-			t.parts = old // merge failed; keep the previous state
+			// Nothing was published: readers and future operations keep
+			// the previous, still-intact view.
 			return err
 		}
 		t.nextNo++
 		if seg != nil {
-			t.parts = []*part.Segment{seg}
+			merged = []*part.Segment{seg}
 		}
 	}
-	for _, p := range old {
+	t.view.Store(&treeView{pn: v.pn, parts: merged})
+	// Grace period: in-flight readers may still hold the old view with the
+	// input segments. Taking the gate's write side waits them out; new
+	// readers entering afterwards can only load the merged view. Only then
+	// is freeing the inputs safe.
+	t.gate.Lock()
+	t.gate.Unlock() //nolint:staticcheck // empty critical section IS the grace period
+	for _, p := range v.parts {
 		p.Free()
 	}
-	t.stats.Merges++
+	t.stats.merges.Add(1)
 	return nil
 }

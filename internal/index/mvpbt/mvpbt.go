@@ -3,6 +3,7 @@ package mvpbt
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/buffer"
 	"mvpbt/internal/index"
@@ -90,27 +91,85 @@ type Stats struct {
 	Merges int64
 }
 
-// Tree is a Multi-Version Partitioned B-Tree. Safe for concurrent use.
+// filterCounters is the internal atomic form of FilterStats: the read path
+// bumps these without any lock.
+type filterCounters struct {
+	negatives      atomic.Int64
+	positives      atomic.Int64
+	falsePositives atomic.Int64
+}
+
+func (f *filterCounters) snapshot() FilterStats {
+	return FilterStats{
+		Negatives:      f.negatives.Load(),
+		Positives:      f.positives.Load(),
+		FalsePositives: f.falsePositives.Load(),
+	}
+}
+
+// statCounters is the internal atomic form of Stats.
+type statCounters struct {
+	bloom     filterCounters
+	prefix    filterCounters
+	gcMarked  atomic.Int64
+	gcSweptPN atomic.Int64
+	gcEvict   atomic.Int64
+	evictions atomic.Int64
+	merges    atomic.Int64
+}
+
+// treeView is the immutable snapshot the read path operates on: the
+// current main-memory partition and the persisted partition list, oldest
+// first. pn and parts are published TOGETHER — eviction moves records from
+// PN into a new partition, so publishing them separately would let a
+// reader observe the records twice (old pn + new partition) or not at all
+// (new pn + old partition list).
+//
+// The pn inside a view is mutable in the SWMR sense: the single writer
+// (under Tree.mu) keeps inserting into it until it is frozen by eviction;
+// readers traverse it lock-free. parts is never mutated once published —
+// writers publish a whole new view instead.
+type treeView struct {
+	pn    *skiplist.List[pnKey, *Record]
+	parts []*part.Segment
+}
+
+// Tree is a Multi-Version Partitioned B-Tree. Safe for concurrent use:
+// readers (Lookup, Scan, ScanAllMatter, DumpKey) run in parallel against
+// the current view; writers (inserts, eviction, merge, bulk load)
+// serialize on mu and publish new views. See DESIGN.md "Concurrency
+// model".
 type Tree struct {
-	mu        sync.Mutex
-	opts      Options
-	pool      *buffer.Pool
-	file      *sfile.File
-	pbuf      *part.PartitionBuffer
-	mgr       *txn.Manager
-	pn        *skiplist.List[pnKey, *Record]
-	pnSeq     uint64
-	pnGarbage int
-	parts     []*part.Segment
-	nextNo    int
-	stats     Stats
+	mu   sync.Mutex // serializes all mutation: PN inserts, eviction, merge, bulk load
+	opts Options
+	pool *buffer.Pool
+	file *sfile.File
+	pbuf *part.PartitionBuffer
+	mgr  *txn.Manager
+
+	// view is the read-path snapshot, swapped atomically by writers.
+	view atomic.Pointer[treeView]
+
+	// gate tracks readers for segment reclamation: every reader holds the
+	// read side for its whole operation; MergePartitions — the only writer
+	// that destroys segments — acquires the write side after publishing
+	// the merged view and before freeing the inputs, so no reader can
+	// still hold the freed segments. Eviction and bulk load publish new
+	// views without the gate: their superseded views are reclaimed by the
+	// garbage collector, not destroyed.
+	gate sync.RWMutex
+
+	pnSeq     uint64 // guarded by mu
+	nextNo    int    // guarded by mu
+	pnGarbage atomic.Int64
+	stats     statCounters
 }
 
 // New creates an empty MV-PBT storing partitions in file, registered with
 // the shared partition buffer.
 func New(pool *buffer.Pool, file *sfile.File, pbuf *part.PartitionBuffer, mgr *txn.Manager, opts Options) *Tree {
 	t := &Tree{opts: opts, pool: pool, file: file, pbuf: pbuf, mgr: mgr}
-	t.pn = newPN()
+	t.view.Store(&treeView{pn: newPN()})
 	pbuf.Register(t)
 	return t
 }
@@ -128,39 +187,46 @@ func (t *Tree) Name() string { return t.opts.Name }
 func (t *Tree) PNBytes() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.pn.Bytes()
+	return t.view.Load().pn.Bytes()
 }
 
 // NumPartitions returns the number of persisted partitions.
 func (t *Tree) NumPartitions() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.parts)
+	return len(t.view.Load().parts)
 }
 
 // Partitions returns the persisted partition metadata, oldest first.
 func (t *Tree) Partitions() []*part.Segment {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]*part.Segment(nil), t.parts...)
+	v := t.view.Load()
+	return append([]*part.Segment(nil), v.parts...)
 }
 
 // Stats returns a snapshot of the counters.
 func (t *Tree) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return Stats{
+		Bloom:     t.stats.bloom.snapshot(),
+		Prefix:    t.stats.prefix.snapshot(),
+		GCMarked:  t.stats.gcMarked.Load(),
+		GCSweptPN: t.stats.gcSweptPN.Load(),
+		GCEvict:   t.stats.gcEvict.Load(),
+		Evictions: t.stats.evictions.Load(),
+		Merges:    t.stats.merges.Load(),
+	}
 }
 
 // ---- Modification operations (§4.2): all writes go to PN only.
 
 func (t *Tree) pnPut(tx *txn.Tx, key []byte, rec *Record) error {
+	kc := append([]byte(nil), key...)
 	t.mu.Lock()
-	k := pnKey{key: append([]byte(nil), key...), ts: rec.TS, seq: t.pnSeq}
+	v := t.view.Load()
+	k := pnKey{key: kc, ts: rec.TS, seq: t.pnSeq}
 	t.pnSeq++
-	t.pn.Set(k, rec)
-	if !t.opts.DisableGC && t.pnGarbage > 64 && t.pnGarbage > t.pn.Len()/8 {
-		t.sweepPNLocked()
+	v.pn.Set(k, rec)
+	if !t.opts.DisableGC {
+		if g := t.pnGarbage.Load(); g > 64 && g > int64(v.pn.Len()/8) {
+			t.sweepPNLocked(v)
+		}
 	}
 	t.mu.Unlock()
 	return t.pbuf.MaybeEvict()
@@ -231,7 +297,11 @@ func (t *Tree) BulkLoad(tx *txn.Tx, entries []index.Entry) error {
 	}
 	t.nextNo++
 	if seg != nil {
-		t.parts = append([]*part.Segment{seg}, t.parts...)
+		v := t.view.Load()
+		parts := make([]*part.Segment, 0, len(v.parts)+1)
+		parts = append(parts, seg)
+		parts = append(parts, v.parts...)
+		t.view.Store(&treeView{pn: v.pn, parts: parts})
 	}
 	return nil
 }
@@ -267,7 +337,7 @@ func (t *Tree) newVisCheck(tx *txn.Tx) *visCheck {
 // suppression test, which makes suppression transitive across chains of
 // three and more versions (see DESIGN.md §4).
 func (v *visCheck) check(rec *Record, inPN bool) bool {
-	if rec.GC {
+	if rec.GCMarked() {
 		return false
 	}
 	if !v.t.Sees(rec.TS) {
@@ -301,31 +371,35 @@ func (v *visCheck) check(rec *Record, inPN bool) bool {
 	return true
 }
 
+// mark is GC phase 1. Readers run concurrently, so the flag is a CAS: only
+// the reader that actually flips it accounts the record as new garbage.
 func (v *visCheck) mark(rec *Record) {
-	if !rec.GC {
-		rec.GC = true
-		v.tree.pnGarbage++
-		v.tree.stats.GCMarked++
+	if rec.MarkGC() {
+		v.tree.pnGarbage.Add(1)
+		v.tree.stats.gcMarked.Add(1)
 	}
 }
 
 // Lookup implements index.VersionAware (Algorithm 1): visible entries for
 // exactly this key, newest version first, PN before persisted partitions.
+// Lock-free against other readers and PN inserts; it sees the view
+// current at call time.
 func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	v := t.view.Load()
 	if t.opts.Unique {
-		return t.uniqueLookupLocked(tx, key, fn)
+		return t.uniqueLookup(tx, v, key, fn)
 	}
 	vis := t.newVisCheck(tx)
 	stop := false
 	emit := func(rec *Record) bool {
-		if !fn(index.Entry{Key: key, Ref: rec.Ref, Val: rec.Val}) || t.opts.Unique {
+		if !fn(index.Entry{Key: key, Ref: rec.Ref, Val: rec.Val}) {
 			stop = true
 		}
 		return !stop
 	}
-	for it := t.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+	for it := v.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
 		if !bytes.Equal(it.Key().key, key) {
 			break
 		}
@@ -333,8 +407,8 @@ func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
 			return nil
 		}
 	}
-	for i := len(t.parts) - 1; i >= 0; i-- {
-		seg := t.parts[i]
+	for i := len(v.parts) - 1; i >= 0; i-- {
+		seg := v.parts[i]
 		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
 			// Minimum Transaction Timestamp filter (§4.2): nothing in this
 			// partition can be visible — but newer partitions cannot
@@ -342,7 +416,7 @@ func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
 			continue
 		}
 		if !seg.MayContainKey(key) {
-			t.stats.Bloom.Negatives++
+			t.stats.bloom.negatives.Add(1)
 			continue
 		}
 		found := false
@@ -372,9 +446,9 @@ func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
 
 func (t *Tree) countBloom(found bool) {
 	if found {
-		t.stats.Bloom.Positives++
+		t.stats.bloom.positives.Add(1)
 	} else {
-		t.stats.Bloom.FalsePositives++
+		t.stats.bloom.falsePositives.Add(1)
 	}
 }
 
@@ -449,15 +523,16 @@ func (s *scanSource) next(hi []byte) error {
 // suppressor is processed before it, while allowing early termination
 // (LIMIT-style scans stop without draining the range). Unique indexes use
 // the per-key decision rule instead of the anti-matter map (see
-// unique.go).
+// unique.go). Lock-free against other readers and PN inserts.
 func (t *Tree) Scan(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	v := t.view.Load()
 	if t.opts.Unique {
-		return t.uniqueScanLocked(tx, lo, hi, fn)
+		return t.uniqueScan(tx, v, lo, hi, fn)
 	}
 	vis := t.newVisCheck(tx)
-	srcs, err := t.scanSourcesLocked(tx, lo, hi)
+	srcs, err := t.scanSources(tx, v, lo, hi)
 	if err != nil {
 		return err
 	}
@@ -478,24 +553,24 @@ func (t *Tree) Scan(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error 
 	}
 }
 
-// scanSourcesLocked builds the merge inputs for [lo, hi): the PN iterator
-// plus one iterator per partition surviving the timestamp and range
-// filters, all positioned at lo.
-func (t *Tree) scanSourcesLocked(tx *txn.Tx, lo, hi []byte) ([]*scanSource, error) {
+// scanSources builds the merge inputs for [lo, hi) over one view: the PN
+// iterator plus one iterator per partition surviving the timestamp and
+// range filters, all positioned at lo.
+func (t *Tree) scanSources(tx *txn.Tx, v *treeView, lo, hi []byte) ([]*scanSource, error) {
 	var srcs []*scanSource
-	pnIt := t.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)})
+	pnIt := v.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)})
 	srcs = append(srcs, &scanSource{prio: 0, pnIt: &pnIt})
-	for i := len(t.parts) - 1; i >= 0; i-- {
-		seg := t.parts[i]
+	for i := len(v.parts) - 1; i >= 0; i-- {
+		seg := v.parts[i]
 		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
 			continue
 		}
 		if !seg.MayContainRange(lo, hi) {
-			t.stats.Prefix.Negatives++
+			t.stats.prefix.negatives.Add(1)
 			continue
 		}
-		t.stats.Prefix.Positives++
-		srcs = append(srcs, &scanSource{prio: len(t.parts) - i, segIt: seg.Seek(lo)})
+		t.stats.prefix.positives.Add(1)
+		srcs = append(srcs, &scanSource{prio: len(v.parts) - i, segIt: seg.Seek(lo)})
 	}
 	for _, s := range srcs {
 		if err := s.load(hi); err != nil {
@@ -509,9 +584,10 @@ func (t *Tree) scanSourcesLocked(tx *txn.Tx, lo, hi []byte) ([]*scanSource, erro
 // index-only visibility check — the "MV-PBT w/o idxVC" ablation of Figure
 // 12a, where the caller must verify candidates against the base table.
 func (t *Tree) ScanAllMatter(lo, hi []byte, fn func(index.Entry) bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for it := t.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	v := t.view.Load()
+	for it := v.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
 		if !index.KeyInRange(it.Key().key, lo, hi) {
 			break
 		}
@@ -521,8 +597,8 @@ func (t *Tree) ScanAllMatter(lo, hi []byte, fn func(index.Entry) bool) error {
 			}
 		}
 	}
-	for i := len(t.parts) - 1; i >= 0; i-- {
-		seg := t.parts[i]
+	for i := len(v.parts) - 1; i >= 0; i-- {
+		seg := v.parts[i]
 		if !seg.MayContainRange(lo, hi) {
 			continue
 		}

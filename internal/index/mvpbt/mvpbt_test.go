@@ -604,7 +604,8 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 	for _, typ := range []RecType{Regular, Replacement, Anti, Tombstone} {
 		for _, gc := range []bool{false, true} {
 			for _, old := range rids {
-				r := Record{Type: typ, GC: gc, TS: 123456, OldRID: old}
+				r := Record{Type: typ, TS: 123456, OldRID: old}
+				r.SetGC(gc)
 				if r.Matter() {
 					r.Ref = index.Ref{RID: storage.RecordID{Page: storage.NewPageID(2, 5), Slot: 9}, VID: 42}
 				}
@@ -615,7 +616,7 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if got.Type != r.Type || got.GC != r.GC || got.TS != r.TS ||
+				if got.Type != r.Type || got.GCMarked() != r.GCMarked() || got.TS != r.TS ||
 					got.Ref != r.Ref || got.OldRID != r.OldRID || !bytes.Equal(got.Val, r.Val) {
 					t.Fatalf("round trip: %+v != %+v", got, r)
 				}

@@ -9,6 +9,7 @@ package mvpbt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mvpbt/internal/index"
 	"mvpbt/internal/storage"
@@ -52,8 +53,10 @@ func (t RecType) String() string {
 // separately).
 type Record struct {
 	Type RecType
-	// GC marks the record as garbage (cooperative GC phase 1, §4.6).
-	GC bool
+	// gc marks the record as garbage (cooperative GC phase 1, §4.6).
+	// Accessed atomically via GCMarked/MarkGC: records living in PN are
+	// shared with lock-free readers, which mark them concurrently.
+	gc uint32
 	// TS is the logical timestamp of the creating transaction.
 	TS txn.TxID
 	// Ref is the matter: the reference of the tuple-version this record
@@ -67,6 +70,33 @@ type Record struct {
 	// clustered multi-version store (the WiredTiger integration of §5),
 	// matter records carry the tuple value itself.
 	Val []byte
+}
+
+// GCMarked reports whether the record has been flagged as garbage.
+func (r *Record) GCMarked() bool { return atomic.LoadUint32(&r.gc) != 0 }
+
+// MarkGC flags the record as garbage, reporting whether this call was the
+// one that flipped the flag (so concurrent markers account it once).
+func (r *Record) MarkGC() bool { return atomic.CompareAndSwapUint32(&r.gc, 0, 1) }
+
+// SetGC forces the flag to v. Only for tests and decoding; not safe
+// against concurrent markers.
+func (r *Record) SetGC(v bool) {
+	if v {
+		atomic.StoreUint32(&r.gc, 1)
+	} else {
+		atomic.StoreUint32(&r.gc, 0)
+	}
+}
+
+// snapshot returns a value copy that is safe to take while concurrent
+// readers may be marking the record.
+func (r *Record) snapshot() Record {
+	c := Record{Type: r.Type, TS: r.TS, Ref: r.Ref, OldRID: r.OldRID, Val: r.Val}
+	if r.GCMarked() {
+		c.gc = 1
+	}
+	return c
 }
 
 // Matter reports whether the record validates a tuple-version.
@@ -84,7 +114,7 @@ const (
 // encodeRecord appends the body encoding of r (without the key).
 func encodeRecord(dst []byte, r *Record) []byte {
 	flags := byte(r.Type)
-	if r.GC {
+	if r.GCMarked() {
 		flags |= flagGC
 	}
 	if r.OldRID.Valid() {
@@ -115,7 +145,9 @@ func decodeRecord(src []byte) (Record, error) {
 	var r Record
 	flags := src[0]
 	r.Type = RecType(flags & 3)
-	r.GC = flags&flagGC != 0
+	if flags&flagGC != 0 {
+		r.gc = 1
+	}
 	i := 1
 	ts, n := util.Uvarint(src[i:])
 	i += n

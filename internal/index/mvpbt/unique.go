@@ -20,12 +20,12 @@ import (
 // partition and across partitions, newer records of a key are always
 // encountered before older ones.
 
-// uniqueLookupLocked is the point-lookup path for unique indexes: PN
-// first, then partitions newest to oldest with bloom skipping, stopping
-// at the first record the transaction sees.
-func (t *Tree) uniqueLookupLocked(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
+// uniqueLookup is the point-lookup path for unique indexes: PN first,
+// then partitions newest to oldest with bloom skipping, stopping at the
+// first record the transaction sees. Runs lock-free over one view.
+func (t *Tree) uniqueLookup(tx *txn.Tx, v *treeView, key []byte, fn func(index.Entry) bool) error {
 	decide := func(rec *Record) (done bool) {
-		if rec.GC || !tx.Sees(rec.TS) {
+		if rec.GCMarked() || !tx.Sees(rec.TS) {
 			return false
 		}
 		if rec.Matter() {
@@ -33,7 +33,7 @@ func (t *Tree) uniqueLookupLocked(tx *txn.Tx, key []byte, fn func(index.Entry) b
 		}
 		return true
 	}
-	for it := t.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+	for it := v.pn.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
 		if !bytes.Equal(it.Key().key, key) {
 			break
 		}
@@ -41,13 +41,13 @@ func (t *Tree) uniqueLookupLocked(tx *txn.Tx, key []byte, fn func(index.Entry) b
 			return nil
 		}
 	}
-	for i := len(t.parts) - 1; i >= 0; i-- {
-		seg := t.parts[i]
+	for i := len(v.parts) - 1; i >= 0; i-- {
+		seg := v.parts[i]
 		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
 			continue
 		}
 		if !seg.MayContainKey(key) {
-			t.stats.Bloom.Negatives++
+			t.stats.bloom.negatives.Add(1)
 			continue
 		}
 		found := false
@@ -75,11 +75,12 @@ func (t *Tree) uniqueLookupLocked(tx *txn.Tx, key []byte, fn func(index.Entry) b
 	return nil
 }
 
-// uniqueScanLocked is the range-scan path for unique indexes: the merged
+// uniqueScan is the range-scan path for unique indexes: the merged
 // (key asc, ts desc) stream with per-key decisions; once a key is decided
-// its remaining records are skipped without visibility checks.
-func (t *Tree) uniqueScanLocked(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error {
-	srcs, err := t.scanSourcesLocked(tx, lo, hi)
+// its remaining records are skipped without visibility checks. Runs
+// lock-free over one view.
+func (t *Tree) uniqueScan(tx *txn.Tx, v *treeView, lo, hi []byte, fn func(index.Entry) bool) error {
+	srcs, err := t.scanSources(tx, v, lo, hi)
 	if err != nil {
 		return err
 	}
@@ -97,7 +98,7 @@ func (t *Tree) uniqueScanLocked(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) 
 			continue
 		}
 		rec := s.record()
-		if !rec.GC && tx.Sees(rec.TS) {
+		if !rec.GCMarked() && tx.Sees(rec.TS) {
 			decided = append(decided[:0], s.key...)
 			haveDecided = true
 			if rec.Matter() {
@@ -154,17 +155,17 @@ func (t *Tree) uniqueEvictGC(entries []pnEntry, dropDecidedTombstones bool) []pn
 		}
 		switch {
 		case anchored:
-			t.stats.GCEvict++
+			t.stats.gcEvict.Add(1)
 			continue
-		case rec.GC || t.mgr.StatusOf(rec.TS) == txn.Aborted:
-			t.stats.GCEvict++
+		case rec.GCMarked() || t.mgr.StatusOf(rec.TS) == txn.Aborted:
+			t.stats.gcEvict.Add(1)
 			continue
 		case rec.TS < horizon && t.mgr.StatusOf(rec.TS) == txn.Committed:
 			anchored = true
 			if dropDecidedTombstones && !rec.Matter() {
 				// Safe only when the GC input is the complete key history
 				// (a full merge with no older records of the key in PN).
-				t.stats.GCEvict++
+				t.stats.gcEvict.Add(1)
 				continue
 			}
 		}

@@ -1,6 +1,9 @@
 package part
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Owner is an index holding a main-memory partition PN inside the shared
 // MV-PBT buffer.
@@ -20,12 +23,16 @@ type Owner interface {
 // the LARGEST partition is evicted as a whole — giving update-intensive
 // indexes room to grow while small partitions are flushed before they
 // fragment the index into many tiny partitions.
+//
+// MaybeEvict runs after every PN insert, so its common no-eviction case
+// takes only the read lock; concurrent writers of different indexes don't
+// serialize here unless an eviction is actually due.
 type PartitionBuffer struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	limit  int
 	owners []Owner
 	// evictions counts whole-partition evictions performed.
-	evictions int64
+	evictions atomic.Int64
 }
 
 // NewPartitionBuffer returns a buffer with the given byte limit.
@@ -45,8 +52,8 @@ func (b *PartitionBuffer) Register(o Owner) {
 
 // Used returns the total bytes of all main-memory partitions.
 func (b *PartitionBuffer) Used() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.usedLocked()
 }
 
@@ -63,16 +70,22 @@ func (b *PartitionBuffer) Limit() int { return b.limit }
 
 // Evictions returns the number of partition evictions so far.
 func (b *PartitionBuffer) Evictions() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.evictions
+	return b.evictions.Load()
 }
 
 // MaybeEvict evicts largest-first until the buffer is within its limit.
 // Indexes call it after inserting into their PN.
 func (b *PartitionBuffer) MaybeEvict() error {
+	b.mu.RLock()
+	over := b.usedLocked() > b.limit
+	b.mu.RUnlock()
+	if !over {
+		return nil
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	// Re-check under the exclusive lock: another caller may have already
+	// evicted on our behalf between the two lock acquisitions.
 	for b.usedLocked() > b.limit {
 		var victim Owner
 		max := 0
@@ -87,7 +100,7 @@ func (b *PartitionBuffer) MaybeEvict() error {
 		if err := victim.EvictPN(); err != nil {
 			return err
 		}
-		b.evictions++
+		b.evictions.Add(1)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ package part
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"mvpbt/internal/bloom"
 	"mvpbt/internal/buffer"
@@ -64,10 +65,45 @@ type Segment struct {
 	Filter     *bloom.Filter
 	PFilter    *bloom.PrefixFilter
 
-	// memo caches the most recently decoded leaf (memoRel = rel+1; 0 =
-	// none). Guarded by the owning index's lock, like all segment reads.
-	memoRel int
-	memo    []KV
+	// Decoded-page caches, filled lazily on first access. Segments are
+	// immutable, so any published decode stays valid; entries are atomic
+	// pointers because segment readers run lock-free under the index's
+	// snapshot protocol. Concurrent readers may race to decode the same
+	// page — wasted work, never an inconsistent read. While a page is
+	// cached, reads of it bypass the buffer pool (and its shard latches)
+	// entirely; a pool eviction hook drops the decoded form when the
+	// backing page leaves the pool, so the cache saves decode CPU without
+	// changing the pool's I/O behavior.
+	leaves []atomic.Pointer[[]KV]    // by leaf page rel: decoded records
+	inner  []atomic.Pointer[sepNode] // by rel-NumLeaves: decoded separators
+	hookID int                       // pool eviction-hook handle
+}
+
+// sepNode is one decoded internal node: child separator keys (first key of
+// each child subtree) and relative child page numbers, in slot order.
+type sepNode struct {
+	keys  [][]byte
+	child []int
+}
+
+// initCache sizes the decoded-page caches and couples them to buffer
+// residency; called once at construction.
+func (s *Segment) initCache() {
+	s.leaves = make([]atomic.Pointer[[]KV], s.NumLeaves)
+	if n := s.NumPages - s.NumLeaves; n > 0 {
+		s.inner = make([]atomic.Pointer[sepNode], n)
+	}
+	s.hookID = s.pool.AddEvictHook(s.file, s.StartPage, s.NumPages, s.dropDecoded)
+}
+
+// dropDecoded discards the decoded form of relative page rel. Runs under a
+// pool shard latch (eviction hook): atomic stores only.
+func (s *Segment) dropDecoded(rel int) {
+	if rel < len(s.leaves) {
+		s.leaves[rel].Store(nil)
+	} else if slot := rel - s.NumLeaves; slot >= 0 && slot < len(s.inner) {
+		s.inner[slot].Store(nil)
+	}
 }
 
 // Build writes a segment from sorted records and returns its metadata. The
@@ -202,6 +238,7 @@ func Build(pool *buffer.Pool, file *sfile.File, no int, kvs []KV, minTS, maxTS u
 	}
 	seg.Filter = flt.bloom
 	seg.PFilter = flt.prefix
+	seg.initCache()
 	return seg, nil
 }
 
@@ -257,12 +294,14 @@ func (s *Segment) MayContainRange(lo, hi []byte) bool {
 }
 
 // readLeaf decodes all records of relative leaf page rel. Decoded leaves
-// are memoized (segments are immutable; access is serialized by the
-// owning index's lock), which makes repeated seeks into a hot partition
-// cheap.
+// are memoized per page (segments are immutable, so any published decode
+// is valid forever), which makes repeated seeks into a hot partition
+// cheap and latch-free. Safe for concurrent readers.
 func (s *Segment) readLeaf(rel int) ([]KV, error) {
-	if s.memoRel == rel+1 {
-		return s.memo, nil
+	if rel < len(s.leaves) {
+		if p := s.leaves[rel].Load(); p != nil {
+			return *p, nil
+		}
 	}
 	fr, err := s.pool.Get(s.file, s.StartPage+uint64(rel))
 	if err != nil {
@@ -297,10 +336,41 @@ func (s *Segment) readLeaf(rel int) ([]KV, error) {
 		out = append(out, KV{Key: key, Body: body})
 		prev = key
 	}
+	// Publish before Unpin: while pinned the page cannot be evicted, so the
+	// eviction hook cannot fire between the store and the pin release.
+	if rel < len(s.leaves) {
+		s.leaves[rel].Store(&out)
+	}
 	s.pool.Unpin(fr, false)
-	s.memoRel = rel + 1
-	s.memo = out
 	return out, nil
+}
+
+// readInner decodes the separators of relative internal page rel, memoized
+// like readLeaf.
+func (s *Segment) readInner(rel int) (*sepNode, error) {
+	slot := rel - s.NumLeaves
+	if slot >= 0 && slot < len(s.inner) {
+		if p := s.inner[slot].Load(); p != nil {
+			return p, nil
+		}
+	}
+	fr, err := s.pool.Get(s.file, s.StartPage+uint64(rel))
+	if err != nil {
+		return nil, err
+	}
+	p := page.Wrap(fr.Data())
+	n := p.NumSlots()
+	node := &sepNode{keys: make([][]byte, n), child: make([]int, n)}
+	for i := 0; i < n; i++ {
+		k, c := decodeInternalRec(p.Get(i))
+		node.keys[i] = append([]byte(nil), k...)
+		node.child[i] = c
+	}
+	if slot >= 0 && slot < len(s.inner) {
+		s.inner[slot].Store(node)
+	}
+	s.pool.Unpin(fr, false)
+	return node, nil
 }
 
 // findLeaf descends to the first relative leaf page that could contain
@@ -311,18 +381,16 @@ func (s *Segment) readLeaf(rel int) ([]KV, error) {
 func (s *Segment) findLeaf(key []byte) (int, error) {
 	rel := s.rootRel
 	for level := s.height - 1; level >= 1; level-- {
-		fr, err := s.pool.Get(s.file, s.StartPage+uint64(rel))
+		node, err := s.readInner(rel)
 		if err != nil {
 			return 0, err
 		}
-		p := page.Wrap(fr.Data())
 		// First child whose first key >= key; descend into its
 		// predecessor (default: the first child).
-		lo, hi := 0, p.NumSlots()
+		lo, hi := 0, len(node.keys)
 		for lo < hi {
 			mid := (lo + hi) / 2
-			k, _ := decodeInternalRec(p.Get(mid))
-			if bytes.Compare(k, key) < 0 {
+			if bytes.Compare(node.keys[mid], key) < 0 {
 				lo = mid + 1
 			} else {
 				hi = mid
@@ -332,8 +400,7 @@ func (s *Segment) findLeaf(key []byte) (int, error) {
 		if idx < 0 {
 			idx = 0
 		}
-		_, rel = decodeInternalRec(p.Get(idx))
-		s.pool.Unpin(fr, false)
+		rel = node.child[idx]
 	}
 	return rel, nil
 }
@@ -401,6 +468,7 @@ func (it *Iterator) Next() {
 // manager and any cached pages are dropped. The segment must not be used
 // afterwards.
 func (s *Segment) Free() {
+	s.pool.RemoveEvictHook(s.hookID)
 	s.pool.DropFilePages(s.file, s.StartPage, s.NumPages)
 	s.file.FreeRun(s.StartPage, s.NumPages)
 }

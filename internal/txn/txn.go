@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // TxID is a transaction identifier. TxIDs are assigned monotonically at
@@ -64,19 +65,60 @@ type Tx struct {
 	done bool
 }
 
+// Commit-log chunking: statuses live in fixed 4096-entry chunks of atomic
+// words. The chunk directory is republished copy-on-write under mu when it
+// grows, so readers resolve any assigned id with two atomic loads and no
+// lock. A chunk's zero value is InProgress, matching the state of an id
+// whose transaction has begun but not finished.
+const (
+	statusChunkBits = 12
+	statusChunkSize = 1 << statusChunkBits
+	statusChunkMask = statusChunkSize - 1
+)
+
+type statusChunk [statusChunkSize]atomic.Uint32
+
 // Manager assigns transaction ids, tracks active transactions and keeps the
-// commit log. It is safe for concurrent use.
+// commit log. It is safe for concurrent use; the read-path primitives
+// (StatusOf, Sees, Horizon) are lock-free so parallel index readers do not
+// serialize here.
 type Manager struct {
 	mu     sync.Mutex
-	next   TxID
+	next   atomic.Uint64 // next TxID to assign
 	active map[TxID]*Tx
-	status []Status // indexed by TxID; grows as ids are assigned
+	chunks atomic.Pointer[[]*statusChunk]
+
+	// horizon caches the GC cutoff (min Xmin over active snapshots, or
+	// next if none). It only changes when the active set changes, so
+	// Begin/finish recompute it under mu and readers load it for free.
+	horizon atomic.Uint64
 }
 
 // NewManager returns a manager with no history; the first transaction gets
 // id 1.
 func NewManager() *Manager {
-	return &Manager{next: 1, active: make(map[TxID]*Tx), status: make([]Status, 1, 1024)}
+	m := &Manager{active: make(map[TxID]*Tx)}
+	chunks := []*statusChunk{new(statusChunk)}
+	m.chunks.Store(&chunks)
+	m.next.Store(1)
+	m.horizon.Store(1)
+	return m
+}
+
+// ensureChunkLocked grows the chunk directory to cover id, republishing a
+// copied directory so concurrent readers never observe a partial append.
+func (m *Manager) ensureChunkLocked(id TxID) {
+	want := int(id>>statusChunkBits) + 1
+	cur := *m.chunks.Load()
+	if len(cur) >= want {
+		return
+	}
+	grown := make([]*statusChunk, want)
+	copy(grown, cur)
+	for i := len(cur); i < want; i++ {
+		grown[i] = new(statusChunk)
+	}
+	m.chunks.Store(&grown)
 }
 
 // Begin starts a transaction, assigning it the next id and a snapshot of
@@ -84,9 +126,9 @@ func NewManager() *Manager {
 func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	id := m.next
-	m.next++
-	m.status = append(m.status, InProgress)
+	id := TxID(m.next.Load())
+	m.ensureChunkLocked(id)
+	m.next.Store(uint64(id) + 1)
 	snap := Snapshot{Xmin: id, Xmax: id}
 	if len(m.active) > 0 {
 		snap.Active = make([]TxID, 0, len(m.active))
@@ -100,6 +142,7 @@ func (m *Manager) Begin() *Tx {
 	}
 	tx := &Tx{ID: id, Snap: snap, mgr: m}
 	m.active[id] = tx
+	m.recomputeHorizonLocked()
 	return tx
 }
 
@@ -120,22 +163,33 @@ func (m *Manager) finish(tx *Tx, st Status) {
 		panic(fmt.Sprintf("txn: double finish of %d", tx.ID))
 	}
 	tx.done = true
-	m.status[tx.ID] = st
+	m.statusEntry(tx.ID).Store(uint32(st))
 	delete(m.active, tx.ID)
+	m.recomputeHorizonLocked()
 }
 
-// StatusOf returns the commit-log state of id.
+func (m *Manager) recomputeHorizonLocked() {
+	h := TxID(m.next.Load())
+	for _, tx := range m.active {
+		if tx.Snap.Xmin < h {
+			h = tx.Snap.Xmin
+		}
+	}
+	m.horizon.Store(uint64(h))
+}
+
+// statusEntry returns the commit-log word for an assigned id.
+func (m *Manager) statusEntry(id TxID) *atomic.Uint32 {
+	chunks := *m.chunks.Load()
+	return &chunks[id>>statusChunkBits][id&statusChunkMask]
+}
+
+// StatusOf returns the commit-log state of id. Lock-free.
 func (m *Manager) StatusOf(id TxID) Status {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.statusLocked(id)
-}
-
-func (m *Manager) statusLocked(id TxID) Status {
-	if id == InvalidTxID || id >= m.next {
+	if id == InvalidTxID || uint64(id) >= m.next.Load() {
 		return InProgress
 	}
-	return m.status[id]
+	return Status(m.statusEntry(id).Load())
 }
 
 // Sees reports whether the effects of transaction id are visible to the
@@ -143,7 +197,7 @@ func (m *Manager) statusLocked(id TxID) Status {
 // always are; otherwise id must have committed before the snapshot was
 // taken (id < Xmax, not active at snapshot time, and committed by now —
 // a transaction in the active set is "concurrent" in the paper's Algorithm
-// 3 and never visible, even if it has since committed).
+// 3 and never visible, even if it has since committed). Lock-free.
 func (m *Manager) Sees(snap *Snapshot, self, id TxID) bool {
 	if id == InvalidTxID {
 		return false
@@ -157,10 +211,7 @@ func (m *Manager) Sees(snap *Snapshot, self, id TxID) bool {
 	if snap.contains(id) {
 		return false
 	}
-	m.mu.Lock()
-	st := m.statusLocked(id)
-	m.mu.Unlock()
-	return st == Committed
+	return m.StatusOf(id) == Committed
 }
 
 // Sees is the transaction-handle convenience form of Manager.Sees.
@@ -173,17 +224,10 @@ func (t *Tx) Sees(id TxID) bool {
 // to no one — i.e. the minimum Xmin over all active snapshots (or the next
 // id if nothing is active). A committed invalidation with timestamp < H is
 // invisible to every present and future snapshot, so the versions it
-// superseded are garbage (paper §4.6 "cutoff-transaction").
+// superseded are garbage (paper §4.6 "cutoff-transaction"). Lock-free:
+// the value is maintained on the Begin/Commit/Abort path.
 func (m *Manager) Horizon() TxID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h := m.next
-	for _, tx := range m.active {
-		if tx.Snap.Xmin < h {
-			h = tx.Snap.Xmin
-		}
-	}
-	return h
+	return TxID(m.horizon.Load())
 }
 
 // ActiveCount returns the number of in-progress transactions.
@@ -195,7 +239,5 @@ func (m *Manager) ActiveCount() int {
 
 // NextID returns the id the next transaction will receive.
 func (m *Manager) NextID() TxID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.next
+	return TxID(m.next.Load())
 }
