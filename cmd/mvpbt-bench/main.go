@@ -39,8 +39,12 @@ func run() int {
 		csv        = flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
+		maintWk    = flag.Int("maint-workers", bench.MaintWorkers, "maintenance worker pool size (maint experiment)")
+		maintRate  = flag.Int("maint-rate-mb", bench.MaintRateMBps, "maintenance I/O rate limit in MiB/s, 0 = unthrottled (maint experiment)")
 	)
 	flag.Parse()
+	bench.MaintWorkers = *maintWk
+	bench.MaintRateMBps = *maintRate
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mvpbt/internal/db"
+	"mvpbt/internal/maint"
 	"mvpbt/internal/txn"
 )
 
@@ -18,10 +19,14 @@ func main() {
 		updates = flag.Int("updates", 5, "updates per tuple")
 		pbuf    = flag.Int("pbuf", 32<<10, "partition buffer bytes")
 		key     = flag.String("key", "key-000", "key whose index records to dump")
+		bgMaint = flag.Bool("maint", false, "run eviction/merge/GC on the background maintenance service")
 	)
 	flag.Parse()
 
-	eng := db.NewEngine(db.Config{BufferPages: 1024, PartitionBufferBytes: *pbuf})
+	eng := db.NewEngine(db.Config{
+		BufferPages: 1024, PartitionBufferBytes: *pbuf, BackgroundMaint: *bgMaint,
+	})
+	defer eng.Close()
 	tbl, err := eng.NewTable("demo", db.HeapSIAS, db.IndexDef{
 		Name: "pk", Kind: db.IdxMVPBT, Unique: true, BloomBits: 10,
 		Extract: func(row []byte) []byte { return row[1 : 1+int(row[0])] },
@@ -64,6 +69,10 @@ func main() {
 		}
 	}
 
+	if eng.Maint != nil {
+		eng.Maint.Drain() // settle in-flight evictions/merges before dumping
+	}
+
 	mv := ix.MV()
 	fmt.Printf("== MV-PBT structure after %d tuples x %d updates ==\n", *tuples, *updates)
 	fmt.Printf("PN: %d bytes in memory\n", mv.PNBytes())
@@ -78,8 +87,21 @@ func main() {
 	st := mv.Stats()
 	fmt.Printf("stats: evictions=%d merges=%d gc(marked=%d sweptPN=%d evict=%d)\n",
 		st.Evictions, st.Merges, st.GCMarked, st.GCSweptPN, st.GCEvict)
-	fmt.Printf("bloom: neg=%d pos=%d falsepos=%d\n\n",
+	fmt.Printf("bloom: neg=%d pos=%d falsepos=%d\n",
 		st.Bloom.Negatives, st.Bloom.Positives, st.Bloom.FalsePositives)
+	if eng.Maint != nil {
+		ms := eng.Maint.Stats()
+		stalls, stallTime := eng.PBuf.Stalls()
+		fmt.Printf("maintenance: submitted=%d deduped=%d throttle=%v stalls=%d stall_time=%v\n",
+			ms.Submitted, ms.Deduped, ms.Throttle, stalls, stallTime)
+		for k, js := range ms.Jobs {
+			if js.Runs > 0 {
+				fmt.Printf("  %-7s runs=%-4d errors=%-2d bytes=%-8d busy=%v\n",
+					maint.Kind(k), js.Runs, js.Errors, js.Bytes, js.Busy)
+			}
+		}
+	}
+	fmt.Println()
 
 	fmt.Printf("== index records for %q (PN first, partitions newest to oldest) ==\n", *key)
 	for _, d := range mv.DumpKey([]byte(*key)) {

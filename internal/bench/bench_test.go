@@ -76,7 +76,7 @@ func cellOf(res *Result, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "fig8", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig13", "fig14a", "fig14b", "fig14c", "fig14d", "fig15a", "fig15b",
-		"extra-wa", "extra-merge", "parallel"}
+		"extra-wa", "extra-merge", "parallel", "maint"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -301,6 +301,23 @@ func TestExtraMergeShape(t *testing.T) {
 		}
 		if onScan > offScan {
 			return fmt.Errorf("merging did not speed scans: %f vs %f us", onScan, offScan)
+		}
+		return nil
+	})
+}
+
+func TestMaintShape(t *testing.T) {
+	checkShape(t, "maint", func(res *Result) error {
+		syncOps, bgOps := cellOf(res, 0, 1), cellOf(res, 1, 1)
+		syncP99, bgP99 := cellOf(res, 0, 3), cellOf(res, 1, 3)
+		syncEv, bgEv := cellOf(res, 0, 6), cellOf(res, 1, 6)
+		switch {
+		case syncEv == 0 || bgEv == 0:
+			return fmt.Errorf("maintenance never triggered: sync=%f bg=%f evictions", syncEv, bgEv)
+		case bgP99 >= syncP99:
+			return fmt.Errorf("background p99 %fus did not beat sync %fus", bgP99, syncP99)
+		case bgOps <= syncOps:
+			return fmt.Errorf("background throughput %f did not beat sync %f", bgOps, syncOps)
 		}
 		return nil
 	})

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/util"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "maint",
+		Title: "Background maintenance: foreground write latency, sync vs async eviction/merge/GC",
+		Run:   runMaint,
+	})
+}
+
+// MaintWorkers and MaintRateMBps are the maintenance-service knobs for the
+// "maint" experiment, settable from cmd/mvpbt-bench (-maint-workers,
+// -maint-rate-mb). Rate 0 means unthrottled.
+var (
+	MaintWorkers  = 2
+	MaintRateMBps = 0
+)
+
+// runMaint drives a foreground blind-upsert writer against a clustered
+// MV-PBT KV with a deliberately small partition buffer, once with all
+// maintenance inline on the writing goroutine (the seed behaviour) and once
+// with the background service. The quantity under test is the foreground
+// latency TAIL: inline eviction — and especially the partition merges it
+// triggers — shows up as multi-millisecond pauses on the op that tripped
+// the watermark; moved to the maintenance workers, those pauses leave the
+// foreground path and only the (bounded) high-watermark stall remains. One
+// writer is used deliberately: it cannot outrun the eviction drain rate, so
+// the comparison isolates who pays the maintenance CPU rather than
+// saturation backpressure (which stalls writers in BOTH designs).
+func runMaint(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "maint",
+		Title: "Foreground write latency: synchronous vs background maintenance",
+		Header: []string{"mode", "ops/s", "p50_us", "p99_us", "p999_us", "max_us",
+			"evictions", "merges", "stalls", "stall_ms", "throttle_ms"},
+	}
+	for _, bg := range []bool{false, true} {
+		if err := maintRun(s, bg, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Note("wall-clock per-op latency: simulated device time is charged to the virtual clock equally in both modes; the difference is whose goroutine pays the maintenance CPU")
+	res.Note("background mode: %d workers, rate limit %d MiB/s (0 = unthrottled), stall only above the high watermark", MaintWorkers, MaintRateMBps)
+	return res, nil
+}
+
+func maintRun(s Scale, bg bool, res *Result) error {
+	// The partition buffer stays deliberately tiny at both scales so that
+	// evictions affect >1% of ops — the p99 comparison is the point.
+	cfg := engineConfig(4096, 24<<10)
+	cfg.BackgroundMaint = bg
+	cfg.MaintWorkers = MaintWorkers
+	cfg.MaintBytesPerSec = int64(MaintRateMBps) << 20
+	eng := db.NewEngine(cfg)
+	if bg {
+		// The default high watermark (limit+25%) gives the writer only a few
+		// dozen entries of headroom — less than one job-dispatch latency — so
+		// it would stall once per eviction cycle. Widen it: stalls should fire
+		// only when maintenance is genuinely behind (a merge holds the tree's
+		// background lock and the buffer cannot drain).
+		eng.PBuf.SetWatermarks(eng.PBuf.Low(), 128<<10)
+	}
+	kv, err := db.NewMVPBTKV(eng, "maint", db.MVPBTKVOptions{BloomBits: 10, MaxPartitions: 32})
+	if err != nil {
+		return err
+	}
+	const writers = 1
+	const keyspace = 20000
+	totalOps := s.pick(20000, 200000)
+	per := totalOps / writers
+	val := make([]byte, 256)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	lat := make([][]time.Duration, writers)
+	var (
+		wg    sync.WaitGroup
+		first atomic.Pointer[error]
+	)
+	start := time.Now()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := util.NewRand(uint64(0xFACADE + g*0x9E3779B9))
+			ds := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("user%08d", r.Intn(keyspace)))
+				t0 := time.Now()
+				if err := kv.Put(key, val); err != nil {
+					first.CompareAndSwap(nil, &err)
+					return
+				}
+				ds = append(ds, time.Since(t0))
+			}
+			lat[g] = ds
+		}(g)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	if e := first.Load(); e != nil {
+		return *e
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	var all []time.Duration
+	for _, ds := range lat {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	stalls, stallTime := eng.PBuf.Stalls()
+	var throttle time.Duration
+	if eng.Maint != nil {
+		throttle = eng.Maint.Stats().Throttle
+	}
+	mode := "sync"
+	if bg {
+		mode = "background"
+	}
+	res.Add(mode,
+		f1(perSecond(len(all), el)),
+		f1(us(pctile(all, 0.50))), f1(us(pctile(all, 0.99))),
+		f1(us(pctile(all, 0.999))), f1(us(all[len(all)-1])),
+		fi(eng.PBuf.Evictions()), fi(kv.Tree().Stats().Merges),
+		fi(stalls), f1(stallTime.Seconds()*1e3), f1(throttle.Seconds()*1e3))
+	return nil
+}
+
+// pctile reads the p-quantile from a sorted duration slice.
+func pctile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

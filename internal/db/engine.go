@@ -11,8 +11,12 @@
 package db
 
 import (
+	"sync"
+
 	"mvpbt/internal/buffer"
+	"mvpbt/internal/index/mvpbt"
 	"mvpbt/internal/index/part"
+	"mvpbt/internal/maint"
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/simclock"
 	"mvpbt/internal/ssd"
@@ -35,6 +39,16 @@ type Config struct {
 	// internal/wal). Off by default: the paper's experiments run without
 	// durability, like the paper's prototype.
 	EnableWAL bool
+	// BackgroundMaint runs partition eviction, merges, garbage sweeps and
+	// LSM flush/compaction on a background maintenance service instead of
+	// inline on the writer. Off by default: the synchronous mode is the
+	// baseline the experiments compare against.
+	BackgroundMaint bool
+	// MaintWorkers sizes the maintenance worker pool (default 2).
+	MaintWorkers int
+	// MaintBytesPerSec caps background device writes via a token bucket
+	// (0 = unthrottled).
+	MaintBytesPerSec int64
 }
 
 func (c Config) withDefaults() Config {
@@ -59,9 +73,16 @@ type Engine struct {
 	Pool  *buffer.Pool
 	Mgr   *txn.Manager
 	PBuf  *part.PartitionBuffer
+	// Maint is the background maintenance service, nil in synchronous mode.
+	Maint *maint.Service
 
 	wal     *wal.Writer
 	walFile *sfile.File
+
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
+	closers  []func() error
 }
 
 // NewEngine builds an engine from cfg.
@@ -81,7 +102,80 @@ func NewEngine(cfg Config) *Engine {
 		e.walFile = e.FM.Create("wal", sfile.ClassMeta)
 		e.wal = wal.NewWriter(e.walFile)
 	}
+	if cfg.BackgroundMaint {
+		e.Maint = maint.New(maint.Config{
+			Workers:      cfg.MaintWorkers,
+			BytesPerSec:  cfg.MaintBytesPerSec,
+			WrittenBytes: func() int64 { return dev.Stats().BytesWritten },
+		})
+		// Partition-buffer pressure drives eviction asynchronously: at the
+		// low watermark the writer submits this job and carries on; only at
+		// the high watermark does it stall (briefly) for eviction to catch up.
+		e.PBuf.SetNotifier(func() {
+			e.Maint.Submit(maint.Evict, "pbuf", e.PBuf.EvictToLow)
+		})
+	}
 	return e
+}
+
+// wireMaint installs the background merge and GC triggers on an MV-PBT.
+// No-op in synchronous mode (the tree then merges and sweeps inline).
+func (e *Engine) wireMaint(name string, t *mvpbt.Tree) {
+	if e.Maint == nil {
+		return
+	}
+	t.SetMaintHooks(
+		func() {
+			e.Maint.Submit(maint.Merge, name, func() error {
+				if !t.NeedsMerge() {
+					return nil
+				}
+				return t.MergePartitions()
+			})
+		},
+		func() {
+			e.Maint.Submit(maint.GC, name, func() error {
+				t.SweepPN()
+				return nil
+			})
+		},
+	)
+}
+
+// AddCloser registers fn to run during Close, after maintenance drains.
+// Closers run in registration order.
+func (e *Engine) AddCloser(fn func() error) {
+	e.closeMu.Lock()
+	e.closers = append(e.closers, fn)
+	e.closeMu.Unlock()
+}
+
+// Close shuts the engine down cleanly: the maintenance service drains its
+// queue and stops, registered closers run (flushing LSM memtables), and the
+// WAL tail is flushed to the device. Idempotent; returns the first error.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed {
+		return e.closeErr
+	}
+	e.closed = true
+	var first error
+	if e.Maint != nil {
+		if err := e.Maint.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, fn := range e.closers {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if e.wal != nil {
+		e.wal.Flush()
+	}
+	e.closeErr = first
+	return first
 }
 
 // Begin starts a transaction.

@@ -7,6 +7,7 @@ import (
 	"mvpbt/internal/index/btree"
 	"mvpbt/internal/index/lsm"
 	"mvpbt/internal/index/mvpbt"
+	"mvpbt/internal/maint"
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/storage"
 )
@@ -97,10 +98,19 @@ type LSMKV struct {
 	t *lsm.Tree
 }
 
-// NewLSMKV creates an LSM KV engine on the engine's storage.
+// NewLSMKV creates an LSM KV engine on the engine's storage. With background
+// maintenance enabled, memtable flushes and compactions run on the engine's
+// maintenance service and Engine.Close drains them.
 func NewLSMKV(e *Engine, name string, opts lsm.Options) *LSMKV {
 	opts.Name = name
-	return &LSMKV{t: lsm.New(e.Pool, e.FM.Create(name, sfile.ClassIndex), opts)}
+	t := lsm.New(e.Pool, e.FM.Create(name, sfile.ClassIndex), opts)
+	if e.Maint != nil {
+		t.SetFlushNotify(func() {
+			e.Maint.Submit(maint.Flush, name, t.FlushPending)
+		})
+		e.AddCloser(t.Close)
+	}
+	return &LSMKV{t: t}
 }
 
 // Tree exposes the underlying LSM tree (statistics).
@@ -154,6 +164,7 @@ func NewMVPBTKV(e *Engine, name string, opts MVPBTKVOptions) (*MVPBTKV, error) {
 		Name: name, Unique: true, BloomBits: opts.BloomBits,
 		DisableGC: opts.DisableGC, MaxPartitions: opts.MaxPartitions,
 	})
+	e.wireMaint(name, t)
 	return &MVPBTKV{e: e, tree: t}, nil
 }
 

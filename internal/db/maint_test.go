@@ -1,0 +1,119 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mvpbt/internal/index/lsm"
+	"mvpbt/internal/maint"
+)
+
+// Engine lifecycle with the background maintenance service: eviction,
+// merge and GC ride the service, and Close drains everything.
+
+func TestEngineSyncModeHasNoService(t *testing.T) {
+	e := NewEngine(Config{})
+	if e.Maint != nil {
+		t.Fatal("synchronous engine should not start a maintenance service")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineCloseFlushesLSM(t *testing.T) {
+	e := NewEngine(Config{BackgroundMaint: true})
+	kv := NewLSMKV(e, "lsm", lsm.Options{MemtableBytes: 8 << 10})
+	val := make([]byte, 64)
+	n := 800
+	for i := 0; i < n; i++ {
+		if err := kv.Put(key(i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := kv.Tree().Stats()
+	if st.Flushes == 0 {
+		t.Fatal("no flush ran")
+	}
+	if kv.Tree().PendingMemtables() != 0 {
+		t.Fatalf("Close left %d frozen memtables", kv.Tree().PendingMemtables())
+	}
+	got := 0
+	if err := kv.Scan(nil, n+1, func(k, v []byte) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("scan saw %d keys, want %d", got, n)
+	}
+	// Idempotent: a second Close is a no-op with the same result.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineBackgroundMVPBT(t *testing.T) {
+	e := NewEngine(Config{
+		BackgroundMaint:      true,
+		PartitionBufferBytes: 64 << 10,
+	})
+	kv, err := NewMVPBTKV(e, "mv", MVPBTKVOptions{BloomBits: 10, MaxPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				k := key(i % 500) // updates stack versions → garbage for GC
+				if err := kv.Put(k, val); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%31 == 0 {
+					if _, ok, err := kv.Get(k); err != nil || !ok {
+						t.Errorf("key %s lost: ok=%v err=%v", k, ok, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.PBuf.Evictions() == 0 {
+		t.Fatal("background eviction never ran despite tiny partition buffer")
+	}
+	st := e.Maint.Stats()
+	if st.Jobs[maint.Evict].Runs == 0 {
+		t.Fatalf("no evict jobs ran: %+v", st)
+	}
+	// All 500 live keys readable after shutdown.
+	for i := 0; i < 500; i++ {
+		if _, ok, err := kv.Get(key(i)); err != nil || !ok {
+			t.Fatalf("key %s lost after Close: ok=%v err=%v", key(i), ok, err)
+		}
+	}
+}
+
+func TestEngineCloseReportsJobError(t *testing.T) {
+	e := NewEngine(Config{BackgroundMaint: true})
+	wantErr := fmt.Errorf("closer failed")
+	e.AddCloser(func() error { return wantErr })
+	if err := e.Close(); err != wantErr {
+		t.Fatalf("Close = %v, want %v", err, wantErr)
+	}
+	if err := e.Close(); err != wantErr {
+		t.Fatalf("second Close = %v, want the cached %v", err, wantErr)
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }

@@ -141,6 +141,7 @@ func (e *Engine) NewTable(name string, hk HeapKind, defs ...IndexDef) (*Table, e
 				BloomBits: def.BloomBits, PrefixLen: def.PrefixLen,
 				DisableGC: def.DisableGC, MaxPartitions: def.MaxPartitions,
 			})
+			e.wireMaint(name+"."+def.Name, ix.mv)
 		default:
 			return nil, fmt.Errorf("db: unknown index kind %d", def.Kind)
 		}

@@ -76,20 +76,44 @@ type Stats struct {
 	Compactions int64
 	// BloomNegatives counts runs skipped during gets.
 	BloomNegatives int64
+	// Stalls counts writes that blocked on a backed-up flush pipeline
+	// (background mode only: too many immutable memtables pending).
+	Stalls int64
 }
 
+// maxPendingImm bounds the immutable-memtable backlog in background mode;
+// a write that freezes memtable number maxPendingImm+1 flushes the
+// backlog itself (write stall) instead of letting memory grow unbounded.
+const maxPendingImm = 4
+
 // Tree is an LSM tree. Safe for concurrent use.
+//
+// Two flush modes: synchronously (default) the writer that fills the
+// memtable builds the run inline under mu — the seed behavior. With
+// SetFlushNotify installed, the full memtable is frozen onto the imm list
+// (an O(1) pointer swap) and the notifier schedules FlushPending on the
+// maintenance service; reads cover mem + imm + runs throughout. The
+// expensive run build and compaction merges then run under compactMu
+// only, so foreground writes never wait on device I/O unless the imm
+// backlog exceeds maxPendingImm.
 type Tree struct {
 	mu    sync.Mutex
 	opts  Options
 	pool  *buffer.Pool
 	file  *sfile.File
 	mem   *skiplist.List[[]byte, memEntry]
+	imm   []*skiplist.List[[]byte, memEntry] // frozen, newest first
 	seq   uint64
 	l0    []*part.Segment // newest first
 	lower []*part.Segment // levels[i] = L(i+1); nil slots allowed
 	runNo int
 	stats Stats
+
+	onFlush func() // guarded by mu; nil = synchronous flush
+
+	// compactMu serializes run builds and compactions (FlushPending,
+	// Compact, Close) without holding mu across the merge I/O.
+	compactMu sync.Mutex
 }
 
 // New creates an empty LSM tree stored in file.
@@ -138,14 +162,50 @@ func (t *Tree) Delete(key []byte) error {
 
 func (t *Tree) write(key []byte, e memEntry) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.seq++
 	e.seq = t.seq
 	t.mem.Set(append([]byte(nil), key...), e)
-	if t.mem.Bytes() >= t.opts.MemtableBytes {
-		return t.flushLocked()
+	if t.mem.Bytes() < t.opts.MemtableBytes {
+		t.mu.Unlock()
+		return nil
+	}
+	if t.onFlush == nil {
+		err := t.flushLocked()
+		t.mu.Unlock()
+		return err
+	}
+	onFlush := t.onFlush
+	t.imm = append([]*skiplist.List[[]byte, memEntry]{t.mem}, t.imm...)
+	t.mem = newMem()
+	stall := len(t.imm) > maxPendingImm
+	if stall {
+		t.stats.Stalls++
+	}
+	t.mu.Unlock()
+	onFlush()
+	if stall {
+		// Flushing has fallen behind the write rate: this writer drains
+		// the backlog itself (compactMu serializes with the background
+		// worker, so the work happens exactly once).
+		return t.FlushPending()
 	}
 	return nil
+}
+
+// SetFlushNotify switches the tree to background-flush mode: fn is
+// invoked (without locks held) whenever a full memtable is frozen and a
+// flush should be scheduled. Pass nil to restore synchronous flushing.
+func (t *Tree) SetFlushNotify(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onFlush = fn
+}
+
+// PendingMemtables returns the number of frozen memtables awaiting flush.
+func (t *Tree) PendingMemtables() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.imm)
 }
 
 // Get returns the newest value for key (nil, false when absent or
@@ -158,6 +218,14 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 			return nil, false, nil
 		}
 		return append([]byte(nil), e.val...), true, nil
+	}
+	for _, im := range t.imm {
+		if e, ok := im.Get(key); ok {
+			if e.tomb {
+				return nil, false, nil
+			}
+			return append([]byte(nil), e.val...), true, nil
+		}
 	}
 	probe := func(seg *part.Segment) (memEntry, bool, error) {
 		if !seg.MayContainKey(key) {
@@ -287,6 +355,10 @@ func (t *Tree) sources(lo []byte) []*source {
 	var srcs []*source
 	mit := t.mem.Seek(lo)
 	srcs = append(srcs, &source{memIt: &mit})
+	for _, im := range t.imm {
+		iit := im.Seek(lo)
+		srcs = append(srcs, &source{memIt: &iit})
+	}
 	for _, seg := range t.l0 {
 		srcs = append(srcs, &source{segIt: seg.Seek(lo)})
 	}
@@ -298,80 +370,197 @@ func (t *Tree) sources(lo []byte) []*source {
 	return srcs
 }
 
-// Flush forces the memtable out (mainly for tests and shutdown).
+// Flush forces everything in memory out (tests and shutdown). In
+// background mode (or with a flush backlog) it freezes the current
+// memtable and drains the whole pipeline via FlushPending.
 func (t *Tree) Flush() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.flushLocked()
+	if t.onFlush == nil && len(t.imm) == 0 {
+		err := t.flushLocked()
+		t.mu.Unlock()
+		return err
+	}
+	if t.mem.Len() > 0 {
+		t.imm = append([]*skiplist.List[[]byte, memEntry]{t.mem}, t.imm...)
+		t.mem = newMem()
+	}
+	t.mu.Unlock()
+	return t.FlushPending()
 }
 
+// Close flushes all in-memory state to disk. The caller is responsible
+// for draining any maintenance service first so no flush job races the
+// shutdown (compactMu makes such a race safe, just wasteful).
+func (t *Tree) Close() error {
+	return t.Flush()
+}
+
+// flushLocked is the synchronous path: build the run inline under mu.
 func (t *Tree) flushLocked() error {
 	if t.mem.Len() == 0 {
 		return nil
 	}
-	kvs := make([]part.KV, 0, t.mem.Len())
-	for it := t.mem.Min(); it.Valid(); it.Next() {
-		kvs = append(kvs, part.KV{Key: it.Key(), Body: encodeBody(it.Value())})
-	}
-	seg, err := part.Build(t.pool, t.file, t.runNo, kvs, 0, 0, part.BuildOptions{BloomBitsPerKey: t.opts.BloomBits})
+	no := t.runNo
+	t.runNo++
+	seg, err := t.buildRun(t.mem, no)
 	if err != nil {
 		return err
 	}
-	t.runNo++
 	t.l0 = append([]*part.Segment{seg}, t.l0...)
 	t.mem = newMem()
 	t.stats.Flushes++
 	return t.maybeCompactLocked()
 }
 
-func (t *Tree) maybeCompactLocked() error {
-	// L0 → L1 when L0 has too many runs.
-	if len(t.l0) >= t.opts.L0Runs {
-		inputs := append([]*part.Segment{}, t.l0...)
-		if len(t.lower) > 0 && t.lower[0] != nil {
-			inputs = append(inputs, t.lower[0])
+// buildRun serializes one memtable into run number no. The background
+// path calls it WITHOUT mu: the source is frozen (no further inserts)
+// and the builder touches only thread-safe state (pool, file).
+func (t *Tree) buildRun(mem *skiplist.List[[]byte, memEntry], no int) (*part.Segment, error) {
+	kvs := make([]part.KV, 0, mem.Len())
+	for it := mem.Min(); it.Valid(); it.Next() {
+		kvs = append(kvs, part.KV{Key: it.Key(), Body: encodeBody(it.Value())})
+	}
+	return part.Build(t.pool, t.file, no, kvs, 0, 0, part.BuildOptions{BloomBitsPerKey: t.opts.BloomBits})
+}
+
+// FlushPending builds runs for all frozen memtables, oldest first, then
+// runs any due compactions — the background flush job. Serialized by
+// compactMu; mu is held only to pick sources and install results, never
+// across the build I/O.
+func (t *Tree) FlushPending() error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	for {
+		t.mu.Lock()
+		if len(t.imm) == 0 {
+			t.mu.Unlock()
+			break
 		}
-		merged, err := t.mergeRuns(inputs, t.bottomEmpty(0))
+		src := t.imm[len(t.imm)-1] // oldest; write() prepends
+		no := t.runNo
+		t.runNo++
+		t.mu.Unlock()
+
+		seg, err := t.buildRun(src, no)
 		if err != nil {
 			return err
 		}
+		t.mu.Lock()
+		t.l0 = append([]*part.Segment{seg}, t.l0...)
+		t.imm = t.imm[:len(t.imm)-1]
+		t.stats.Flushes++
+		t.mu.Unlock()
+	}
+	return t.compactPending()
+}
+
+// Compact runs any due compactions (the background compaction job).
+func (t *Tree) Compact() error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	return t.compactPending()
+}
+
+// compactPending loops plan → merge → install until no level is over
+// threshold. Called with compactMu held; the merge I/O runs outside mu.
+func (t *Tree) compactPending() error {
+	for {
+		t.mu.Lock()
+		inputs, srcLevel, dropTombs, no, ok := t.planCompactionLocked()
+		t.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		merged, err := t.mergeRuns(inputs, dropTombs, no)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.installCompactionLocked(inputs, srcLevel, merged)
+		t.mu.Unlock()
 		for _, s := range inputs {
 			s.Free()
 		}
-		t.l0 = nil
-		if len(t.lower) == 0 {
-			t.lower = append(t.lower, nil)
-		}
-		t.lower[0] = merged
-		t.stats.Compactions++
 	}
-	// Cascade: level i overflows into level i+1.
+}
+
+// maybeCompactLocked is the synchronous equivalent: plan/merge/install
+// entirely under mu (the seed behavior — the inserting client pays).
+func (t *Tree) maybeCompactLocked() error {
+	for {
+		inputs, srcLevel, dropTombs, no, ok := t.planCompactionLocked()
+		if !ok {
+			return nil
+		}
+		merged, err := t.mergeRuns(inputs, dropTombs, no)
+		if err != nil {
+			return err
+		}
+		t.installCompactionLocked(inputs, srcLevel, merged)
+		for _, s := range inputs {
+			s.Free()
+		}
+	}
+}
+
+// planCompactionLocked picks the next due compaction: all L0 runs into L1
+// when L0 is full (srcLevel -1), else the first oversized lower level
+// into the one below it (srcLevel i). Allocates the output run number.
+// Requires mu.
+func (t *Tree) planCompactionLocked() (inputs []*part.Segment, srcLevel int, dropTombs bool, no int, ok bool) {
+	if len(t.l0) >= t.opts.L0Runs {
+		inputs = append([]*part.Segment{}, t.l0...)
+		if len(t.lower) > 0 && t.lower[0] != nil {
+			inputs = append(inputs, t.lower[0])
+		}
+		no = t.runNo
+		t.runNo++
+		return inputs, -1, t.bottomEmpty(0), no, true
+	}
 	target := t.opts.LevelRatio * t.opts.MemtableBytes
 	for i := 0; i < len(t.lower); i++ {
 		if t.lower[i] == nil || t.lower[i].SizeBytes <= target {
 			target *= t.opts.LevelRatio
 			continue
 		}
-		inputs := []*part.Segment{t.lower[i]}
+		inputs = []*part.Segment{t.lower[i]}
 		if i+1 < len(t.lower) && t.lower[i+1] != nil {
 			inputs = append(inputs, t.lower[i+1])
 		}
-		merged, err := t.mergeRuns(inputs, t.bottomEmpty(i+1))
-		if err != nil {
-			return err
-		}
-		for _, s := range inputs {
-			s.Free()
-		}
-		t.lower[i] = nil
-		if i+1 >= len(t.lower) {
-			t.lower = append(t.lower, nil)
-		}
-		t.lower[i+1] = merged
-		t.stats.Compactions++
-		target *= t.opts.LevelRatio
+		no = t.runNo
+		t.runNo++
+		return inputs, i, t.bottomEmpty(i + 1), no, true
 	}
-	return nil
+	return nil, 0, false, 0, false
+}
+
+// installCompactionLocked swaps the merged run in for its inputs.
+// merged may be nil (everything compacted away). Requires mu.
+func (t *Tree) installCompactionLocked(inputs []*part.Segment, srcLevel int, merged *part.Segment) {
+	dest := 0
+	if srcLevel < 0 {
+		// Remove exactly the consumed runs; background flushes cannot have
+		// prepended new ones (compactMu), but filter defensively.
+		consumed := make(map[*part.Segment]bool, len(inputs))
+		for _, s := range inputs {
+			consumed[s] = true
+		}
+		var keep []*part.Segment
+		for _, s := range t.l0 {
+			if !consumed[s] {
+				keep = append(keep, s)
+			}
+		}
+		t.l0 = keep
+	} else {
+		t.lower[srcLevel] = nil
+		dest = srcLevel + 1
+	}
+	for len(t.lower) <= dest {
+		t.lower = append(t.lower, nil)
+	}
+	t.lower[dest] = merged
+	t.stats.Compactions++
 }
 
 // bottomEmpty reports whether no run exists below level index i (tombstones
@@ -385,9 +574,10 @@ func (t *Tree) bottomEmpty(i int) bool {
 	return true
 }
 
-// mergeRuns merges runs (newest first) into one, newest entry per key
-// winning; dropTombs drops tombstones (safe only at the bottom).
-func (t *Tree) mergeRuns(runs []*part.Segment, dropTombs bool) (*part.Segment, error) {
+// mergeRuns merges runs (newest first) into run number no, newest entry
+// per key winning; dropTombs drops tombstones (safe only at the bottom).
+// Touches no locked state: callable with or without mu.
+func (t *Tree) mergeRuns(runs []*part.Segment, dropTombs bool, no int) (*part.Segment, error) {
 	its := make([]*part.Iterator, len(runs))
 	for i, r := range runs {
 		its[i] = r.Min()
@@ -424,10 +614,5 @@ func (t *Tree) mergeRuns(runs []*part.Segment, dropTombs bool) (*part.Segment, e
 			return nil, it.Err()
 		}
 	}
-	seg, err := part.Build(t.pool, t.file, t.runNo, out, 0, 0, part.BuildOptions{BloomBitsPerKey: t.opts.BloomBits})
-	if err != nil {
-		return nil, err
-	}
-	t.runNo++
-	return seg, nil
+	return part.Build(t.pool, t.file, no, out, 0, 0, part.BuildOptions{BloomBitsPerKey: t.opts.BloomBits})
 }

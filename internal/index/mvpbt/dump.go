@@ -29,7 +29,8 @@ func (d DumpEntry) String() string {
 }
 
 // DumpKey returns every index record for key, in processing order (PN
-// first, then partitions newest to oldest).
+// first, then frozen eviction-pending PNs newest first as F<i>, then
+// partitions newest to oldest).
 func (t *Tree) DumpKey(key []byte) []DumpEntry {
 	t.gate.RLock()
 	defer t.gate.RUnlock()
@@ -40,6 +41,14 @@ func (t *Tree) DumpKey(key []byte) []DumpEntry {
 			break
 		}
 		out = append(out, DumpEntry{Where: "PN", Key: string(key), Rec: it.Value().snapshot()})
+	}
+	for fi, fz := range v.frozen {
+		for it := fz.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+			if !bytes.Equal(it.Key().key, key) {
+				break
+			}
+			out = append(out, DumpEntry{Where: fmt.Sprintf("F%d", fi), Key: string(key), Rec: it.Value().snapshot()})
+		}
 	}
 	for i := len(v.parts) - 1; i >= 0; i-- {
 		seg := v.parts[i]

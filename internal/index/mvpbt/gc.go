@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"mvpbt/internal/index/part"
+	"mvpbt/internal/skiplist"
 	"mvpbt/internal/storage"
 	"mvpbt/internal/txn"
 )
@@ -28,6 +29,16 @@ func (t *Tree) sweepPNLocked(v *treeView) {
 	t.pnGarbage.Store(0)
 }
 
+// SweepPN runs garbage-collection phase 2 on demand — the maintenance
+// service's GC job (scheduled via the onGC hook instead of sweeping on
+// the inserting writer's critical path).
+func (t *Tree) SweepPN() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepPNLocked(t.view.Load())
+	return nil
+}
+
 // pnEntry pairs a PN key with its record during eviction.
 type pnEntry struct {
 	key pnKey
@@ -35,35 +46,106 @@ type pnEntry struct {
 }
 
 // EvictPN implements part.Owner — the partition eviction pipeline of
-// Algorithm 4:
+// Algorithm 4, restructured so the expensive build never holds the
+// tree's write lock:
 //
-//  1. PN is frozen (a fresh PN replaces it for ongoing modifications).
-//  2. Version chains are analysed and obsolete records garbage collected
-//     (phase 3 of §4.6): a record superseded below the GC horizon by a
-//     committed successor of the same key is invisible to every present
-//     and future snapshot and is dropped, with its anti-matter inherited
-//     by the successor; aborted and flagged records are dropped; anti and
-//     tombstone records whose whole chain lived in PN vanish entirely.
-//  3. The survivors are dense-packed into leaf pages with prefix
-//     truncation, internal levels are built bottom-up, and all pages are
-//     written out strictly sequentially.
-//  4. Bloom and prefix-bloom filters are computed from the same pass.
-//  5. The new partition and the fresh PN are published as one view, so a
-//     reader either sees the frozen PN (old view) or the new partition
-//     (new view) — never both or neither.
+//  1. Freeze (under mu, cheap): the current PN is prepended to the view's
+//     frozen list and a fresh PN takes its place; ongoing modifications
+//     and readers are unaffected.
+//  2. Build (under bgMu only): the oldest frozen PN's version chains are
+//     analysed and obsolete records garbage collected (phase 3 of §4.6):
+//     a record superseded below the GC horizon by a committed successor
+//     of the same key is invisible to every present and future snapshot
+//     and is dropped, with its anti-matter inherited by the successor;
+//     aborted and flagged records are dropped; anti and tombstone records
+//     whose whole chain lived in PN vanish entirely. The survivors are
+//     dense-packed into leaf pages with prefix truncation, internal
+//     levels are built bottom-up, all pages are written out strictly
+//     sequentially, and bloom/prefix-bloom filters are computed from the
+//     same pass.
+//  3. Publish (under mu, cheap): the frozen PN is swapped for the new
+//     partition in ONE view, so a reader either sees the frozen PN (old
+//     view) or the new partition (new view) — never both or neither.
+//
+// Foreground inserts therefore only ever contend with the freeze and
+// publish steps; the serialization + device write happens concurrently.
 func (t *Tree) EvictPN() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	v := t.view.Load()
-	if v.pn.Len() == 0 {
-		return nil
+	if v.pn.Len() > 0 {
+		frozen := make([]*skiplist.List[pnKey, *Record], 0, len(v.frozen)+1)
+		frozen = append(frozen, v.pn)
+		frozen = append(frozen, v.frozen...)
+		t.view.Store(&treeView{pn: newPN(), frozen: frozen, parts: v.parts})
+		t.pnGarbage.Store(0)
 	}
-	// Freeze: value-copy every record. The frozen PN stays readable
-	// through the old view while GC below rewrites anti-matter chains
-	// (OldRID inheritance), so the mutation must happen on private copies.
-	entries := make([]pnEntry, 0, v.pn.Len())
-	recs := make([]Record, 0, v.pn.Len())
-	for it := v.pn.Min(); it.Valid(); it.Next() {
+	t.mu.Unlock()
+	return t.buildFrozen()
+}
+
+// buildFrozen drains the frozen list oldest-first, building one partition
+// per frozen PN. Only bgMu is held across a build; mu is taken briefly to
+// pick the next source and to publish the result. When the partition
+// count crosses MaxPartitions afterwards, the merge either runs inline
+// (synchronous mode) or is handed to the maintenance service (onMerge).
+func (t *Tree) buildFrozen() error {
+	t.bgMu.Lock()
+	defer t.bgMu.Unlock()
+	for {
+		t.mu.Lock()
+		v := t.view.Load()
+		if len(v.frozen) == 0 {
+			onMerge := t.onMerge
+			needMerge := t.opts.MaxPartitions > 0 && len(v.parts) > t.opts.MaxPartitions
+			t.mu.Unlock()
+			if !needMerge {
+				return nil
+			}
+			if onMerge != nil {
+				onMerge()
+				return nil
+			}
+			return t.mergeBG()
+		}
+		src := v.frozen[len(v.frozen)-1] // oldest; new freezes prepend
+		no := t.nextNo
+		t.nextNo++
+		t.mu.Unlock()
+
+		seg, err := t.buildPartition(src, no)
+		if err != nil {
+			return err
+		}
+
+		t.mu.Lock()
+		v2 := t.view.Load()
+		frozen := append([]*skiplist.List[pnKey, *Record](nil), v2.frozen[:len(v2.frozen)-1]...)
+		parts := v2.parts
+		if seg != nil {
+			parts = make([]*part.Segment, 0, len(v2.parts)+1)
+			parts = append(parts, v2.parts...)
+			parts = append(parts, seg)
+		}
+		t.view.Store(&treeView{pn: v2.pn, frozen: frozen, parts: parts})
+		t.mu.Unlock()
+		if seg != nil {
+			t.stats.evictions.Add(1)
+		}
+	}
+}
+
+// buildPartition runs GC phase 3 over one frozen PN and serializes the
+// survivors into a partition. Called with bgMu (NOT mu) held: the frozen
+// source receives no more inserts, record flags are read via snapshot
+// copies, and txn.Manager, the segment builder and the stats counters are
+// all thread-safe. Returns (nil, nil) when GC leaves nothing to persist.
+func (t *Tree) buildPartition(src *skiplist.List[pnKey, *Record], no int) (*part.Segment, error) {
+	// Value-copy every record: the frozen PN stays readable through the
+	// current view while GC below rewrites anti-matter chains (OldRID
+	// inheritance), so the mutation must happen on private copies.
+	entries := make([]pnEntry, 0, src.Len())
+	recs := make([]Record, 0, src.Len())
+	for it := src.Min(); it.Valid(); it.Next() {
 		recs = append(recs, it.Value().snapshot())
 		entries = append(entries, pnEntry{key: it.Key(), rec: &recs[len(recs)-1]})
 	}
@@ -75,9 +157,7 @@ func (t *Tree) EvictPN() error {
 		}
 	}
 	if len(entries) == 0 {
-		t.view.Store(&treeView{pn: newPN(), parts: v.parts})
-		t.pnGarbage.Store(0)
-		return nil
+		return nil, nil
 	}
 	kvs := make([]part.KV, len(entries))
 	minTS, maxTS := ^txn.TxID(0), txn.TxID(0)
@@ -90,27 +170,10 @@ func (t *Tree) EvictPN() error {
 			maxTS = e.rec.TS
 		}
 	}
-	seg, err := part.Build(t.pool, t.file, t.nextNo, kvs, uint64(minTS), uint64(maxTS), part.BuildOptions{
+	return part.Build(t.pool, t.file, no, kvs, uint64(minTS), uint64(maxTS), part.BuildOptions{
 		BloomBitsPerKey: t.opts.BloomBits,
 		PrefixLen:       t.opts.PrefixLen,
 	})
-	if err != nil {
-		return err
-	}
-	t.nextNo++
-	parts := v.parts
-	if seg != nil {
-		parts = make([]*part.Segment, 0, len(v.parts)+1)
-		parts = append(parts, v.parts...)
-		parts = append(parts, seg)
-	}
-	t.view.Store(&treeView{pn: newPN(), parts: parts})
-	t.pnGarbage.Store(0)
-	t.stats.evictions.Add(1)
-	if t.opts.MaxPartitions > 0 && len(parts) > t.opts.MaxPartitions {
-		return t.mergePartitionsLocked()
-	}
-	return nil
 }
 
 // evictGC is phase 3: chain-collapsing garbage collection over the frozen

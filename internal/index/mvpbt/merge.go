@@ -17,17 +17,32 @@ import (
 // anywhere is dropped. The merged partition is dense-packed, filtered and
 // written sequentially; the inputs are freed once every in-flight reader
 // has moved past the old view (see the gate in Tree).
+//
+// The k-way merge and the build run under bgMu only — foreground inserts,
+// freezes and readers proceed throughout; mu is taken briefly to snapshot
+// the inputs and to install the result.
 func (t *Tree) MergePartitions() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.mergePartitionsLocked()
+	t.bgMu.Lock()
+	defer t.bgMu.Unlock()
+	return t.mergeBG()
 }
 
-func (t *Tree) mergePartitionsLocked() error {
+// mergeBG is the merge body; called with bgMu held. The GC reasoning
+// below requires the merge input to be the COMPLETE persisted state:
+// bgMu guarantees that (only bgMu holders append to or replace parts),
+// and records in PN or frozen PNs are strictly newer than any persisted
+// record, so they can only suppress, never be required by, the merged
+// partition.
+func (t *Tree) mergeBG() error {
+	t.mu.Lock()
 	v := t.view.Load()
 	if len(v.parts) < 2 {
+		t.mu.Unlock()
 		return nil
 	}
+	no := t.nextNo
+	t.nextNo++
+	t.mu.Unlock()
 	horizon := t.mgr.Horizon()
 	committedBelow := func(rec *Record) bool {
 		return rec.TS < horizon && t.mgr.StatusOf(rec.TS) == txn.Committed
@@ -171,7 +186,7 @@ func (t *Tree) mergePartitionsLocked() error {
 				maxTS = ts
 			}
 		}
-		seg, err := part.Build(t.pool, t.file, t.nextNo, kvs, uint64(minTS), uint64(maxTS), part.BuildOptions{
+		seg, err := part.Build(t.pool, t.file, no, kvs, uint64(minTS), uint64(maxTS), part.BuildOptions{
 			BloomBitsPerKey: t.opts.BloomBits,
 			PrefixLen:       t.opts.PrefixLen,
 		})
@@ -180,12 +195,22 @@ func (t *Tree) mergePartitionsLocked() error {
 			// the previous, still-intact view.
 			return err
 		}
-		t.nextNo++
 		if seg != nil {
 			merged = []*part.Segment{seg}
 		}
 	}
-	t.view.Store(&treeView{pn: v.pn, parts: merged})
+	// Install: re-read the view — PN inserts and freezes may have
+	// published since the snapshot (they don't touch parts; bgMu excludes
+	// every parts mutator for the whole merge), so carry the current
+	// pn/frozen and rebase defensively around the inputs prefix.
+	t.mu.Lock()
+	v2 := t.view.Load()
+	parts := merged
+	if extra := v2.parts[len(v.parts):]; len(extra) > 0 {
+		parts = append(append([]*part.Segment(nil), merged...), extra...)
+	}
+	t.view.Store(&treeView{pn: v2.pn, frozen: v2.frozen, parts: parts})
+	t.mu.Unlock()
 	// Grace period: in-flight readers may still hold the old view with the
 	// input segments. Taking the gate's write side waits them out; new
 	// readers entering afterwards can only load the merged view. Only then

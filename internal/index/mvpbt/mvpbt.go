@@ -119,19 +119,22 @@ type statCounters struct {
 }
 
 // treeView is the immutable snapshot the read path operates on: the
-// current main-memory partition and the persisted partition list, oldest
-// first. pn and parts are published TOGETHER — eviction moves records from
-// PN into a new partition, so publishing them separately would let a
-// reader observe the records twice (old pn + new partition) or not at all
-// (new pn + old partition list).
+// current main-memory partition, the frozen (eviction-pending) PNs newest
+// first, and the persisted partition list, oldest first. All three are
+// published TOGETHER — eviction moves records PN → frozen → partition, so
+// publishing them separately would let a reader observe records twice or
+// not at all.
 //
 // The pn inside a view is mutable in the SWMR sense: the single writer
 // (under Tree.mu) keeps inserting into it until it is frozen by eviction;
-// readers traverse it lock-free. parts is never mutated once published —
+// readers traverse it lock-free. frozen lists receive no further inserts
+// (that is the point of freezing: the expensive partition build reads
+// them without any lock), and parts is never mutated once published —
 // writers publish a whole new view instead.
 type treeView struct {
-	pn    *skiplist.List[pnKey, *Record]
-	parts []*part.Segment
+	pn     *skiplist.List[pnKey, *Record]
+	frozen []*skiplist.List[pnKey, *Record]
+	parts  []*part.Segment
 }
 
 // Tree is a Multi-Version Partitioned B-Tree. Safe for concurrent use:
@@ -149,6 +152,18 @@ type Tree struct {
 
 	// view is the read-path snapshot, swapped atomically by writers.
 	view atomic.Pointer[treeView]
+
+	// bgMu serializes the heavy reorganizations — frozen-PN partition
+	// builds and partition merges — WITHOUT blocking mu: foreground
+	// inserts and freezes proceed while a build is in flight. Lock order
+	// is always bgMu before mu.
+	bgMu sync.Mutex
+
+	// onMerge/onGC, when set (guarded by mu), defer partition merging and
+	// PN sweeping to the maintenance service instead of running them
+	// inline on whichever caller tripped the threshold.
+	onMerge func()
+	onGC    func()
 
 	// gate tracks readers for segment reclamation: every reader holds the
 	// read side for its whole operation; MergePartitions — the only writer
@@ -183,11 +198,42 @@ func newPN() *skiplist.List[pnKey, *Record] {
 // Name implements part.Owner.
 func (t *Tree) Name() string { return t.opts.Name }
 
-// PNBytes implements part.Owner.
+// PNBytes implements part.Owner. Frozen PNs still occupy buffer memory
+// until their partition build publishes, so they count too.
 func (t *Tree) PNBytes() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.view.Load().pn.Bytes()
+	v := t.view.Load()
+	total := v.pn.Bytes()
+	for _, fz := range v.frozen {
+		total += fz.Bytes()
+	}
+	return total
+}
+
+// FrozenPNs returns the number of eviction-pending frozen PNs.
+func (t *Tree) FrozenPNs() int {
+	return len(t.view.Load().frozen)
+}
+
+// SetMaintHooks installs the maintenance triggers: onMerge fires when the
+// partition count exceeds MaxPartitions after an eviction (instead of
+// merging inline), onGC when the PN garbage ratio trips (instead of
+// sweeping on the inserting writer). Either may be nil to keep the
+// synchronous behavior.
+func (t *Tree) SetMaintHooks(onMerge, onGC func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onMerge, t.onGC = onMerge, onGC
+}
+
+// NeedsMerge reports whether the persisted partition count exceeds the
+// configured MaxPartitions threshold.
+func (t *Tree) NeedsMerge() bool {
+	if t.opts.MaxPartitions <= 0 {
+		return false
+	}
+	return len(t.view.Load().parts) > t.opts.MaxPartitions
 }
 
 // NumPartitions returns the number of persisted partitions.
@@ -223,13 +269,21 @@ func (t *Tree) pnPut(tx *txn.Tx, key []byte, rec *Record) error {
 	k := pnKey{key: kc, ts: rec.TS, seq: t.pnSeq}
 	t.pnSeq++
 	v.pn.Set(k, rec)
+	var needGC func()
 	if !t.opts.DisableGC {
 		if g := t.pnGarbage.Load(); g > 64 && g > int64(v.pn.Len()/8) {
-			t.sweepPNLocked(v)
+			if t.onGC != nil {
+				needGC = t.onGC
+			} else {
+				t.sweepPNLocked(v)
+			}
 		}
 	}
 	t.mu.Unlock()
-	return t.pbuf.MaybeEvict()
+	if needGC != nil {
+		needGC()
+	}
+	return t.pbuf.DidInsert()
 }
 
 // InsertRegular implements index.VersionAware.
@@ -278,6 +332,10 @@ func (t *Tree) BulkLoad(tx *txn.Tx, entries []index.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
+	// bgMu keeps the partition list stable against concurrent frozen-PN
+	// builds and merges (lock order: bgMu before mu).
+	t.bgMu.Lock()
+	defer t.bgMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	kvs := make([]part.KV, len(entries))
@@ -301,7 +359,7 @@ func (t *Tree) BulkLoad(tx *txn.Tx, entries []index.Entry) error {
 		parts := make([]*part.Segment, 0, len(v.parts)+1)
 		parts = append(parts, seg)
 		parts = append(parts, v.parts...)
-		t.view.Store(&treeView{pn: v.pn, parts: parts})
+		t.view.Store(&treeView{pn: v.pn, frozen: v.frozen, parts: parts})
 	}
 	return nil
 }
@@ -405,6 +463,18 @@ func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
 		}
 		if vis.check(it.Value(), true) && !emit(it.Value()) {
 			return nil
+		}
+	}
+	// Frozen PNs: eviction-pending, newest first, strictly newer than any
+	// persisted partition — §4.3 ordering holds.
+	for _, fz := range v.frozen {
+		for it := fz.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+			if !bytes.Equal(it.Key().key, key) {
+				break
+			}
+			if vis.check(it.Value(), true) && !emit(it.Value()) {
+				return nil
+			}
 		}
 	}
 	for i := len(v.parts) - 1; i >= 0; i-- {
@@ -560,6 +630,11 @@ func (t *Tree) scanSources(tx *txn.Tx, v *treeView, lo, hi []byte) ([]*scanSourc
 	var srcs []*scanSource
 	pnIt := v.pn.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)})
 	srcs = append(srcs, &scanSource{prio: 0, pnIt: &pnIt})
+	for fi, fz := range v.frozen {
+		it := fz.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)})
+		srcs = append(srcs, &scanSource{prio: fi + 1, pnIt: &it})
+	}
+	base := len(v.frozen) + 1
 	for i := len(v.parts) - 1; i >= 0; i-- {
 		seg := v.parts[i]
 		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
@@ -570,7 +645,7 @@ func (t *Tree) scanSources(tx *txn.Tx, v *treeView, lo, hi []byte) ([]*scanSourc
 			continue
 		}
 		t.stats.prefix.positives.Add(1)
-		srcs = append(srcs, &scanSource{prio: len(v.parts) - i, segIt: seg.Seek(lo)})
+		srcs = append(srcs, &scanSource{prio: base + len(v.parts) - 1 - i, segIt: seg.Seek(lo)})
 	}
 	for _, s := range srcs {
 		if err := s.load(hi); err != nil {
@@ -594,6 +669,18 @@ func (t *Tree) ScanAllMatter(lo, hi []byte, fn func(index.Entry) bool) error {
 		if rec := it.Value(); rec.Matter() {
 			if !fn(index.Entry{Key: it.Key().key, Ref: rec.Ref}) {
 				return nil
+			}
+		}
+	}
+	for _, fz := range v.frozen {
+		for it := fz.Seek(pnKey{key: lo, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+			if !index.KeyInRange(it.Key().key, lo, hi) {
+				break
+			}
+			if rec := it.Value(); rec.Matter() {
+				if !fn(index.Entry{Key: it.Key().key, Ref: rec.Ref}) {
+					return nil
+				}
 			}
 		}
 	}

@@ -41,6 +41,16 @@ func (t *Tree) uniqueLookup(tx *txn.Tx, v *treeView, key []byte, fn func(index.E
 			return nil
 		}
 	}
+	for _, fz := range v.frozen {
+		for it := fz.Seek(pnKey{key: key, ts: ^txn.TxID(0), seq: ^uint64(0)}); it.Valid(); it.Next() {
+			if !bytes.Equal(it.Key().key, key) {
+				break
+			}
+			if decide(it.Value()) {
+				return nil
+			}
+		}
+	}
 	for i := len(v.parts) - 1; i >= 0; i-- {
 		seg := v.parts[i]
 		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {

@@ -101,7 +101,7 @@ func (t *Tree) Insert(key []byte, ref index.Ref) error {
 	t.pnSeq++
 	t.pn.Set(k, index.EncodeRef(nil, ref))
 	t.mu.Unlock()
-	return t.pbuf.MaybeEvict()
+	return t.pbuf.DidInsert()
 }
 
 // EvictPN implements part.Owner (Algorithm 4, without the version steps):

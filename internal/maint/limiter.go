@@ -1,0 +1,123 @@
+// Package maint is the background maintenance subsystem: a small worker
+// pool that runs the reorganizations the paper describes as background
+// work — MV-PBT partition eviction (Algorithm 4, §4.5), partition merges,
+// PN garbage sweeps (§4.6) and LSM flush/compaction — asynchronously, off
+// the foreground write path. A token-bucket I/O rate limiter bounds the
+// background write bandwidth charged against the (simulated) device so
+// that maintenance cannot starve foreground reads, and the producer side
+// (internal/index/part's partition buffer) applies RocksDB-style write
+// stalls when maintenance falls behind.
+package maint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is a token-bucket byte rate limiter with charge-after
+// semantics: a worker calls Wait before starting a job (blocking until
+// the bucket is non-negative) and Charge with the bytes the job actually
+// wrote afterwards, which may drive the bucket into debt. Charging actual
+// rather than estimated bytes means no size prediction is needed; debt
+// simply delays the NEXT job, which is exactly the smoothing a background
+// writer wants.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   int64 // bytes per second; 0 = unlimited
+	burst  int64 // bucket capacity in bytes
+	tokens int64 // may be negative (debt)
+	last   time.Time
+
+	// test seams; default to the real clock.
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	throttleNS atomic.Int64
+}
+
+// NewLimiter returns a limiter allowing rate bytes/second with the given
+// burst capacity. rate 0 disables limiting entirely; burst <= 0 defaults
+// to one second's worth of tokens (min 1 MiB).
+func NewLimiter(rate, burst int64) *Limiter {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1<<20 {
+			burst = 1 << 20
+		}
+	}
+	l := &Limiter{rate: rate, burst: burst, tokens: burst, now: time.Now, sleep: time.Sleep}
+	l.last = l.now()
+	return l
+}
+
+// setClock installs a fake time source (tests).
+func (l *Limiter) setClock(now func() time.Time, sleep func(time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+	l.sleep = sleep
+	l.last = now()
+}
+
+// refillLocked adds tokens for the time elapsed since the last refill.
+func (l *Limiter) refillLocked() {
+	t := l.now()
+	dt := t.Sub(l.last)
+	l.last = t
+	if dt <= 0 {
+		return
+	}
+	l.tokens += int64(float64(l.rate) * dt.Seconds())
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+}
+
+// Wait blocks until the bucket is out of debt. Returns immediately when
+// limiting is disabled.
+func (l *Limiter) Wait() {
+	if l.rate <= 0 {
+		return
+	}
+	start := l.nowSafe()
+	for {
+		l.mu.Lock()
+		l.refillLocked()
+		tokens := l.tokens
+		sleep := l.sleep
+		l.mu.Unlock()
+		if tokens >= 0 {
+			break
+		}
+		// Sleep long enough to clear the debt in one go.
+		d := time.Duration(float64(-tokens) / float64(l.rate) * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		sleep(d)
+	}
+	l.throttleNS.Add(int64(l.nowSafe().Sub(start)))
+}
+
+// Charge deducts n bytes from the bucket (no blocking).
+func (l *Limiter) Charge(n int64) {
+	if l.rate <= 0 || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.refillLocked()
+	l.tokens -= n
+	l.mu.Unlock()
+}
+
+func (l *Limiter) nowSafe() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now()
+}
+
+// ThrottleTime returns the cumulative time workers spent blocked in Wait.
+func (l *Limiter) ThrottleTime() time.Duration {
+	return time.Duration(l.throttleNS.Load())
+}

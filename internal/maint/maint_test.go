@@ -1,0 +1,244 @@
+package maint
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServiceRunsJobs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	var n atomic.Int64
+	for i := 0; i < 10; i++ {
+		s.Submit(Evict, "pbuf", func() error { n.Add(1); return nil })
+		s.Submit(Merge, "tree", func() error { n.Add(1); return nil })
+	}
+	s.Drain()
+	if got := n.Load(); got == 0 {
+		t.Fatal("no jobs ran")
+	}
+	st := s.Stats()
+	if st.Jobs[Evict].Runs == 0 || st.Jobs[Merge].Runs == 0 {
+		t.Fatalf("per-kind runs not recorded: %+v", st.Jobs)
+	}
+	if st.Submitted+st.Deduped != 20 {
+		t.Fatalf("submitted %d + deduped %d != 20", st.Submitted, st.Deduped)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceDedupe(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.Pause()
+	var n atomic.Int64
+	run := func() error { n.Add(1); return nil }
+	if !s.Submit(GC, "t1", run) {
+		t.Fatal("first submit rejected")
+	}
+	if s.Submit(GC, "t1", run) {
+		t.Fatal("duplicate pending submit not coalesced")
+	}
+	if !s.Submit(GC, "t2", run) {
+		t.Fatal("distinct key wrongly coalesced")
+	}
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	s.Resume()
+	s.Drain()
+	if got := n.Load(); got != 2 {
+		t.Fatalf("ran %d jobs, want 2", got)
+	}
+	if st := s.Stats(); st.Deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", st.Deduped)
+	}
+}
+
+// A job submitted while an instance of it is running must be enqueued
+// again: the running instance saw pre-trigger state.
+func TestServiceResubmitDuringRun(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int64
+	s.Submit(Flush, "lsm", func() error {
+		close(started)
+		<-release
+		runs.Add(1)
+		return nil
+	})
+	<-started
+	if !s.Submit(Flush, "lsm", func() error { runs.Add(1); return nil }) {
+		t.Fatal("resubmit during run was coalesced")
+	}
+	close(release)
+	s.Drain()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("ran %d, want 2", got)
+	}
+}
+
+func TestServicePauseResume(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	s.Pause()
+	var n atomic.Int64
+	s.Submit(Compact, "x", func() error { n.Add(1); return nil })
+	time.Sleep(5 * time.Millisecond)
+	if n.Load() != 0 {
+		t.Fatal("job ran while paused")
+	}
+	s.Resume()
+	s.Drain()
+	if n.Load() != 1 {
+		t.Fatal("job did not run after resume")
+	}
+}
+
+func TestServiceCloseDrainsAndReportsError(t *testing.T) {
+	s := New(Config{Workers: 1})
+	boom := errors.New("boom")
+	var n atomic.Int64
+	for i := 0; i < 5; i++ {
+		k := i
+		s.Submit(Evict, string(rune('a'+k)), func() error {
+			n.Add(1)
+			if k == 2 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := s.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close err = %v, want boom", err)
+	}
+	if got := n.Load(); got != 5 {
+		t.Fatalf("Close drained %d jobs, want 5", got)
+	}
+	if s.Submit(Evict, "late", func() error { return nil }) {
+		t.Fatal("Submit accepted after Close")
+	}
+	if st := s.Stats(); st.Jobs[Evict].Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Jobs[Evict].Errors)
+	}
+}
+
+// fakeClock drives the limiter deterministically: Sleep advances time.
+type fakeClock struct {
+	mu  sync.Mutex
+	t   time.Time
+	nap time.Duration // cumulative sleep
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.nap += d
+	c.mu.Unlock()
+}
+
+func TestLimiterThrottles(t *testing.T) {
+	c := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(1000, 1000) // 1000 B/s, 1000 B bucket
+	l.setClock(c.now, c.sleep)
+
+	l.Wait() // full bucket: no sleep
+	if c.nap != 0 {
+		t.Fatalf("Wait slept %v with full bucket", c.nap)
+	}
+	l.Charge(3000) // 2000 B of debt
+	l.Wait()       // must sleep ~2s to clear the debt
+	if c.nap < 1900*time.Millisecond {
+		t.Fatalf("Wait slept only %v for 2000B debt at 1000B/s", c.nap)
+	}
+	if got := l.ThrottleTime(); got < 1900*time.Millisecond {
+		t.Fatalf("ThrottleTime = %v", got)
+	}
+	l.Wait() // debt cleared: no further sleep
+	if c.nap > 2100*time.Millisecond {
+		t.Fatalf("Wait slept again after debt cleared: %v", c.nap)
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 0)
+	l.Charge(1 << 40)
+	done := make(chan struct{})
+	go func() { l.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("disabled limiter blocked")
+	}
+}
+
+func TestServiceChargesWrittenBytes(t *testing.T) {
+	var written atomic.Int64
+	c := &fakeClock{t: time.Unix(0, 0)}
+	s := New(Config{
+		Workers:      1,
+		BytesPerSec:  1 << 20,
+		Burst:        1 << 20,
+		WrittenBytes: written.Load,
+		Now:          c.now,
+		Sleep:        c.sleep,
+	})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		s.Submit(Flush, "lsm"+string(rune('0'+i)), func() error {
+			written.Add(2 << 20) // each job writes 2 MiB against a 1 MiB/s budget
+			return nil
+		})
+	}
+	s.Drain()
+	st := s.Stats()
+	if st.Jobs[Flush].Bytes != 6<<20 {
+		t.Fatalf("bytes = %d, want %d", st.Jobs[Flush].Bytes, 6<<20)
+	}
+	// First job runs on the initial burst; the next two must each wait for
+	// the 2 MiB debt of their predecessor: at least ~2s of throttling.
+	if st.Throttle < time.Second {
+		t.Fatalf("throttle = %v, want >= 1s of simulated throttling", st.Throttle)
+	}
+}
+
+func TestServiceConcurrentSubmit(t *testing.T) {
+	s := New(Config{Workers: 4})
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Submit(Kind(i%int(nKinds)), string(rune('a'+g)), func() error {
+					n.Add(1)
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() == 0 {
+		t.Fatal("no jobs ran")
+	}
+	st := s.Stats()
+	if st.Submitted+st.Deduped != 8*200 {
+		t.Fatalf("submitted %d + deduped %d != 1600", st.Submitted, st.Deduped)
+	}
+}

@@ -1,0 +1,278 @@
+package maint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies a class of maintenance job. Per-kind stats are kept so
+// the inspect tooling can report how the background budget was spent.
+type Kind int
+
+const (
+	Evict   Kind = iota // MV-PBT partition-buffer eviction (Algorithm 4)
+	Merge               // MV-PBT partition merge
+	GC                  // PN garbage sweep (§4.6 phase 1)
+	Flush               // LSM memtable flush
+	Compact             // LSM compaction
+	nKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Evict:
+		return "evict"
+	case Merge:
+		return "merge"
+	case GC:
+		return "gc"
+	case Flush:
+		return "flush"
+	case Compact:
+		return "compact"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a maintenance Service.
+type Config struct {
+	// Workers is the pool size; defaults to 2 (one heavy job — an
+	// eviction build or a merge — plus one light one can overlap).
+	Workers int
+	// BytesPerSec caps the background write bandwidth; 0 = unlimited.
+	BytesPerSec int64
+	// Burst is the limiter bucket size; 0 picks a default.
+	Burst int64
+	// WrittenBytes reports cumulative device bytes written; the service
+	// charges each job's before/after delta to the limiter. Nil disables
+	// byte accounting (jobs still run, limiter never charged).
+	WrittenBytes func() int64
+
+	// test seams for the limiter clock.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+type task struct {
+	kind Kind
+	key  string
+	run  func() error
+}
+
+// JobStats aggregates one job kind's lifetime counters.
+type JobStats struct {
+	Runs   int64
+	Errors int64
+	Bytes  int64         // device bytes written while jobs of this kind ran
+	Busy   time.Duration // wall time spent running (excludes queue + throttle)
+}
+
+// Stats is a snapshot of the service's counters.
+type Stats struct {
+	Jobs      [nKinds]JobStats
+	Submitted int64 // Submit calls accepted (enqueued)
+	Deduped   int64 // Submit calls coalesced into an already-pending task
+	Throttle  time.Duration
+}
+
+// Service owns the worker pool. Jobs are closures submitted with a
+// (kind, key) identity; a job already pending under the same identity is
+// coalesced rather than queued twice, but a job submitted while an
+// instance of it is RUNNING is enqueued again — the running instance
+// observed state from before the new trigger.
+type Service struct {
+	limiter *Limiter
+	written func() int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	pending map[string]bool
+	paused  bool
+	closed  bool
+	lastErr error
+	wg      sync.WaitGroup
+
+	stats     [nKinds]struct{ runs, errors, bytes, busyNS atomic.Int64 }
+	submitted atomic.Int64
+	deduped   atomic.Int64
+	active    atomic.Int64
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	s := &Service{
+		limiter: NewLimiter(cfg.BytesPerSec, cfg.Burst),
+		written: cfg.WrittenBytes,
+		pending: make(map[string]bool),
+	}
+	if cfg.Now != nil && cfg.Sleep != nil {
+		s.limiter.setClock(cfg.Now, cfg.Sleep)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a job unless one with the same identity is already
+// waiting in the queue. Returns false when coalesced or when the service
+// is closed.
+func (s *Service) Submit(kind Kind, key string, run func() error) bool {
+	id := kind.String() + "/" + key
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.pending[id] {
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		return false
+	}
+	s.pending[id] = true
+	s.queue = append(s.queue, task{kind: kind, key: key, run: run})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return true
+}
+
+// Pause stops workers from starting new jobs (running jobs finish).
+func (s *Service) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume undoes Pause.
+func (s *Service) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Pending returns the number of queued (not yet started) jobs.
+func (s *Service) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for (len(s.queue) == 0 || s.paused) && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			// Closed and drained (Close clears paused so the remaining
+			// queue is processed before exit).
+			s.mu.Unlock()
+			return
+		}
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		// Drop the pending marker BEFORE running: a re-trigger during the
+		// run must enqueue a fresh instance, not be coalesced away.
+		delete(s.pending, t.kind.String()+"/"+t.key)
+		s.active.Add(1)
+		s.mu.Unlock()
+
+		s.limiter.Wait()
+		var before int64
+		if s.written != nil {
+			before = s.written()
+		}
+		start := time.Now()
+		err := t.run()
+		st := &s.stats[t.kind]
+		st.busyNS.Add(int64(time.Since(start)))
+		st.runs.Add(1)
+		if s.written != nil {
+			if delta := s.written() - before; delta > 0 {
+				st.bytes.Add(delta)
+				s.limiter.Charge(delta)
+			}
+		}
+		if err != nil {
+			st.errors.Add(1)
+			s.mu.Lock()
+			if s.lastErr == nil {
+				s.lastErr = err
+			}
+			s.mu.Unlock()
+		}
+		s.active.Add(-1)
+	}
+}
+
+// Drain blocks until the queue is empty and no job is running. It does
+// not stop the workers; new submissions after Drain returns run normally.
+// A paused service with queued work never drains — callers must Resume
+// first.
+func (s *Service) Drain() {
+	for {
+		s.mu.Lock()
+		empty := len(s.queue) == 0
+		s.mu.Unlock()
+		if empty && s.active.Load() == 0 {
+			// Re-check the queue: a job that finished between the two loads
+			// may have submitted a follow-up (flush → compact).
+			s.mu.Lock()
+			empty = len(s.queue) == 0
+			s.mu.Unlock()
+			if empty {
+				return
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Close drains the remaining queue, stops the workers, and returns the
+// first error any job recorded over the service's lifetime.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.paused = false // drain everything even if paused
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Err returns the first error any job recorded (nil if none).
+func (s *Service) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Stats returns a snapshot of all counters.
+func (s *Service) Stats() Stats {
+	var out Stats
+	for k := Kind(0); k < nKinds; k++ {
+		st := &s.stats[k]
+		out.Jobs[k] = JobStats{
+			Runs:   st.runs.Load(),
+			Errors: st.errors.Load(),
+			Bytes:  st.bytes.Load(),
+			Busy:   time.Duration(st.busyNS.Load()),
+		}
+	}
+	out.Submitted = s.submitted.Load()
+	out.Deduped = s.deduped.Load()
+	out.Throttle = s.limiter.ThrottleTime()
+	return out
+}
