@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-full examples cover
+.PHONY: all build vet test race check check-nightly bench bench-full examples cover
 
 all: build vet test
 
@@ -16,6 +16,13 @@ test:
 race:
 	go vet ./...
 	go test -race ./...
+
+# Differential correctness harness: short smoke (CI) and nightly-length.
+check:
+	go run ./cmd/mvpbt-check -seed 1 -ops 6000 -clients 4 -crashes 2
+
+check-nightly:
+	go run ./cmd/mvpbt-check -seed 1 -ops 50000 -clients 4 -crashes 3
 
 # One testing.B benchmark per paper figure (quick scale).
 bench:

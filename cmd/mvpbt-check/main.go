@@ -1,0 +1,98 @@
+// Command mvpbt-check runs the differential correctness harness
+// (internal/check): a randomized multi-client history generated from
+// -seed is executed against the real engine and a naive MVCC oracle in
+// lockstep, with invariant audits along the way and WAL crash-restarts
+// injected. On a violation the failing history is shrunk to a minimal
+// reproducer and the exact repro command line is printed.
+//
+// Typical smoke run (CI):
+//
+//	go run ./cmd/mvpbt-check -seed 1 -ops 6000 -clients 4 -crashes 2
+//
+// Nightly-length run: raise -ops (the budget knob), e.g. -ops 50000.
+// Reproduce a reported failure: rerun with the printed flags verbatim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mvpbt/internal/check"
+	"mvpbt/internal/db"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "history seed (printed on failure; reruns are deterministic)")
+		ops      = flag.Int("ops", 10000, "history length — the run-length budget knob")
+		clients  = flag.Int("clients", 4, "logical clients interleaved in the history")
+		keys     = flag.Int("keys", 200, "key-space size")
+		crashes  = flag.Int("crashes", 3, "crash-restart points injected into the history")
+		heapSel  = flag.String("heap", "both", "heap layout: hot, sias or both")
+		background = flag.Bool("background", true, "run maintenance on background workers (false = synchronous)")
+		auditEvery = flag.Int("audit-every", 250, "full audit cadence in ops")
+		fault    = flag.Int("inject-fault", 0, "TEST the harness: invert visibility for tx ids divisible by N")
+		noShrink = flag.Bool("no-shrink", false, "skip shrinking on failure")
+		verbose  = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	var heaps []db.HeapKind
+	switch *heapSel {
+	case "hot":
+		heaps = []db.HeapKind{db.HeapHOT}
+	case "sias":
+		heaps = []db.HeapKind{db.HeapSIAS}
+	case "both":
+		heaps = []db.HeapKind{db.HeapHOT, db.HeapSIAS}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -heap %q (want hot, sias or both)\n", *heapSel)
+		os.Exit(2)
+	}
+	heapName := map[db.HeapKind]string{db.HeapHOT: "hot", db.HeapSIAS: "sias"}
+
+	for _, hk := range heaps {
+		cfg := check.RunConfig{
+			Heap: hk, Seed: *seed, Ops: *ops, Clients: *clients, Keys: *keys,
+			Crashes: *crashes, Background: *background, AuditEvery: *auditEvery,
+			FaultEvery: *fault,
+		}
+		if *verbose {
+			cfg.Log = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		fmt.Printf("heap=%-4s seed=%d ops=%d clients=%d keys=%d crashes=%d background=%v\n",
+			heapName[hk], *seed, *ops, *clients, *keys, *crashes, *background)
+		res := check.Run(cfg)
+		if res.Violation == nil {
+			fmt.Printf("  OK: %d ops, %d audits, %d crash-recoveries, %d write conflicts — zero invariant violations\n",
+				res.Ops, res.Audits, res.Crashes, res.Conflicts)
+			continue
+		}
+		fmt.Printf("  VIOLATION: %v\n", res.Violation)
+		history := check.History(cfg)
+		if !*noShrink {
+			fmt.Printf("  shrinking (%d-op history)...\n", len(history))
+			min := check.Shrink(cfg, history, 0)
+			fmt.Printf("  minimal failing history (%d ops):\n%s", len(min), check.FormatOps(min))
+			if r := check.Replay(stepAudit(cfg), min); r.Violation != nil {
+				fmt.Printf("  violation: %v\n", r.Violation)
+			}
+		}
+		fmt.Printf("  reproduce: go run ./cmd/mvpbt-check -seed %d -ops %d -clients %d -keys %d -crashes %d -heap %s -background=%v -audit-every %d",
+			*seed, *ops, *clients, *keys, *crashes, heapName[hk], *background, *auditEvery)
+		if *fault > 0 {
+			fmt.Printf(" -inject-fault %d", *fault)
+		}
+		fmt.Println()
+		os.Exit(1)
+	}
+}
+
+func stepAudit(cfg check.RunConfig) check.RunConfig {
+	cfg.StepAudit = true
+	cfg.Log = nil
+	return cfg
+}

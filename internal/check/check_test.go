@@ -1,0 +1,85 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/db"
+)
+
+// TestHarnessSmoke replays a moderately long generated history on every
+// heap-layout × maintenance-mode combination and expects zero invariant
+// violations. This is the tier-1 entry point for the differential harness;
+// cmd/mvpbt-check runs the same machinery at much larger op counts.
+func TestHarnessSmoke(t *testing.T) {
+	for _, heap := range []db.HeapKind{db.HeapHOT, db.HeapSIAS} {
+		for _, bg := range []bool{false, true} {
+			heap, bg := heap, bg
+			t.Run(fmt.Sprintf("heap=%v/background=%v", heap, bg), func(t *testing.T) {
+				t.Parallel()
+				res := Run(RunConfig{
+					Heap:       heap,
+					Seed:       1,
+					Ops:        1500,
+					Clients:    3,
+					Keys:       60,
+					Crashes:    2,
+					Background: bg,
+				})
+				if res.Violation != nil {
+					t.Fatalf("violation: %v", res.Violation)
+				}
+				if res.Ops != 1500 {
+					t.Fatalf("executed %d ops, want 1500", res.Ops)
+				}
+				if res.Crashes != 2 {
+					t.Fatalf("executed %d crash-recoveries, want 2", res.Crashes)
+				}
+				if res.Audits == 0 || res.Conflicts == 0 {
+					t.Fatalf("run exercised nothing: %d audits, %d conflicts", res.Audits, res.Conflicts)
+				}
+			})
+		}
+	}
+}
+
+// TestSeededVisibilityFaultCaughtAndShrunk seeds a deliberate visibility
+// bug through the test-only mutation hook (decisions for records created
+// by every FaultEvery-th transaction are inverted) and asserts that the
+// harness (a) catches it and (b) shrinks the failure to a tiny history.
+func TestSeededVisibilityFaultCaughtAndShrunk(t *testing.T) {
+	cfg := RunConfig{
+		Heap:       db.HeapHOT,
+		Seed:       1,
+		Ops:        400,
+		Clients:    3,
+		Keys:       40,
+		FaultEvery: 3,
+	}
+	ops := History(cfg)
+	res := Replay(cfg, ops)
+	if res.Violation == nil {
+		t.Fatal("seeded visibility fault was not caught")
+	}
+	min := Shrink(cfg, ops[:res.Ops], 0)
+	if len(min) > 25 {
+		t.Fatalf("shrunk history has %d ops, want <= 25:\n%s", len(min), FormatOps(min))
+	}
+	sc := cfg
+	sc.StepAudit = true
+	if r := Replay(sc, min); r.Violation == nil {
+		t.Fatalf("shrunk history no longer fails:\n%s", FormatOps(min))
+	}
+}
+
+// TestShrinkPreservesFailure shrinks a real violation-free history with a
+// fault injected only during shrinking — the shrinker must return the
+// input unchanged when the failure is not reproducible.
+func TestShrinkIrreproducibleReturnsInput(t *testing.T) {
+	cfg := RunConfig{Heap: db.HeapHOT, Seed: 2, Ops: 60, Clients: 2, Keys: 10}
+	ops := History(cfg)
+	min := Shrink(cfg, ops, 10)
+	if len(min) != len(ops) {
+		t.Fatalf("shrinker altered a non-failing history: %d -> %d ops", len(ops), len(min))
+	}
+}

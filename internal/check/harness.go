@@ -1,0 +1,528 @@
+package check
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/heap"
+	"mvpbt/internal/index/lsm"
+	"mvpbt/internal/txn"
+)
+
+// RunConfig parameterizes one harness run.
+type RunConfig struct {
+	Heap    db.HeapKind
+	Seed    uint64
+	Ops     int
+	Clients int
+	Keys    int
+	Crashes int
+	// Background runs maintenance on the engine's worker pool (the
+	// concurrency under test); false keeps everything synchronous.
+	Background bool
+	// AuditEvery runs a full audit (every index × every open snapshot vs
+	// the oracle, plus raw-record invariants) every N ops (default 250).
+	AuditEvery int
+	// StepAudit audits after EVERY op — shrink-mode replay, where failures
+	// must reproduce independently of the audit cadence.
+	StepAudit bool
+	// FaultEvery, when > 0, installs the test-only visibility mutation hook
+	// on both MV-PBTs: decisions for records whose transaction id is a
+	// multiple of FaultEvery are inverted. Used by the harness's self-test.
+	FaultEvery int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Ops <= 0 {
+		c.Ops = 1000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 3
+	}
+	if c.Keys <= 0 {
+		c.Keys = 100
+	}
+	if c.AuditEvery <= 0 {
+		c.AuditEvery = 250
+	}
+	return c
+}
+
+// Violation reports the first invariant breach of a run.
+type Violation struct {
+	Step int    // index into the history (len(history) for the final audit)
+	Op   string // formatted op, or "final audit"
+	Msg  string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("step %d (%s): %s", v.Step, v.Op, v.Msg)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Ops       int // ops executed (≤ len(history) when a violation stopped the run)
+	Audits    int
+	Crashes   int
+	Conflicts int // first-updater-wins conflicts observed (with parity checked)
+	Violation *Violation
+}
+
+// client is one logical client: its open transaction and the write set
+// destined for the LSM mirror at commit.
+type client struct {
+	tx     *txn.Tx
+	writes map[uint64][]byte // tuple id → final row (nil = deleted)
+	order  []uint64          // first-touch order of writes keys
+}
+
+func (c *client) reset() {
+	c.tx = nil
+	c.writes = nil
+	c.order = nil
+}
+
+func (c *client) record(tid uint64, row []byte) {
+	if c.writes == nil {
+		c.writes = make(map[uint64][]byte)
+	}
+	if _, ok := c.writes[tid]; !ok {
+		c.order = append(c.order, tid)
+	}
+	c.writes[tid] = row
+}
+
+// harness binds one engine instance (rebuilt on crash) to the oracle.
+type harness struct {
+	cfg     RunConfig
+	eng     *db.Engine
+	tbl     *db.Table
+	mirror  *db.LSMKV
+	ora     *Oracle
+	clients []*client
+	res     Result
+}
+
+// keyExtract reads the length-prefixed key out of a row: [len][key][val].
+func keyExtract(row []byte) []byte { return row[1 : 1+row[0]] }
+
+func keyBytes(ord int) []byte { return []byte(fmt.Sprintf("k%04d", ord)) }
+
+// rowBytes builds the globally unique row payload for (key, step, client):
+// uniqueness lets the harness map any engine row back to its oracle tuple,
+// including across crash-recovery, which reassigns VIDs.
+func rowBytes(key []byte, step, cl int) []byte {
+	val := fmt.Sprintf("s%d.c%d", step, cl)
+	row := make([]byte, 0, 1+len(key)+len(val))
+	row = append(row, byte(len(key)))
+	row = append(row, key...)
+	return append(row, val...)
+}
+
+// tidKey is the LSM mirror's key for an oracle tuple.
+func tidKey(tid uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], tid)
+	return b[:]
+}
+
+// indexNames in Op.Ix order.
+var indexNames = [4]string{"mv", "mvu", "bt", "pb"}
+
+func newHarness(cfg RunConfig) (*harness, error) {
+	h := &harness{cfg: cfg, ora: NewOracle(keyExtract)}
+	h.clients = make([]*client, cfg.Clients)
+	for i := range h.clients {
+		h.clients[i] = &client{}
+	}
+	if err := h.buildEngine(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// buildEngine constructs a fresh engine + schema (initial start and every
+// crash-restart). The partition buffer is kept deliberately tiny so
+// evictions, frozen PNs, partition builds and merges all happen within
+// even short histories.
+func (h *harness) buildEngine() error {
+	h.eng = db.NewEngine(db.Config{
+		BufferPages:          2048,
+		PartitionBufferBytes: 96 << 10,
+		EnableWAL:            true,
+		BackgroundMaint:      h.cfg.Background,
+		MaintWorkers:         2,
+	})
+	pbRef := db.RefPhysical
+	if h.cfg.Heap == db.HeapSIAS {
+		pbRef = db.RefLogical // exercise the VID indirection path
+	}
+	tbl, err := h.eng.NewTable("t", h.cfg.Heap,
+		db.IndexDef{Name: "mv", Kind: db.IdxMVPBT, RefMode: db.RefPhysical,
+			Extract: keyExtract, BloomBits: 10, PrefixLen: 2, MaxPartitions: 4},
+		db.IndexDef{Name: "mvu", Kind: db.IdxMVPBT, RefMode: db.RefPhysical, Unique: true,
+			Extract: keyExtract, BloomBits: 10, MaxPartitions: 4},
+		db.IndexDef{Name: "bt", Kind: db.IdxBTree, RefMode: db.RefPhysical, Extract: keyExtract},
+		db.IndexDef{Name: "pb", Kind: db.IdxPBT, RefMode: pbRef,
+			Extract: keyExtract, BloomBits: 10, PrefixLen: 2},
+	)
+	if err != nil {
+		return err
+	}
+	h.tbl = tbl
+	h.mirror = db.NewLSMKV(h.eng, "mirror", lsm.Options{MemtableBytes: 16 << 10, L0Runs: 3})
+	if n := h.cfg.FaultEvery; n > 0 {
+		fault := func(ts txn.TxID, visible bool) bool {
+			if uint64(ts)%uint64(n) == 0 {
+				return !visible
+			}
+			return visible
+		}
+		tbl.Index("mv").MV().SetVisibilityFaultForTest(fault)
+		tbl.Index("mvu").MV().SetVisibilityFaultForTest(fault)
+	}
+	return nil
+}
+
+// ensureTx lazily opens client c's transaction on both sides.
+func (h *harness) ensureTx(c *client) {
+	if c.tx == nil {
+		c.tx = h.eng.Begin()
+		h.ora.Begin(c.tx)
+	}
+}
+
+// freshTx opens a throwaway transaction registered with the oracle; the
+// returned func commits it on both sides.
+func (h *harness) freshTx() (*txn.Tx, func()) {
+	tx := h.eng.Begin()
+	h.ora.Begin(tx)
+	return tx, func() {
+		h.eng.Commit(tx)
+		h.ora.Commit(tx.ID)
+	}
+}
+
+// keyTaken reports whether inserting a fresh tuple at key would break the
+// occupancy discipline: a live-or-pending tuple exists (Occupied), or the
+// inserting transaction itself still sees a row there (its snapshot
+// predates a committed delete — inserting would place a matter record with
+// a LOWER timestamp than the tombstone, inverting the §4.3 lineage order
+// every index relies on). The second case re-routes to an update, which
+// correctly surfaces as a first-updater-wins conflict.
+func (h *harness) keyTaken(tx *txn.Tx, key []byte) bool {
+	return h.ora.Occupied(key) || len(h.ora.LookupVisible(tx.ID, key)) > 0
+}
+
+func (h *harness) viol(step int, op string, format string, args ...any) *Violation {
+	return &Violation{Step: step, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lookupTarget finds the row at key visible to tx on BOTH sides and
+// cross-checks them: the engine's choice (via the primary MV-PBT, the
+// same index WAL replay uses) must carry exactly the oracle's visible row.
+// When an old snapshot legitimately sees several rows at the key (its own
+// insert next to a predecessor tuple whose delete it cannot see yet), the
+// engine's LookupOne surfaces the newest — mirror that with UniquePerKey.
+// Returns (nil, nil, nil) when both agree the key is absent.
+func (h *harness) lookupTarget(step int, op Op, tx *txn.Tx, key []byte) (*db.RowRef, *Tuple, *Violation) {
+	rr, err := h.tbl.LookupOne(tx, h.tbl.Indexes()[0], key, true)
+	if err != nil {
+		return nil, nil, h.viol(step, op.String(), "target lookup: %v", err)
+	}
+	want := UniquePerKey(keyExtract, h.ora.LookupVisible(tx.ID, key))
+	switch {
+	case rr == nil && len(want) == 0:
+		return nil, nil, nil
+	case rr == nil:
+		return nil, nil, h.viol(step, op.String(), "engine sees no row at %q, oracle sees %q", key, want[0].Row)
+	case len(want) == 0:
+		return nil, nil, h.viol(step, op.String(), "engine sees row %q at %q, oracle sees none", rr.Row, key)
+	case string(rr.Row) != string(want[0].Row):
+		return nil, nil, h.viol(step, op.String(), "target mismatch at %q: engine %q, oracle %q", key, rr.Row, want[0].Row)
+	case rr.VID != want[0].Tuple.EngineVID:
+		return nil, nil, h.viol(step, op.String(), "target VID mismatch at %q: engine %d, oracle %d", key, rr.VID, want[0].Tuple.EngineVID)
+	}
+	return rr, want[0].Tuple, nil
+}
+
+// step executes one history op. Returns the violation that stops the run,
+// or nil.
+func (h *harness) step(i int, op Op) *Violation {
+	switch op.Kind {
+	case OpInsert:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		key := keyBytes(op.Key)
+		row := rowBytes(key, i, op.Client)
+		if h.keyTaken(c.tx, key) {
+			// Occupancy discipline: never two live-or-pending tuples on one
+			// key. Re-route to an update of whatever this snapshot sees
+			// (which surfaces as a write-write conflict when the row was
+			// deleted under the snapshot's feet — exactly what a unique
+			// index under snapshot isolation would report).
+			return h.writeAt(i, op, c, key, row)
+		}
+		vid, _, err := h.tbl.Insert(c.tx, row)
+		if err != nil {
+			return h.viol(i, op.String(), "insert: %v", err)
+		}
+		t := h.ora.Insert(c.tx.ID, row)
+		t.EngineVID = vid
+		c.record(t.ID, row)
+	case OpUpdate:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		key := keyBytes(op.Key)
+		return h.writeAt(i, op, c, key, rowBytes(key, i, op.Client))
+	case OpUpdateKey:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		oldKey, newKey := keyBytes(op.Key), keyBytes(op.Key2)
+		if op.Key2 != op.Key && h.keyTaken(c.tx, newKey) {
+			return nil // target key taken: skip to preserve the discipline
+		}
+		return h.writeAt(i, op, c, oldKey, rowBytes(newKey, i, op.Client))
+	case OpDelete:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		return h.writeAt(i, op, c, keyBytes(op.Key), nil)
+	case OpLookup:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		ix := h.tbl.Index(indexNames[op.Ix])
+		return h.compareLookup(i, op.String(), c.tx, ix, keyBytes(op.Key))
+	case OpScan:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		ix := h.tbl.Index(indexNames[op.Ix])
+		return h.compareScan(i, op.String(), c.tx, ix, keyBytes(op.Key), keyBytes(op.Key2))
+	case OpCount:
+		c := h.clients[op.Client]
+		h.ensureTx(c)
+		ix := h.tbl.Index(indexNames[op.Ix])
+		n, err := h.tbl.Count(c.tx, ix, keyBytes(op.Key), keyBytes(op.Key2))
+		if err != nil {
+			return h.viol(i, op.String(), "count: %v", err)
+		}
+		rows := h.ora.ScanVisible(c.tx.ID, keyBytes(op.Key), keyBytes(op.Key2))
+		if ix.Def.Unique {
+			rows = UniquePerKey(keyExtract, rows)
+		}
+		if want := len(rows); n != want {
+			return h.viol(i, op.String(), "count mismatch on %s: engine %d, oracle %d", ix.Def.Name, n, want)
+		}
+	case OpCommit:
+		c := h.clients[op.Client]
+		if c.tx == nil {
+			return nil
+		}
+		h.eng.Commit(c.tx)
+		h.ora.Commit(c.tx.ID)
+		for _, tid := range c.order {
+			row := c.writes[tid]
+			if row == nil {
+				if err := h.mirror.Delete(tidKey(tid)); err != nil {
+					return h.viol(i, op.String(), "mirror delete: %v", err)
+				}
+			} else if err := h.mirror.Put(tidKey(tid), row); err != nil {
+				return h.viol(i, op.String(), "mirror put: %v", err)
+			}
+		}
+		c.reset()
+	case OpAbort:
+		c := h.clients[op.Client]
+		if c.tx == nil {
+			return nil
+		}
+		h.eng.Abort(c.tx)
+		h.ora.Abort(c.tx.ID)
+		c.reset()
+	case OpVacuum:
+		if _, err := h.tbl.Vacuum(); err != nil {
+			return h.viol(i, op.String(), "vacuum: %v", err)
+		}
+	case OpEvict:
+		for _, name := range []string{"mv", "mvu"} {
+			if err := h.tbl.Index(name).MV().EvictPN(); err != nil {
+				return h.viol(i, op.String(), "evict %s: %v", name, err)
+			}
+		}
+		if err := h.tbl.Index("pb").PB().EvictPN(); err != nil {
+			return h.viol(i, op.String(), "evict pb: %v", err)
+		}
+	case OpMerge:
+		for _, name := range []string{"mv", "mvu"} {
+			if err := h.tbl.Index(name).MV().MergePartitions(); err != nil {
+				return h.viol(i, op.String(), "merge %s: %v", name, err)
+			}
+		}
+	case OpPause:
+		if h.eng.Maint != nil {
+			h.eng.Maint.Pause()
+		}
+	case OpResume:
+		if h.eng.Maint != nil {
+			h.eng.Maint.Resume()
+		}
+	case OpBarrier:
+		h.eng.Quiesce()
+		return h.audit(i, op.String())
+	case OpCrash:
+		return h.crash(i)
+	}
+	return nil
+}
+
+// writeAt applies an update (newRow != nil) or delete (nil) at key for
+// client c, checking write-conflict parity between engine and oracle.
+func (h *harness) writeAt(i int, op Op, c *client, key, newRow []byte) *Violation {
+	rr, t, v := h.lookupTarget(i, op, c.tx, key)
+	if v != nil {
+		return v
+	}
+	if rr == nil {
+		return nil // key absent for this snapshot on both sides: no-op
+	}
+	var engErr error
+	if newRow == nil {
+		engErr = h.tbl.Delete(c.tx, *rr)
+	} else {
+		_, engErr = h.tbl.Update(c.tx, *rr, newRow)
+	}
+	engConflict := errors.Is(engErr, heap.ErrWriteConflict)
+	if engErr != nil && !engConflict {
+		return h.viol(i, op.String(), "write: %v", engErr)
+	}
+	oraOK := h.ora.Write(c.tx.ID, t, newRow)
+	switch {
+	case engConflict && oraOK:
+		return h.viol(i, op.String(), "engine reports write conflict, oracle allows the write")
+	case !engConflict && !oraOK:
+		return h.viol(i, op.String(), "engine allows the write, oracle reports a conflict")
+	case engConflict:
+		h.res.Conflicts++
+		return nil
+	}
+	c.record(t.ID, newRow)
+	return nil
+}
+
+// crash simulates power loss and recovery: capture the durable WAL bytes,
+// kill the engine, rebuild schema, replay, collapse the oracle, remap
+// tuple→VID via a full scan (which is itself the crash invariant: the
+// recovered state must equal the oracle's committed state), and reseed
+// the LSM mirror (a cache in this harness, not WAL-protected).
+func (h *harness) crash(i int) *Violation {
+	img := h.eng.LogImage()
+	h.eng.Crash()
+	for _, c := range h.clients {
+		c.reset()
+	}
+	if err := h.buildEngine(); err != nil {
+		return h.viol(i, "crash", "rebuild: %v", err)
+	}
+	if _, err := h.eng.Recover(img, map[string]*db.Table{"t": h.tbl}); err != nil {
+		return h.viol(i, "crash", "recover: %v", err)
+	}
+	h.ora.Restart()
+	h.res.Crashes++
+
+	want := h.ora.CommittedRows()
+	tx, done := h.freshTx()
+	var got []db.RowRef
+	err := h.tbl.Scan(tx, h.tbl.Indexes()[0], keyBytes(0), nil, true, func(rr db.RowRef) bool {
+		rr.Row = append([]byte(nil), rr.Row...)
+		got = append(got, rr)
+		return true
+	})
+	if err != nil {
+		done()
+		return h.viol(i, "crash", "post-recovery scan: %v", err)
+	}
+	done()
+	if len(got) != len(want) {
+		return h.viol(i, "crash", "recovered %d rows, oracle committed state has %d", len(got), len(want))
+	}
+	for j := range got {
+		if string(got[j].Row) != string(want[j].Row) {
+			return h.viol(i, "crash", "recovered row %d: engine %q, oracle %q", j, got[j].Row, want[j].Row)
+		}
+		// Recovery reassigns VIDs; re-learn the mapping from the scan.
+		want[j].Tuple.EngineVID = got[j].VID
+	}
+	for _, vr := range want {
+		if err := h.mirror.Put(tidKey(vr.Tuple.ID), vr.Row); err != nil {
+			return h.viol(i, "crash", "mirror reseed: %v", err)
+		}
+	}
+	return h.audit(i, "crash")
+}
+
+// Replay executes a fixed history against a fresh harness. Panics are
+// converted into violations so a seeded fault that trips an internal
+// assertion still yields a shrinkable failure instead of killing the run.
+func Replay(cfg RunConfig, ops []Op) (res Result) {
+	cfg = cfg.withDefaults()
+	h, err := newHarness(cfg)
+	if err != nil {
+		return Result{Violation: &Violation{Step: 0, Op: "setup", Msg: err.Error()}}
+	}
+	curStep := 0
+	defer func() {
+		if r := recover(); r != nil {
+			res = h.res
+			res.Ops = curStep
+			res.Violation = &Violation{Step: curStep, Op: "panic", Msg: fmt.Sprint(r)}
+			return
+		}
+		if h.eng != nil {
+			h.eng.Close()
+		}
+	}()
+	for i, op := range ops {
+		curStep = i
+		if v := h.step(i, op); v != nil {
+			h.res.Ops = i + 1
+			h.res.Violation = v
+			return h.res
+		}
+		if cfg.StepAudit || (i+1)%cfg.AuditEvery == 0 {
+			if op.Kind == OpBarrier || op.Kind == OpCrash {
+				continue // just audited
+			}
+			if v := h.audit(i, op.String()); v != nil {
+				h.res.Ops = i + 1
+				h.res.Violation = v
+				return h.res
+			}
+		}
+		if cfg.Log != nil && (i+1)%10000 == 0 {
+			cfg.Log("  %d/%d ops, %d audits, %d crashes, %d conflicts",
+				i+1, len(ops), h.res.Audits, h.res.Crashes, h.res.Conflicts)
+		}
+	}
+	h.res.Ops = len(ops)
+	h.eng.Quiesce()
+	h.res.Violation = h.audit(len(ops), "final audit")
+	return h.res
+}
+
+// Run generates the history for cfg and replays it.
+func Run(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	ops := Generate(GenConfig{Seed: cfg.Seed, Ops: cfg.Ops, Clients: cfg.Clients,
+		Keys: cfg.Keys, Crashes: cfg.Crashes})
+	return Replay(cfg, ops)
+}
+
+// History returns the ops Run would execute for cfg (for shrinking).
+func History(cfg RunConfig) []Op {
+	cfg = cfg.withDefaults()
+	return Generate(GenConfig{Seed: cfg.Seed, Ops: cfg.Ops, Clients: cfg.Clients,
+		Keys: cfg.Keys, Crashes: cfg.Crashes})
+}

@@ -1,0 +1,116 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEngineCloseConcurrent races Close from several goroutines while the
+// background maintenance service still has queued work: every call must
+// return (no deadlock on the drain), all calls must agree on the result,
+// and registered closers must run exactly once.
+func TestEngineCloseConcurrent(t *testing.T) {
+	e := NewEngine(Config{
+		BufferPages:          512,
+		PartitionBufferBytes: 1 << 20,
+		BackgroundMaint:      true,
+		MaintWorkers:         2,
+	})
+	tbl, err := e.NewTable("t", HeapHOT, IndexDef{
+		Name: "pk", Kind: IdxMVPBT, Unique: true, Extract: keyExtract,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := tbl.Indexes()[0]
+	// Enough committed inserts and evictions to leave maintenance jobs
+	// (builds, merges, sweeps) in flight when Close starts draining.
+	for i := 0; i < 200; i++ {
+		tx := e.Begin()
+		if _, _, err := tbl.Insert(tx, row(fmt.Sprintf("k%03d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit(tx)
+		if i%50 == 49 {
+			if err := ix.MV().EvictPN(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var closerRuns atomic.Int64
+	e.AddCloser(func() error {
+		closerRuns.Add(1)
+		return nil
+	})
+
+	const callers = 4
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.Close()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent Close deadlocked")
+	}
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Fatalf("caller %d got %v, caller 0 got %v — Close is not idempotent", i, err, errs[0])
+		}
+	}
+	if errs[0] != nil {
+		t.Fatalf("Close = %v", errs[0])
+	}
+	if n := closerRuns.Load(); n != 1 {
+		t.Fatalf("closer ran %d times, want exactly 1", n)
+	}
+	// A straggler call after the race still returns the settled result.
+	if err := e.Close(); err != nil {
+		t.Fatalf("late Close = %v", err)
+	}
+}
+
+// TestEngineCloseReportsFirstError pins the error contract: the first
+// closer error is returned, and repeated Close calls return that SAME
+// error instead of retrying the shutdown.
+func TestEngineCloseReportsFirstError(t *testing.T) {
+	e := NewEngine(Config{BufferPages: 64})
+	boom := errors.New("flush failed")
+	e.AddCloser(func() error { return boom })
+	later := errors.New("second")
+	e.AddCloser(func() error { return later })
+	if err := e.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want first closer error", err)
+	}
+	if err := e.Close(); !errors.Is(err, boom) {
+		t.Fatalf("second Close = %v, want cached first error", err)
+	}
+}
+
+// TestEngineCloseAfterCrash: a failure stop already marked the engine
+// closed, so Close must be a clean no-op — closers do NOT run (the crash
+// semantics say nothing is flushed) and no error is reported.
+func TestEngineCloseAfterCrash(t *testing.T) {
+	e := NewEngine(Config{BufferPages: 64, BackgroundMaint: true})
+	var ran atomic.Int64
+	e.AddCloser(func() error { ran.Add(1); return nil })
+	e.Crash()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close after Crash = %v, want nil", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("closer ran after a crash: flush on a failed engine")
+	}
+}

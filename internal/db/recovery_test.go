@@ -223,6 +223,144 @@ func TestRecoverRandomizedHistory(t *testing.T) {
 	}
 }
 
+// TestRecoverCrashDuringBackgroundMerge crashes the engine at the
+// documented merge crash point (inputs consumed, merged partition neither
+// built nor installed) and replays the WAL into a fresh engine. Recovery
+// must reconstruct exactly the committed state — a merge is pure
+// reorganization, so a crash at ANY point inside it must be invisible —
+// and the recovered tree must survive a subsequent full merge unchanged.
+func TestRecoverCrashDuringBackgroundMerge(t *testing.T) {
+	e, tbl, ix := walTable(t)
+	model := map[string]string{}
+
+	// Three rounds of committed churn, each evicted into its own
+	// partition, so the merge has real multi-partition chains to collapse:
+	// inserts, updates and deletes of the same keys across partitions.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("k%03d", i)
+			v := fmt.Sprintf("r%d", round)
+			tx := e.Begin()
+			cur, err := tbl.LookupOne(tx, ix, []byte(k), true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case cur == nil:
+				_, _, err = tbl.Insert(tx, row(k, v))
+				model[k] = v
+			case round == 1 && i%5 == 0:
+				err = tbl.Delete(tx, *cur)
+				delete(model, k)
+			default:
+				_, err = tbl.Update(tx, *cur, row(k, v))
+				model[k] = v
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Commit(tx)
+		}
+		if err := ix.MV().EvictPN(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ix.MV().NumPartitions(); n < 2 {
+		t.Fatalf("setup built %d partitions, need >= 2 for a merge", n)
+	}
+
+	// An in-flight writer at crash time: its ops may reach the log image
+	// via earlier flushes but must be discarded by recovery.
+	dangling := e.Begin()
+	if _, _, err := tbl.Insert(dangling, row("zzz", "lost")); err != nil {
+		t.Fatal(err)
+	}
+
+	var img []byte
+	fired := false
+	ix.MV().SetMergeTestHook(func() {
+		fired = true
+		img = e.LogImage()
+		e.Crash()
+	})
+	if err := ix.MV().MergePartitions(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("merge test hook never fired")
+	}
+
+	e2, tbl2, ix2, applied := recoverInto(t, img)
+	if applied == 0 {
+		t.Fatal("recovery applied no transactions")
+	}
+	got := snapshotState(t, e2, tbl2, ix2)
+	if len(got) != len(model) {
+		t.Fatalf("recovered %d rows, committed model has %d: got %v", len(got), len(model), got)
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("key %s: recovered %q, model %q", k, got[k], v)
+		}
+	}
+	if _, ok := got["zzz"]; ok {
+		t.Fatal("in-flight insert survived the crash")
+	}
+
+	// Harness scan invariants on the recovered index: key-ordered, no
+	// duplicate keys (unique index).
+	tx := e2.Begin()
+	var prev string
+	err := tbl2.Scan(tx, ix2, []byte("\x00"), nil, true, func(rr RowRef) bool {
+		k := string(keyExtract(rr.Row))
+		if prev != "" && k <= prev {
+			t.Fatalf("scan out of order or duplicated: %q after %q", k, prev)
+		}
+		prev = k
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Commit(tx)
+
+	// The recovered engine must be able to run the merge the crash
+	// interrupted: rebuild two partitions, merge, and compare state again.
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		tx := e2.Begin()
+		cur, err := tbl2.LookupOne(tx, ix2, []byte(k), true)
+		if err != nil || cur == nil {
+			t.Fatalf("post-recovery lookup %s: cur=%v err=%v", k, cur, err)
+		}
+		if _, err := tbl2.Update(tx, *cur, row(k, "post")); err != nil {
+			t.Fatal(err)
+		}
+		e2.Commit(tx)
+		model[k] = "post"
+		if i == 4 {
+			if err := ix2.MV().EvictPN(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ix2.MV().EvictPN(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.MV().MergePartitions(); err != nil {
+		t.Fatalf("merge after recovery: %v", err)
+	}
+	got = snapshotState(t, e2, tbl2, ix2)
+	if len(got) != len(model) {
+		t.Fatalf("post-recovery merge changed row count: %d vs %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("post-recovery merge key %s: got %q want %q", k, got[k], v)
+		}
+	}
+}
+
 func TestWALDisabledByDefault(t *testing.T) {
 	e := NewEngine(Config{})
 	if e.LogImage() != nil {

@@ -226,6 +226,13 @@ func (h *HotHeap) ReadVisible(tx *txn.Tx, candidate storage.RecordID) (*VisibleV
 			return nil, nil
 		}
 		v := decodeVersion(rec)
+		if v.Redirect {
+			// Pruned entry-point: forward to the surviving version.
+			next := v.Next
+			h.pool.Unpin(fr, false)
+			candidate, rid = next, next
+			continue
+		}
 		if v.SegmentRoot && rid != candidate {
 			// Crossed into the next segment: that version belongs to its
 			// own index entry.
@@ -248,24 +255,34 @@ func (h *HotHeap) ReadVisible(tx *txn.Tx, candidate storage.RecordID) (*VisibleV
 	return nil, nil
 }
 
-// ReadVersion implements Heap.
+// ReadVersion implements Heap. Redirect stubs left behind by pruning are
+// followed transparently.
 func (h *HotHeap) ReadVersion(rid storage.RecordID) (Version, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	fr, err := h.pool.Get(h.file, rid.Page.PageNo())
-	if err != nil {
-		return Version{}, err
-	}
-	p := page.Wrap(fr.Data())
-	rec := p.Get(int(rid.Slot))
-	if rec == nil {
+	for rid.Valid() {
+		fr, err := h.pool.Get(h.file, rid.Page.PageNo())
+		if err != nil {
+			return Version{}, err
+		}
+		p := page.Wrap(fr.Data())
+		rec := p.Get(int(rid.Slot))
+		if rec == nil {
+			h.pool.Unpin(fr, false)
+			return Version{}, errRecordGone
+		}
+		v := decodeVersion(rec)
+		if v.Redirect {
+			next := v.Next
+			h.pool.Unpin(fr, false)
+			rid = next
+			continue
+		}
+		v.Data = append([]byte(nil), v.Data...)
 		h.pool.Unpin(fr, false)
-		return Version{}, errRecordGone
+		return v, nil
 	}
-	v := decodeVersion(rec)
-	v.Data = append([]byte(nil), v.Data...)
-	h.pool.Unpin(fr, false)
-	return v, nil
+	return Version{}, errRecordGone
 }
 
 // Vacuum implements Heap: PostgreSQL-style page pruning. For every chain
@@ -345,21 +362,37 @@ func (h *HotHeap) prunePage(p page.Page, pid storage.PageID, horizon txn.TxID) (
 			vers = append(vers, nv)
 			cur = nv
 		}
-		// Find the first version worth keeping.
-		keep := 0
+		// Find the first version worth keeping. A redirect root holds no
+		// tuple, so the search starts behind it.
+		start := 0
+		if rt.v.Redirect {
+			start = 1
+		}
+		keep := start
 		for keep < len(vers)-1 && h.dead(&vers[keep], horizon) {
 			keep++
 		}
+		if keep == start && rt.v.Redirect {
+			continue // redirect already points at the survivor
+		}
 		if keep == 0 {
+			continue // root version itself is still needed
+		}
+		// The survivor must stay at its own slot — MV-PBT records reference
+		// mid-chain versions directly — so the root becomes a redirect stub
+		// and only the dead versions between them are deleted.
+		stub := Version{SegmentRoot: true, Redirect: true, VID: rt.v.VID,
+			Next: storage.RecordID{Page: pid, Slot: uint16(slots[keep])}}
+		if !p.Replace(rt.slot, encodeVersion(nil, &stub)) {
 			continue
 		}
-		kv := vers[keep]
-		kv.SegmentRoot = true
-		kv.Data = append([]byte(nil), kv.Data...)
-		if !p.Replace(rt.slot, encodeVersion(nil, &kv)) {
-			continue
+		if !rt.v.Redirect {
+			removed++ // the root's dead tuple was reclaimed in place
 		}
-		for i := 1; i <= keep; i++ {
+		for i := start; i < keep; i++ {
+			if i == 0 {
+				continue // root slot was replaced, not deleted
+			}
 			p.Delete(slots[i])
 			removed++
 		}

@@ -110,20 +110,27 @@ func (h *SiasHeap) Delete(tx *txn.Tx, prev storage.RecordID, v uint64) (UpdateRe
 func (h *SiasHeap) supersede(tx *txn.Tx, prev storage.RecordID, v uint64, data []byte, tombstone bool) (UpdateResult, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	// First-updater-wins: if the chain entry-point moved past prev and its
-	// creator is not aborted, somebody else already superseded prev.
+	// First-updater-wins: if the chain moved past prev, somebody else
+	// already superseded prev — unless every newer version was written by
+	// a since-aborted transaction. The entry-point alone is not enough: an
+	// aborted head may sit on top of a committed update that DOES conflict,
+	// so walk new-to-old until prev, our own earlier write, or the newest
+	// non-aborted foreign version (the conflict) is found.
 	link := prev
-	if cur, ok := h.vids.Get(v); ok && cur != prev {
-		curV, err := h.readVersionLocked(cur)
+	for rid, ok := h.vids.Get(v); ok && rid.Valid() && rid != prev; {
+		curV, err := h.readVersionLocked(rid)
 		if err != nil {
 			return UpdateResult{}, err
 		}
 		if curV.TCreate == tx.ID {
 			// Our own earlier write in this transaction: chain onto it.
-			link = cur
-		} else if h.mgr.StatusOf(curV.TCreate) != txn.Aborted {
+			link = rid
+			break
+		}
+		if h.mgr.StatusOf(curV.TCreate) != txn.Aborted {
 			return UpdateResult{}, ErrWriteConflict
 		}
+		rid = curV.Next
 	}
 	rec := Version{Tombstone: tombstone, TCreate: tx.ID, Next: link, VID: v, Data: data}
 	rid, err := h.append(encodeVersion(nil, &rec))

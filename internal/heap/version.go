@@ -25,6 +25,7 @@ import (
 const (
 	flagTombstone   = 1 << 0 // logical delete marker (end of chain)
 	flagSegmentRoot = 1 << 1 // version is an index entry-point (HOT heap)
+	flagRedirect    = 1 << 2 // pruned entry-point forwarding to the survivor
 )
 
 // Version is a decoded tuple-version record: the paper's physically
@@ -36,6 +37,13 @@ type Version struct {
 	// HOT heap (initial inserts and non-HOT successors). Chain walks from
 	// an older segment stop when they reach a root of a newer segment.
 	SegmentRoot bool
+	// Redirect marks a pruned entry-point (PostgreSQL's LP_REDIRECT):
+	// the record carries no tuple, only a Next pointer to the surviving
+	// version. Vacuum may never relocate a live version — MV-PBT records
+	// hold direct physical references into the middle of HOT chains — so
+	// pruning a dead chain prefix leaves the survivor in place and turns
+	// the root slot into a redirect instead.
+	Redirect bool
 	TCreate     txn.TxID
 	// TInvalidate is the invalidating transaction under two-point
 	// invalidation (HotHeap). SiasHeap uses one-point invalidation and
@@ -59,6 +67,9 @@ func encodeVersion(dst []byte, v *Version) []byte {
 	if v.SegmentRoot {
 		flags |= flagSegmentRoot
 	}
+	if v.Redirect {
+		flags |= flagRedirect
+	}
 	dst = append(dst, flags)
 	dst = util.PutUvarint(dst, uint64(v.TCreate))
 	// The invalidation timestamp is fixed-width (like PostgreSQL's xmax
@@ -78,6 +89,7 @@ func decodeVersion(src []byte) Version {
 	flags := src[0]
 	v.Tombstone = flags&flagTombstone != 0
 	v.SegmentRoot = flags&flagSegmentRoot != 0
+	v.Redirect = flags&flagRedirect != 0
 	i := 1
 	tc, n := util.Uvarint(src[i:])
 	i += n

@@ -370,6 +370,60 @@ func (t *Tree) sources(lo []byte) []*source {
 	return srcs
 }
 
+// ScanRawAll streams EVERY stored record in [lo, hi) — shadowed versions
+// and tombstones included — in key order, newest (highest-seq) first
+// within a key. The correctness harness uses it to assert that Scan's
+// newest-wins shadowing agrees with the raw record set. fn returning
+// false stops.
+func (t *Tree) ScanRawAll(lo, hi []byte, fn func(key []byte, seq uint64, tomb bool, val []byte) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	srcs := t.sources(lo)
+	type raw struct {
+		e   memEntry
+		src int
+	}
+	for {
+		var minKey []byte
+		best := -1
+		for i := range srcs {
+			if !srcs[i].valid() {
+				continue
+			}
+			k := srcs[i].key()
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				continue
+			}
+			if best < 0 || bytes.Compare(k, minKey) < 0 {
+				minKey, best = k, i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		key := append([]byte(nil), minKey...)
+		// Each source holds at most one record per key; collect them all
+		// and emit by descending sequence number.
+		var recs []raw
+		for i := range srcs {
+			if srcs[i].valid() && bytes.Equal(srcs[i].key(), key) {
+				recs = append(recs, raw{e: srcs[i].entry(), src: i})
+				srcs[i].next()
+			}
+		}
+		for j := 1; j < len(recs); j++ {
+			for k := j; k > 0 && recs[k].e.seq > recs[k-1].e.seq; k-- {
+				recs[k], recs[k-1] = recs[k-1], recs[k]
+			}
+		}
+		for _, r := range recs {
+			if !fn(key, r.e.seq, r.e.tomb, r.e.val) {
+				return nil
+			}
+		}
+	}
+}
+
 // Flush forces everything in memory out (tests and shutdown). In
 // background mode (or with a flush backlog) it freezes the current
 // memtable and drains the whole pipeline via FlushPending.

@@ -190,16 +190,34 @@ func (t *Tree) evictGC(entries []pnEntry) []pnEntry {
 		return rec.TS < horizon && t.mgr.StatusOf(rec.TS) == txn.Committed
 	}
 
-	// Matter index: rid of the validated version → entry index.
-	byMatter := make(map[storage.RecordID]int)
+	// Aborted and phase-1-flagged records are dropped outright.
 	for i, e := range entries {
-		if e.rec.Matter() && e.rec.Ref.RID.Valid() {
-			byMatter[e.rec.Ref.RID] = i
-		}
-		// Aborted and phase-1-flagged records are dropped outright.
 		if e.rec.GCMarked() || t.mgr.StatusOf(e.rec.TS) == txn.Aborted {
 			drop[i] = true
 		}
+	}
+
+	// matchAfter resolves an anti-matter record's OldRID to the entry it
+	// suppresses: the first matter record after position from (entries are
+	// ts desc within a key, so "after" = newest among strictly older) under
+	// entry i's key whose validated version is rid. Both scopes are
+	// load-bearing: heap vacuum recycles slots, so a bare RecordID may alias
+	// records of a different key, or of the same key at a different chain
+	// position — a tombstone whose deleted version's slot was reused by a
+	// later re-insert must not consume its own successor. Positional
+	// matching is exact because slot reuse follows creation order: the
+	// newest matter record older than the anti record with that rid IS its
+	// predecessor (or an aborted aliased generation, which callers skip).
+	matchAfter := func(from, i int, rid storage.RecordID) int {
+		for k := from + 1; k < len(entries); k++ {
+			if !bytes.Equal(entries[k].key.key, entries[i].key.key) {
+				return -1
+			}
+			if entries[k].rec.Matter() && entries[k].rec.Ref.RID == rid {
+				return k
+			}
+		}
+		return -1
 	}
 
 	// Chain collapse. Only predecessors under the SAME key are collapsed:
@@ -210,21 +228,31 @@ func (t *Tree) evictGC(entries []pnEntry) []pnEntry {
 		if drop[i] || !r.AntiMatter() || !committedBelow(r) {
 			continue
 		}
-		cur := i
-		for entries[cur].rec.OldRID.Valid() {
-			j, ok := byMatter[entries[cur].rec.OldRID]
-			if !ok || drop[j] {
+		from := i
+		for r.OldRID.Valid() {
+			j := matchAfter(from, i, r.OldRID)
+			if j < 0 {
 				break
 			}
 			pred := entries[j].rec
-			if !bytes.Equal(entries[j].key.key, entries[i].key.key) || !committedBelow(pred) {
+			if t.mgr.StatusOf(pred.TS) == txn.Aborted {
+				// An aborted record that reused the slot of the true
+				// predecessor's version — a different chain generation,
+				// not the suppression target. Keep scanning older entries.
+				from = j
+				continue
+			}
+			if !committedBelow(pred) {
 				break
 			}
-			drop[j] = true
 			// The collapsing record inherits the predecessor's anti-matter
 			// so that suppression of still older (possibly on-disk)
-			// records is preserved.
-			entries[cur].rec.OldRID = pred.OldRID
+			// records is preserved. Inherit even when the predecessor is
+			// already dropped (phase-1 flagged): breaking here would leave
+			// an OldRID pointing at a freed — and possibly reused — slot.
+			drop[j] = true
+			r.OldRID = pred.OldRID
+			from = j
 		}
 	}
 

@@ -99,6 +99,11 @@ func (t *Tree) mergeBG() error {
 			return err
 		}
 	}
+	if hook := t.mergeHook.Load(); hook != nil {
+		// Deterministic crash point for recovery tests: the inputs are
+		// consumed but the merged partition is neither built nor installed.
+		(*hook)()
+	}
 
 	var out []entry
 	if t.opts.DisableGC {
@@ -122,32 +127,53 @@ func (t *Tree) mergeBG() error {
 		// persisted state, so a missing target cannot exist elsewhere —
 		// only PN holds strictly newer records).
 		drop := make([]bool, len(entries))
-		byMatter := make(map[storage.RecordID]int)
 		for i := range entries {
 			rec := &entries[i].rec
-			if rec.Matter() && rec.Ref.RID.Valid() {
-				byMatter[rec.Ref.RID] = i
-			}
 			if rec.GCMarked() || t.mgr.StatusOf(rec.TS) == txn.Aborted {
 				drop[i] = true
 			}
+		}
+		// Positional predecessor resolution, exactly as in evictGC: heap
+		// slot reuse means a bare RecordID may alias records of a different
+		// key or a different chain position, so an anti record's target is
+		// the first matter record AFTER it (= newest strictly older, since
+		// entries are ts desc within a key) under the same key with that
+		// rid, skipping aborted aliased generations.
+		matchAfter := func(from, i int, rid storage.RecordID) int {
+			for k := from + 1; k < len(entries); k++ {
+				if !bytes.Equal(entries[k].key, entries[i].key) {
+					return -1
+				}
+				if entries[k].rec.Matter() && entries[k].rec.Ref.RID == rid {
+					return k
+				}
+			}
+			return -1
 		}
 		for i := range entries {
 			r := &entries[i].rec
 			if drop[i] || !r.AntiMatter() || !committedBelow(r) {
 				continue
 			}
+			from := i
 			for r.OldRID.Valid() {
-				j, ok := byMatter[r.OldRID]
-				if !ok || drop[j] {
+				j := matchAfter(from, i, r.OldRID)
+				if j < 0 {
 					break
 				}
 				pred := &entries[j].rec
-				if !bytes.Equal(entries[j].key, entries[i].key) || !committedBelow(pred) {
+				if t.mgr.StatusOf(pred.TS) == txn.Aborted {
+					from = j // aliased generation, not the target
+					continue
+				}
+				if !committedBelow(pred) {
 					break
 				}
+				// Inherit even from an already-dropped predecessor: breaking
+				// would leave OldRID aimed at a freed (possibly reused) slot.
 				drop[j] = true
 				r.OldRID = pred.OldRID
+				from = j
 			}
 		}
 		for i := range entries {
@@ -159,7 +185,11 @@ func (t *Tree) mergeBG() error {
 				drop[i] = true // chain fully consumed
 				continue
 			}
-			if j, ok := byMatter[r.OldRID]; !ok || drop[j] {
+			j := matchAfter(i, i, r.OldRID)
+			for j >= 0 && t.mgr.StatusOf(entries[j].rec.TS) == txn.Aborted {
+				j = matchAfter(j, i, r.OldRID)
+			}
+			if j < 0 || drop[j] {
 				drop[i] = true // dangling: the target exists nowhere
 			}
 		}

@@ -178,6 +178,10 @@ type Tree struct {
 	nextNo    int    // guarded by mu
 	pnGarbage atomic.Int64
 	stats     statCounters
+
+	// Test-only hooks (see hooks.go); nil in production.
+	visFault  atomic.Pointer[VisFaultFn]
+	mergeHook atomic.Pointer[func()]
 }
 
 // New creates an empty MV-PBT storing partitions in file, registered with
@@ -375,11 +379,33 @@ const errNotSorted = mvpbtError("mvpbt: bulk load entries not sorted by key")
 // visCheck carries the per-scan anti-matter map. Records are processed
 // newest-first per chain (guaranteed by §4.3 ordering), so a record's
 // suppressor is always seen before it.
+//
+// The map is scoped to ONE index key: anti-matter always lives under the
+// same key as the record it extinguishes (replacements and tombstones by
+// construction; a key update's anti-record is inserted under the OLD key,
+// next to its predecessor). Range scans must call atKey on every key
+// boundary — vacuum recycles heap slots, so records of different keys can
+// legitimately carry the same RecordID, and an unscoped map would let one
+// key's anti-matter suppress another key's matter.
 type visCheck struct {
 	t       *txn.Tx
 	tree    *Tree
 	horizon txn.TxID
 	anti    map[storage.RecordID]txn.TxID
+	key     []byte
+	haveKey bool
+}
+
+// atKey resets the anti-matter map when the scan crosses into a new key.
+func (v *visCheck) atKey(key []byte) {
+	if v.haveKey && bytes.Equal(v.key, key) {
+		return
+	}
+	v.key = append(v.key[:0], key...)
+	v.haveKey = true
+	if len(v.anti) > 0 {
+		v.anti = make(map[storage.RecordID]txn.TxID)
+	}
 }
 
 func (t *Tree) newVisCheck(tx *txn.Tx) *visCheck {
@@ -395,6 +421,10 @@ func (t *Tree) newVisCheck(tx *txn.Tx) *visCheck {
 // suppression test, which makes suppression transitive across chains of
 // three and more versions (see DESIGN.md §4).
 func (v *visCheck) check(rec *Record, inPN bool) bool {
+	return v.tree.applyVisFault(rec.TS, v.checkInner(rec, inPN))
+}
+
+func (v *visCheck) checkInner(rec *Record, inPN bool) bool {
 	if rec.GCMarked() {
 		return false
 	}
@@ -406,6 +436,26 @@ func (v *visCheck) check(rec *Record, inPN bool) bool {
 		}
 		return false
 	}
+	// The suppression test runs BEFORE this record's own anti-matter is
+	// registered: GC inheritance can leave a record whose OldRID equals its
+	// own Ref.RID (the inherited target's heap slot was recycled by this
+	// very record's version) — such a record suppresses OLDER records that
+	// reference the slot's previous occupant, never itself.
+	visible := true
+	if rec.Matter() {
+		if ts, ok := v.anti[rec.Ref.RID]; ok && rec.TS <= ts {
+			// Superseded. If the suppressor is below the horizon the record
+			// is invisible to every present and future snapshot: GC victim
+			// (phase 1, §4.6) — but ONLY pure-matter records may be marked.
+			// Records carrying anti-matter (replacements) are still required
+			// to invalidate their predecessors in older partitions; they are
+			// purged with inheritance during partition eviction (phase 3).
+			if inPN && !v.tree.opts.DisableGC && ts < v.horizon && !rec.AntiMatter() {
+				v.mark(rec)
+			}
+			visible = false
+		}
+	}
 	if rec.AntiMatter() {
 		if ts, ok := v.anti[rec.OldRID]; !ok || rec.TS > ts {
 			v.anti[rec.OldRID] = rec.TS
@@ -414,19 +464,7 @@ func (v *visCheck) check(rec *Record, inPN bool) bool {
 	if !rec.Matter() {
 		return false // pure anti-matter (anti- or tombstone record)
 	}
-	if ts, ok := v.anti[rec.Ref.RID]; ok && rec.TS <= ts {
-		// Superseded. If the suppressor is below the horizon the record is
-		// invisible to every present and future snapshot: GC victim
-		// (phase 1, §4.6) — but ONLY pure-matter records may be marked.
-		// Records carrying anti-matter (replacements) are still required
-		// to invalidate their predecessors in older partitions; they are
-		// purged with inheritance during partition eviction (phase 3).
-		if inPN && !v.tree.opts.DisableGC && ts < v.horizon && !rec.AntiMatter() {
-			v.mark(rec)
-		}
-		return false
-	}
-	return true
+	return visible
 }
 
 // mark is GC phase 1. Readers run concurrently, so the flag is a CAS: only
@@ -479,7 +517,7 @@ func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
 	}
 	for i := len(v.parts) - 1; i >= 0; i-- {
 		seg := v.parts[i]
-		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
+		if segInvisible(tx, seg) {
 			// Minimum Transaction Timestamp filter (§4.2): nothing in this
 			// partition can be visible — but newer partitions cannot
 			// suppress older ones we still need, so just skip this one.
@@ -612,6 +650,7 @@ func (t *Tree) Scan(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error 
 			return nil
 		}
 		rec := s.record()
+		vis.atKey(s.key)
 		if vis.check(rec, s.pnIt != nil) {
 			if !fn(index.Entry{Key: s.key, Ref: rec.Ref, Val: rec.Val}) {
 				return nil
@@ -625,6 +664,20 @@ func (t *Tree) Scan(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error 
 
 // scanSources builds the merge inputs for [lo, hi) over one view: the PN
 // iterator plus one iterator per partition surviving the timestamp and
+// segInvisible is the Minimum Transaction Timestamp filter (§4.2): the
+// partition can be skipped when every record in it was created at or after
+// the snapshot's Xmax — unless the reader's OWN id falls inside the
+// partition's timestamp range, since a transaction always sees its own
+// records (eviction may persist them while the transaction is still in
+// progress).
+func segInvisible(tx *txn.Tx, seg *part.Segment) bool {
+	if seg.MinTS == 0 || txn.TxID(seg.MinTS) < tx.Snap.Xmax {
+		return false
+	}
+	own := uint64(tx.ID)
+	return own < seg.MinTS || own > seg.MaxTS
+}
+
 // range filters, all positioned at lo.
 func (t *Tree) scanSources(tx *txn.Tx, v *treeView, lo, hi []byte) ([]*scanSource, error) {
 	var srcs []*scanSource
@@ -637,7 +690,7 @@ func (t *Tree) scanSources(tx *txn.Tx, v *treeView, lo, hi []byte) ([]*scanSourc
 	base := len(v.frozen) + 1
 	for i := len(v.parts) - 1; i >= 0; i-- {
 		seg := v.parts[i]
-		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
+		if segInvisible(tx, seg) {
 			continue
 		}
 		if !seg.MayContainRange(lo, hi) {

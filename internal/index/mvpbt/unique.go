@@ -25,7 +25,7 @@ import (
 // first record the transaction sees. Runs lock-free over one view.
 func (t *Tree) uniqueLookup(tx *txn.Tx, v *treeView, key []byte, fn func(index.Entry) bool) error {
 	decide := func(rec *Record) (done bool) {
-		if rec.GCMarked() || !tx.Sees(rec.TS) {
+		if rec.GCMarked() || !t.applyVisFault(rec.TS, tx.Sees(rec.TS)) {
 			return false
 		}
 		if rec.Matter() {
@@ -53,7 +53,7 @@ func (t *Tree) uniqueLookup(tx *txn.Tx, v *treeView, key []byte, fn func(index.E
 	}
 	for i := len(v.parts) - 1; i >= 0; i-- {
 		seg := v.parts[i]
-		if seg.MinTS != 0 && txn.TxID(seg.MinTS) >= tx.Snap.Xmax {
+		if segInvisible(tx, seg) {
 			continue
 		}
 		if !seg.MayContainKey(key) {
@@ -108,7 +108,7 @@ func (t *Tree) uniqueScan(tx *txn.Tx, v *treeView, lo, hi []byte, fn func(index.
 			continue
 		}
 		rec := s.record()
-		if !rec.GCMarked() && tx.Sees(rec.TS) {
+		if !rec.GCMarked() && t.applyVisFault(rec.TS, tx.Sees(rec.TS)) {
 			decided = append(decided[:0], s.key...)
 			haveDecided = true
 			if rec.Matter() {

@@ -50,6 +50,58 @@ func TestPartitionBufferNoVictim(t *testing.T) {
 	}
 }
 
+func TestPartitionBufferNoVictimCounterAccounting(t *testing.T) {
+	// Pin the counter semantics of the ErrNoVictim path: every failing
+	// MaybeEvict adds exactly one to NoVictims, the no-progress eviction
+	// attempts still count as Evictions (the owner WAS asked), and a later
+	// successful eviction neither increments NoVictims nor clears it.
+	b := NewPartitionBuffer(100)
+	stuck := &atomicOwner{name: "stuck", noop: true}
+	stuck.Grow(500)
+	b.Register(stuck)
+
+	for i := 1; i <= 3; i++ {
+		if err := b.MaybeEvict(); !errors.Is(err, ErrNoVictim) {
+			t.Fatalf("call %d: MaybeEvict = %v, want ErrNoVictim", i, err)
+		}
+		if got := b.NoVictims(); got != int64(i) {
+			t.Fatalf("call %d: NoVictims = %d, want %d", i, got, i)
+		}
+	}
+	if b.EvictErrors() != 0 {
+		t.Fatalf("EvictErrors = %d, want 0 (no-progress is not an error)", b.EvictErrors())
+	}
+
+	// A healthy owner larger than the stuck one turns the next call into a
+	// success: Evictions grows, NoVictims stays frozen.
+	healthy := &atomicOwner{name: "healthy"}
+	healthy.Grow(600)
+	b.Register(healthy)
+	stuck.size.Store(0)
+	before := b.Evictions()
+	if err := b.MaybeEvict(); err != nil {
+		t.Fatalf("MaybeEvict with healthy victim = %v", err)
+	}
+	if healthy.evicted.Load() != 1 {
+		t.Fatalf("healthy owner evicted %d times, want 1", healthy.evicted.Load())
+	}
+	if b.Evictions() <= before {
+		t.Fatalf("Evictions did not grow (%d -> %d)", before, b.Evictions())
+	}
+	if b.NoVictims() != 3 {
+		t.Fatalf("NoVictims = %d after success, want 3 (monotonic)", b.NoVictims())
+	}
+
+	// Under the limit nothing is counted at all.
+	if err := b.MaybeEvict(); err != nil {
+		t.Fatalf("MaybeEvict under limit = %v", err)
+	}
+	if b.NoVictims() != 3 || b.Evictions() != before+1 {
+		t.Fatalf("under-limit call changed counters: noVictims=%d evictions=%d",
+			b.NoVictims(), b.Evictions())
+	}
+}
+
 func TestPartitionBufferEvictionError(t *testing.T) {
 	b := NewPartitionBuffer(100)
 	boom := errors.New("device gone")

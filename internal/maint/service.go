@@ -238,6 +238,43 @@ func (s *Service) Drain() {
 	}
 }
 
+// Quiesce is the deterministic checkpoint barrier: it resumes a paused
+// service (a paused queue never drains), processes every queued job, and
+// returns only when the queue is empty AND no job is running. Anything the
+// background jobs were going to publish has been published when Quiesce
+// returns; the service keeps running. Follow-up submissions made BY running
+// jobs (flush → compact) are covered — a job's submissions happen while it
+// still counts as active — but submissions from other goroutines racing
+// Quiesce are naturally outside the barrier.
+func (s *Service) Quiesce() {
+	s.Resume()
+	for {
+		s.Drain()
+		s.mu.Lock()
+		idle := len(s.queue) == 0 && s.active.Load() == 0
+		s.mu.Unlock()
+		if idle {
+			return
+		}
+	}
+}
+
+// Kill simulates a crash: queued jobs are DISCARDED (never run) and the
+// workers stop as soon as any currently running job finishes. Unlike
+// Close, nothing is drained — state the discarded jobs would have
+// published simply never appears, exactly like power loss with work
+// pending. Idempotent; a subsequent Close is a no-op.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	s.closed = true
+	s.queue = nil
+	s.pending = make(map[string]bool)
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
 // Close drains the remaining queue, stops the workers, and returns the
 // first error any job recorded over the service's lifetime.
 func (s *Service) Close() error {
