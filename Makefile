@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check check-nightly bench bench-full examples cover
+.PHONY: all build vet test race check check-nightly check-faults bench bench-full examples cover
 
 all: build vet test
 
@@ -23,6 +23,12 @@ check:
 
 check-nightly:
 	go run ./cmd/mvpbt-check -seed 1 -ops 50000 -clients 4 -crashes 3
+
+# Seeded fault campaign: 8 seeds x {read-err, write-err, torn-write,
+# bit-flip} schedules on both heap layouts, every history replayed twice
+# to pin fault determinism (same counters, same final state hash).
+check-faults:
+	go run ./cmd/mvpbt-check -faults -seed 1 -seeds 8 -ops 1500
 
 # One testing.B benchmark per paper figure (quick scale).
 bench:

@@ -117,6 +117,10 @@ func main() {
 	eng.Commit(long)
 
 	fmt.Printf("\n== device ==\n%v\n", eng.Dev.Stats())
+	io := eng.Pool.IOStats()
+	fmt.Printf("faults injected: [%v]\n", eng.Dev.FaultCounters())
+	fmt.Printf("error path: checksum_failures=%d read_retries=%d write_retries=%d read_failures=%d write_failures=%d\n",
+		io.ChecksumFailures, io.ReadRetries, io.WriteRetries, io.ReadFailures, io.WriteFailures)
 }
 
 func val(rr *db.RowRef) string {

@@ -12,10 +12,12 @@ package buffer
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"mvpbt/internal/page"
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/storage"
 )
@@ -23,6 +25,23 @@ import (
 // ErrNoFrames is returned when every frame (of the page's shard) is pinned
 // and none can be evicted.
 var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+// maxIORetries is how many times a failing page read or write is retried
+// in-line before the error is surfaced (total attempts = 1 + maxIORetries).
+// Transient device faults (storage.ErrIOFault) are worth retrying; freed-page
+// references are not.
+const maxIORetries = 2
+
+// IOStats counts the pool's error-path activity: checksum verification
+// failures on fetch, in-line retries, and operations that failed even after
+// retrying.
+type IOStats struct {
+	ChecksumFailures int64
+	ReadRetries      int64
+	WriteRetries     int64
+	ReadFailures     int64
+	WriteFailures    int64
+}
 
 // ClassStats counts buffer traffic for one file class.
 type ClassStats struct {
@@ -98,6 +117,13 @@ type Pool struct {
 	stats  [sfile.NumClasses]classCounter
 	// evictions counts pages written back dirty (random in-place writes).
 	evictions atomic.Int64
+
+	// Error-path counters (see IOStats).
+	checksumFails atomic.Int64
+	readRetries   atomic.Int64
+	writeRetries  atomic.Int64
+	readFailures  atomic.Int64
+	writeFailures atomic.Int64
 
 	hookMu   sync.RWMutex
 	hooks    []evictHook
@@ -186,18 +212,73 @@ func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 		sh.mu.Unlock()
 		return nil, err
 	}
+	// The read happens under the shard latch so a concurrent Get for the
+	// same page cannot observe a half-filled frame. The device is simulated,
+	// so holding the latch across the "I/O" costs nothing real. The frame is
+	// installed in the page table only once the read verified, so a failed
+	// fetch leaves it free for the next victim search.
+	if err := p.readPageChecked(f, pageNo, fr.data); err != nil {
+		fr.ref = false
+		sh.mu.Unlock()
+		return nil, err
+	}
 	fr.pid = pid
 	fr.file = f
 	fr.pin = 1
 	fr.ref = true
 	fr.dirty = false
 	sh.table[pid] = fr
-	// The read happens under the shard latch so a concurrent Get for the
-	// same page cannot observe a half-filled frame. The device is simulated,
-	// so holding the latch across the "I/O" costs nothing real.
-	f.ReadPage(pageNo, fr.data)
 	sh.mu.Unlock()
 	return fr, nil
+}
+
+// readPageChecked reads a page with bounded retries and verifies its
+// checksum. Checksum mismatches count as corrupt pages (re-reads are still
+// attempted: controllers do recover marginal reads) and I/O faults as
+// transient; freed-page references fail immediately.
+func (p *Pool) readPageChecked(f *sfile.File, pageNo uint64, buf []byte) error {
+	var err error
+	for attempt := 0; attempt <= maxIORetries; attempt++ {
+		if attempt > 0 {
+			p.readRetries.Add(1)
+		}
+		if err = f.ReadPage(pageNo, buf); err != nil {
+			if errors.Is(err, storage.ErrFreedPage) {
+				break
+			}
+			continue
+		}
+		if page.VerifyChecksum(buf) {
+			return nil
+		}
+		p.checksumFails.Add(1)
+		err = fmt.Errorf("buffer: page %d of %q: %w", pageNo, f.Name(), storage.ErrCorruptPage)
+		// A checksum mismatch is media rot, not a transient transfer
+		// failure: re-reading returns the same rotted bytes. Surface it
+		// immediately so the caller can quarantine the page.
+		break
+	}
+	p.readFailures.Add(1)
+	return err
+}
+
+// writePageChecked stamps the page checksum and writes with bounded retries.
+func (p *Pool) writePageChecked(f *sfile.File, pageNo uint64, buf []byte) error {
+	page.StampChecksum(buf)
+	var err error
+	for attempt := 0; attempt <= maxIORetries; attempt++ {
+		if attempt > 0 {
+			p.writeRetries.Add(1)
+		}
+		if err = f.WritePage(pageNo, buf); err == nil {
+			return nil
+		}
+		if errors.Is(err, storage.ErrFreedPage) {
+			break
+		}
+	}
+	p.writeFailures.Add(1)
+	return err
 }
 
 // NewPage allocates a fresh page in f, returning a pinned zeroed frame and
@@ -241,7 +322,11 @@ func (sh *shard) victimLocked(p *Pool) (*Frame, error) {
 			continue
 		}
 		if fr.dirty {
-			fr.file.WritePage(fr.pid.PageNo(), fr.data)
+			if err := p.writePageChecked(fr.file, fr.pid.PageNo(), fr.data); err != nil {
+				// Write-back failed even after retries: keep the frame dirty
+				// (the data is still only in memory) and surface the fault.
+				return nil, err
+			}
 			fr.dirty = false
 			p.evictions.Add(1)
 		}
@@ -311,37 +396,49 @@ func (p *Pool) Unpin(fr *Frame, dirty bool) {
 
 // FlushPage writes the page back immediately if it is cached dirty,
 // leaving it cached clean. Used by the append heaps to emit sequential
-// writes as tail pages fill.
-func (p *Pool) FlushPage(f *sfile.File, pageNo uint64) {
+// writes as tail pages fill. On a persistent write fault the page stays
+// dirty and the error is returned.
+func (p *Pool) FlushPage(f *sfile.File, pageNo uint64) error {
 	pid := f.PageID(pageNo)
 	sh := p.shardOf(pid)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if fr, ok := sh.table[pid]; ok && fr.dirty {
-		fr.file.WritePage(pageNo, fr.data)
+		if err := p.writePageChecked(fr.file, pageNo, fr.data); err != nil {
+			return err
+		}
 		fr.dirty = false
 	}
+	return nil
 }
 
-// FlushAll writes back every dirty page.
-func (p *Pool) FlushAll() {
+// FlushAll writes back every dirty page. It keeps going past individual
+// failures (those pages stay dirty) and returns the first error.
+func (p *Pool) FlushAll() error {
 	p.lockAll()
 	defer p.unlockAll()
+	var firstErr error
 	for _, sh := range p.shards {
 		for _, fr := range sh.frames {
 			if fr.pid.Valid() && fr.dirty {
-				fr.file.WritePage(fr.pid.PageNo(), fr.data)
+				if err := p.writePageChecked(fr.file, fr.pid.PageNo(), fr.data); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
 				fr.dirty = false
 			}
 		}
 	}
+	return firstErr
 }
 
 // EvictAll flushes every dirty page (in pool-wide elevator order: sorted
 // by page id, like a checkpointer) and invalidates all unpinned frames.
 // Experiments use it to reproduce the paper's methodology of cleaning the
 // OS page cache every second (§5 "Experimental Setup").
-func (p *Pool) EvictAll() {
+func (p *Pool) EvictAll() error {
 	p.lockAll()
 	defer p.unlockAll()
 	var dirty []*Frame
@@ -353,13 +450,20 @@ func (p *Pool) EvictAll() {
 		}
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].pid < dirty[j].pid })
+	var firstErr error
 	for _, fr := range dirty {
-		fr.file.WritePage(fr.pid.PageNo(), fr.data)
+		if err := p.writePageChecked(fr.file, fr.pid.PageNo(), fr.data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		fr.dirty = false
 	}
 	for _, sh := range p.shards {
 		for _, fr := range sh.frames {
-			if fr.pid.Valid() && fr.pin == 0 {
+			// Frames whose write-back failed stay dirty and stay cached.
+			if fr.pid.Valid() && fr.pin == 0 && !fr.dirty {
 				delete(sh.table, fr.pid)
 				p.notifyEvict(fr.file, fr.pid)
 				fr.pid = storage.InvalidPageID
@@ -367,6 +471,7 @@ func (p *Pool) EvictAll() {
 			}
 		}
 	}
+	return firstErr
 }
 
 // DropFilePages discards all cached pages of file f in [start, start+n)
@@ -407,6 +512,17 @@ func (p *Pool) Stats() [sfile.NumClasses]ClassStats {
 // replacement policy.
 func (p *Pool) Evictions() int64 {
 	return p.evictions.Load()
+}
+
+// IOStats returns a snapshot of the error-path counters.
+func (p *Pool) IOStats() IOStats {
+	return IOStats{
+		ChecksumFailures: p.checksumFails.Load(),
+		ReadRetries:      p.readRetries.Load(),
+		WriteRetries:     p.writeRetries.Load(),
+		ReadFailures:     p.readFailures.Load(),
+		WriteFailures:    p.writeFailures.Load(),
+	}
 }
 
 // ResetStats zeroes the per-class counters.

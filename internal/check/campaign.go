@@ -1,0 +1,120 @@
+package check
+
+import (
+	"fmt"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/ssd"
+)
+
+// FaultCampaign drives the fault-injection acceptance criterion: for every
+// seed × heap layout, a fault-punctuated history is generated once and
+// replayed TWICE. A run passes when lockstep with the oracle holds under
+// every injected fault (masked or recovered, never silent corruption), and
+// the pair passes when both replays observed byte-for-byte identical fault
+// behaviour — same per-kind injection counters, same crash/recovery counts,
+// same final state hash. Maintenance runs synchronously: background timing
+// would make the I/O interleaving, and with it the fault schedule, racy.
+
+// CampaignConfig parameterizes a fault campaign.
+type CampaignConfig struct {
+	Seeds   []uint64
+	Ops     int
+	Clients int
+	Keys    int
+	Crashes int
+	// Log, when set, receives one progress line per run pair.
+	Log func(format string, args ...any)
+}
+
+// CampaignRun is the outcome of one (heap, seed) pair: the first replay's
+// result plus the determinism verdict against the second.
+type CampaignRun struct {
+	Heap db.HeapKind
+	Seed uint64
+	Res  Result
+	// Mismatch describes how the two replays diverged ("" = deterministic).
+	Mismatch string
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Runs       []CampaignRun
+	Faults     ssd.FaultCounters // injected across all runs (first replays)
+	Recoveries int
+	Rebuilds   int64
+	Violations int
+	Mismatches int
+}
+
+// Failed reports whether any run violated an invariant or replayed
+// nondeterministically.
+func (c *CampaignResult) Failed() bool { return c.Violations > 0 || c.Mismatches > 0 }
+
+// FaultCampaign runs the campaign over both heap layouts.
+func FaultCampaign(cfg CampaignConfig) CampaignResult {
+	var out CampaignResult
+	for _, hk := range []db.HeapKind{db.HeapHOT, db.HeapSIAS} {
+		for _, seed := range cfg.Seeds {
+			rc := RunConfig{
+				Heap: hk, Seed: seed, Ops: cfg.Ops, Clients: cfg.Clients,
+				Keys: cfg.Keys, Crashes: cfg.Crashes, Faults: true,
+			}
+			ops := History(rc)
+			r1 := Replay(rc, ops)
+			r2 := Replay(rc, ops)
+			run := CampaignRun{Heap: hk, Seed: seed, Res: r1, Mismatch: diffRuns(r1, r2)}
+			out.Runs = append(out.Runs, run)
+			for i, n := range r1.Faults.Injected {
+				out.Faults.Injected[i] += n
+			}
+			out.Recoveries += r1.FaultRecoveries
+			out.Rebuilds += r1.Rebuilds
+			if r1.Violation != nil {
+				out.Violations++
+			}
+			if r2.Violation != nil && r1.Violation == nil {
+				out.Violations++ // a replay-only failure is still a failure
+			}
+			if run.Mismatch != "" {
+				out.Mismatches++
+			}
+			if cfg.Log != nil {
+				status := "ok"
+				switch {
+				case r1.Violation != nil:
+					status = "VIOLATION: " + r1.Violation.Error()
+				case r2.Violation != nil:
+					status = "VIOLATION (2nd replay): " + r2.Violation.Error()
+				case run.Mismatch != "":
+					status = "NONDETERMINISTIC: " + run.Mismatch
+				}
+				cfg.Log("  heap=%v seed=%d: %d ops, %d crashes, %d recoveries, %d rebuilds, faults[%v] — %s",
+					hk, seed, r1.Ops, r1.Crashes, r1.FaultRecoveries, r1.Rebuilds, r1.Faults, status)
+			}
+		}
+	}
+	return out
+}
+
+// diffRuns compares the determinism-relevant fields of two replays of the
+// same history.
+func diffRuns(a, b Result) string {
+	switch {
+	case a.Faults != b.Faults:
+		return fmt.Sprintf("fault counters differ: [%v] vs [%v]", a.Faults, b.Faults)
+	case a.StateHash != b.StateHash:
+		return fmt.Sprintf("final state hash differs: %016x vs %016x", a.StateHash, b.StateHash)
+	case a.FaultRecoveries != b.FaultRecoveries:
+		return fmt.Sprintf("fault recoveries differ: %d vs %d", a.FaultRecoveries, b.FaultRecoveries)
+	case a.Crashes != b.Crashes:
+		return fmt.Sprintf("crash counts differ: %d vs %d", a.Crashes, b.Crashes)
+	case a.Conflicts != b.Conflicts:
+		return fmt.Sprintf("conflict counts differ: %d vs %d", a.Conflicts, b.Conflicts)
+	case a.Rebuilds != b.Rebuilds:
+		return fmt.Sprintf("index rebuilds differ: %d vs %d", a.Rebuilds, b.Rebuilds)
+	case a.Ops != b.Ops:
+		return fmt.Sprintf("executed op counts differ: %d vs %d", a.Ops, b.Ops)
+	}
+	return ""
+}

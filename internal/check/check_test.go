@@ -2,9 +2,11 @@ package check
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"mvpbt/internal/db"
+	"mvpbt/internal/ssd"
 )
 
 // TestHarnessSmoke replays a moderately long generated history on every
@@ -69,6 +71,59 @@ func TestSeededVisibilityFaultCaughtAndShrunk(t *testing.T) {
 	sc.StepAudit = true
 	if r := Replay(sc, min); r.Violation == nil {
 		t.Fatalf("shrunk history no longer fails:\n%s", FormatOps(min))
+	}
+}
+
+// TestFaultCampaignSmoke is the tier-1 slice of the fault campaign
+// (cmd/mvpbt-check -faults runs it at ≥8 seeds): fault-punctuated
+// histories on both heap layouts must hold oracle lockstep — every
+// injected read error, write error, torn commit flush and bit rot either
+// masked (retry, checksum quarantine-rebuild) or absorbed by a
+// crash-recovery, never silent corruption — and replay 100%
+// deterministically. The campaign must also have actually exercised all
+// four fault kinds and both recovery mechanisms.
+func TestFaultCampaignSmoke(t *testing.T) {
+	var lines []string
+	res := FaultCampaign(CampaignConfig{
+		Seeds: []uint64{1, 2, 3}, Ops: 700, Clients: 3, Keys: 60, Crashes: 1,
+		Log: func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) },
+	})
+	if res.Failed() {
+		t.Fatalf("campaign failed (%d violations, %d nondeterministic):\n%s",
+			res.Violations, res.Mismatches, strings.Join(lines, "\n"))
+	}
+	for k := 0; k < ssd.NumFaultKinds; k++ {
+		if res.Faults.Injected[k] == 0 {
+			t.Fatalf("fault kind %v never injected: [%v]", ssd.FaultKind(k), res.Faults)
+		}
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("no fault ever escalated to a crash-recovery")
+	}
+	if res.Rebuilds == 0 {
+		t.Fatal("no index rot was ever quarantined and rebuilt")
+	}
+}
+
+// TestFaultHistoryGenerationBackwardCompatible: turning Faults off must
+// keep history generation byte-identical to the pre-fault generator, so
+// existing seeds stay reproducible.
+func TestFaultHistoryGenerationBackwardCompatible(t *testing.T) {
+	plain := Generate(GenConfig{Seed: 42, Ops: 500})
+	for _, op := range plain {
+		if op.Kind >= OpFaultRead {
+			t.Fatalf("fault op %v generated without Faults", op.Kind)
+		}
+	}
+	faulty := Generate(GenConfig{Seed: 42, Ops: 500, Faults: true})
+	n := 0
+	for _, op := range faulty {
+		if op.Kind >= OpFaultRead {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("Faults generated no fault ops")
 	}
 }
 

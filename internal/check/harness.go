@@ -4,11 +4,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"mvpbt/internal/db"
 	"mvpbt/internal/heap"
 	"mvpbt/internal/index/lsm"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/storage"
 	"mvpbt/internal/txn"
+	"mvpbt/internal/wal"
 )
 
 // RunConfig parameterizes one harness run.
@@ -32,6 +37,13 @@ type RunConfig struct {
 	// on both MV-PBTs: decisions for records whose transaction id is a
 	// multiple of FaultEvery are inverted. Used by the harness's self-test.
 	FaultEvery int
+	// Faults punctuates the generated history with deterministic device
+	// faults (read/write errors, bit rot, torn commit flushes) and enables
+	// the typed-error recovery path: a storage fault that escapes to the
+	// top of an op is treated as damage to recover from — the engine
+	// crash-restarts and lockstep with the oracle must still hold. Leave it
+	// false to treat any typed storage error as a violation.
+	Faults bool
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -57,6 +69,10 @@ type Violation struct {
 	Step int    // index into the history (len(history) for the final audit)
 	Op   string // formatted op, or "final audit"
 	Msg  string
+	// Err is the engine error behind the violation, when there is one —
+	// fault mode inspects it (errors.Is) to tell injected-fault damage,
+	// which is recoverable by crash-restart, from genuine logic bugs.
+	Err error
 }
 
 func (v *Violation) Error() string {
@@ -69,6 +85,22 @@ type Result struct {
 	Audits    int
 	Crashes   int
 	Conflicts int // first-updater-wins conflicts observed (with parity checked)
+	// FaultRecoveries counts injected faults that escaped every masking
+	// layer (retry, checksum-quarantine-rebuild) and were absorbed by a
+	// crash-restart instead — torn commits included.
+	FaultRecoveries int
+	// Faults accumulates the device's injected-fault counters across every
+	// engine incarnation of the run (the device dies with each crash, so
+	// counters are harvested before teardown).
+	Faults ssd.FaultCounters
+	// Rebuilds counts index quarantine-rebuilds across incarnations:
+	// checksum-detected rot in a version-oblivious index repaired in place
+	// from the base table, invisibly to the op that hit it.
+	Rebuilds int64
+	// StateHash fingerprints the oracle's final committed state (FNV-1a
+	// over rows and tuple ids). Two runs of the same history must agree on
+	// it AND on Faults — the fault-determinism contract.
+	StateHash uint64
 	Violation *Violation
 }
 
@@ -222,6 +254,14 @@ func (h *harness) viol(step int, op string, format string, args ...any) *Violati
 	return &Violation{Step: step, Op: op, Msg: fmt.Sprintf(format, args...)}
 }
 
+// violE is viol carrying the engine error that caused the breach, so fault
+// mode can classify it.
+func (h *harness) violE(step int, op string, err error, format string, args ...any) *Violation {
+	v := h.viol(step, op, format, args...)
+	v.Err = err
+	return v
+}
+
 // lookupTarget finds the row at key visible to tx on BOTH sides and
 // cross-checks them: the engine's choice (via the primary MV-PBT, the
 // same index WAL replay uses) must carry exactly the oracle's visible row.
@@ -232,7 +272,7 @@ func (h *harness) viol(step int, op string, format string, args ...any) *Violati
 func (h *harness) lookupTarget(step int, op Op, tx *txn.Tx, key []byte) (*db.RowRef, *Tuple, *Violation) {
 	rr, err := h.tbl.LookupOne(tx, h.tbl.Indexes()[0], key, true)
 	if err != nil {
-		return nil, nil, h.viol(step, op.String(), "target lookup: %v", err)
+		return nil, nil, h.violE(step, op.String(), err, "target lookup: %v", err)
 	}
 	want := UniquePerKey(keyExtract, h.ora.LookupVisible(tx.ID, key))
 	switch {
@@ -269,7 +309,7 @@ func (h *harness) step(i int, op Op) *Violation {
 		}
 		vid, _, err := h.tbl.Insert(c.tx, row)
 		if err != nil {
-			return h.viol(i, op.String(), "insert: %v", err)
+			return h.violE(i, op.String(), err, "insert: %v", err)
 		}
 		t := h.ora.Insert(c.tx.ID, row)
 		t.EngineVID = vid
@@ -307,7 +347,7 @@ func (h *harness) step(i int, op Op) *Violation {
 		ix := h.tbl.Index(indexNames[op.Ix])
 		n, err := h.tbl.Count(c.tx, ix, keyBytes(op.Key), keyBytes(op.Key2))
 		if err != nil {
-			return h.viol(i, op.String(), "count: %v", err)
+			return h.violE(i, op.String(), err, "count: %v", err)
 		}
 		rows := h.ora.ScanVisible(c.tx.ID, keyBytes(op.Key), keyBytes(op.Key2))
 		if ix.Def.Unique {
@@ -323,17 +363,7 @@ func (h *harness) step(i int, op Op) *Violation {
 		}
 		h.eng.Commit(c.tx)
 		h.ora.Commit(c.tx.ID)
-		for _, tid := range c.order {
-			row := c.writes[tid]
-			if row == nil {
-				if err := h.mirror.Delete(tidKey(tid)); err != nil {
-					return h.viol(i, op.String(), "mirror delete: %v", err)
-				}
-			} else if err := h.mirror.Put(tidKey(tid), row); err != nil {
-				return h.viol(i, op.String(), "mirror put: %v", err)
-			}
-		}
-		c.reset()
+		return h.commitMirror(i, op, c)
 	case OpAbort:
 		c := h.clients[op.Client]
 		if c.tx == nil {
@@ -344,21 +374,21 @@ func (h *harness) step(i int, op Op) *Violation {
 		c.reset()
 	case OpVacuum:
 		if _, err := h.tbl.Vacuum(); err != nil {
-			return h.viol(i, op.String(), "vacuum: %v", err)
+			return h.violE(i, op.String(), err, "vacuum: %v", err)
 		}
 	case OpEvict:
 		for _, name := range []string{"mv", "mvu"} {
 			if err := h.tbl.Index(name).MV().EvictPN(); err != nil {
-				return h.viol(i, op.String(), "evict %s: %v", name, err)
+				return h.violE(i, op.String(), err, "evict %s: %v", name, err)
 			}
 		}
 		if err := h.tbl.Index("pb").PB().EvictPN(); err != nil {
-			return h.viol(i, op.String(), "evict pb: %v", err)
+			return h.violE(i, op.String(), err, "evict pb: %v", err)
 		}
 	case OpMerge:
 		for _, name := range []string{"mv", "mvu"} {
 			if err := h.tbl.Index(name).MV().MergePartitions(); err != nil {
-				return h.viol(i, op.String(), "merge %s: %v", name, err)
+				return h.violE(i, op.String(), err, "merge %s: %v", name, err)
 			}
 		}
 	case OpPause:
@@ -374,8 +404,119 @@ func (h *harness) step(i int, op Op) *Violation {
 		return h.audit(i, op.String())
 	case OpCrash:
 		return h.crash(i)
+	case OpFaultRead, OpFaultWrite:
+		kind := ssd.FaultReadErr
+		if op.Kind == OpFaultWrite {
+			kind = ssd.FaultWriteErr
+		}
+		// 1-3 consecutive failures of the next matching I/O: up to 2 are
+		// masked in-line by the buffer pool's bounded retry; 3 exhaust it
+		// and escalate to a crash-recovery.
+		n := 1 + op.Key%3
+		sched := make([]uint64, n)
+		for j := range sched {
+			sched[j] = uint64(j + 1)
+		}
+		h.eng.Dev.ArmFault(ssd.FaultRule{Kind: kind, Class: faultClass(op.Key), Ops: sched})
+	case OpFaultFlip:
+		// One-shot bit rot under the next matching page read, never the WAL
+		// (ClassMeta): the page checksum must catch it — a rotted index page
+		// is quarantined and rebuilt from the heap, a rotted heap page is a
+		// hard error absorbed by crash-recovery. Empty the buffer pool first;
+		// otherwise the small working set stays cached and the armed rot
+		// almost never sees a device read.
+		if err := h.eng.Pool.FlushAll(); err != nil {
+			return h.violE(i, op.String(), err, "pre-rot flush: %v", err)
+		}
+		if err := h.eng.Pool.EvictAll(); err != nil {
+			return h.violE(i, op.String(), err, "pre-rot evict: %v", err)
+		}
+		h.eng.Dev.ArmFault(ssd.FaultRule{
+			Kind: ssd.FaultBitFlip, Class: faultClass(op.Key),
+			ByteOffset: 16 + op.Key*37, BitMask: byte(1 << (op.Key % 8)),
+			Ops: []uint64{1},
+		})
+	case OpTornCommit:
+		return h.tornCommit(i, op)
 	}
 	return nil
+}
+
+// faultClass derives the deterministic fault scope from a key ordinal:
+// base-table or index extents, never ClassMeta — WAL faults are exercised
+// exclusively by OpTornCommit, whose in-doubt outcome the harness resolves
+// explicitly (a blind read/write error on the log would leave the oracle
+// unable to know what recovery will see).
+func faultClass(key int) int {
+	if key%2 == 1 {
+		return int(sfile.ClassIndex)
+	}
+	return int(sfile.ClassTable)
+}
+
+// commitMirror propagates client c's committed write set into the LSM
+// mirror and resets the client.
+func (h *harness) commitMirror(i int, op Op, c *client) *Violation {
+	for _, tid := range c.order {
+		row := c.writes[tid]
+		if row == nil {
+			if err := h.mirror.Delete(tidKey(tid)); err != nil {
+				return h.violE(i, op.String(), err, "mirror delete: %v", err)
+			}
+		} else if err := h.mirror.Put(tidKey(tid), row); err != nil {
+			return h.violE(i, op.String(), err, "mirror put: %v", err)
+		}
+	}
+	c.reset()
+	return nil
+}
+
+// tornCommit commits through a WAL flush whose page writes all tear
+// (persisting only a prefix of each page's sectors), leaving the
+// transaction's durability IN DOUBT. The harness resolves the doubt exactly
+// the way recovery will — is the commit record inside the readable prefix
+// of the durable log bytes? — applies the verdict to the oracle, and
+// crash-restarts. Lockstep after recovery is the assertion: a torn flush
+// may cost the unacknowledged transaction, but never an acknowledged one
+// and never consistency.
+func (h *harness) tornCommit(i int, op Op) *Violation {
+	c := h.clients[op.Client]
+	h.ensureTx(c)
+	id := h.eng.Dev.ArmFault(ssd.FaultRule{
+		Kind: ssd.FaultTornWrite, Class: int(sfile.ClassMeta),
+		// The log writer retries a failing page write up to 3 times; tear
+		// all of them so the flush genuinely fails.
+		Ops:         []uint64{1, 2, 3},
+		TornSectors: op.Key % (storage.PageSize / ssd.SectorSize),
+	})
+	err := h.eng.CommitDurable(c.tx)
+	h.eng.Dev.DisarmFault(id)
+	if err == nil {
+		// The flush dodged the fault; a plain successful commit.
+		h.ora.Commit(c.tx.ID)
+		return h.commitMirror(i, op, c)
+	}
+	if !errors.Is(err, storage.ErrIOFault) {
+		return h.violE(i, op.String(), err, "torn commit flush: %v", err)
+	}
+	committed := false
+	r := wal.NewReaderFromBytes(h.eng.LogImage())
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if rec.Op == wal.OpCommit && rec.TxID == uint64(c.tx.ID) {
+			committed = true
+		}
+	}
+	if committed {
+		h.ora.Commit(c.tx.ID)
+	} else {
+		h.ora.Abort(c.tx.ID)
+	}
+	h.res.FaultRecoveries++
+	return h.crash(i)
 }
 
 // writeAt applies an update (newRow != nil) or delete (nil) at key for
@@ -396,7 +537,7 @@ func (h *harness) writeAt(i int, op Op, c *client, key, newRow []byte) *Violatio
 	}
 	engConflict := errors.Is(engErr, heap.ErrWriteConflict)
 	if engErr != nil && !engConflict {
-		return h.viol(i, op.String(), "write: %v", engErr)
+		return h.violE(i, op.String(), engErr, "write: %v", engErr)
 	}
 	oraOK := h.ora.Write(c.tx.ID, t, newRow)
 	switch {
@@ -418,6 +559,7 @@ func (h *harness) writeAt(i int, op Op, c *client, key, newRow []byte) *Violatio
 // recovered state must equal the oracle's committed state), and reseed
 // the LSM mirror (a cache in this harness, not WAL-protected).
 func (h *harness) crash(i int) *Violation {
+	h.harvestFaults()
 	img := h.eng.LogImage()
 	h.eng.Crash()
 	for _, c := range h.clients {
@@ -463,6 +605,44 @@ func (h *harness) crash(i int) *Violation {
 	return h.audit(i, "crash")
 }
 
+// harvestFaults folds the device's injected-fault counters into the result
+// and resets them. Must run before the device is discarded (crash rebuilds
+// the engine on a fresh device) and once more at the end of the run.
+func (h *harness) harvestFaults() {
+	c := h.eng.Dev.FaultCounters()
+	for i, n := range c.Injected {
+		h.res.Faults.Injected[i] += n
+	}
+	h.eng.Dev.ResetFaultCounters()
+	h.res.Rebuilds += h.tbl.Rebuilds()
+}
+
+// finish seals the result: harvest the last engine incarnation's fault
+// counters and fingerprint the oracle's final committed state.
+func (h *harness) finish() Result {
+	if h.eng != nil {
+		h.harvestFaults()
+	}
+	fh := fnv.New64a()
+	var b [8]byte
+	for _, vr := range h.ora.CommittedRows() {
+		binary.BigEndian.PutUint64(b[:], vr.Tuple.ID)
+		fh.Write(b[:])
+		fh.Write(vr.Row)
+		fh.Write([]byte{0})
+	}
+	h.res.StateHash = fh.Sum64()
+	return h.res
+}
+
+// faultDamage reports whether v is collateral damage of an injected device
+// fault — a typed storage error that escaped every masking layer — rather
+// than a logic bug. Only meaningful while fault injection is on.
+func faultDamage(v *Violation) bool {
+	return v.Err != nil &&
+		(errors.Is(v.Err, storage.ErrIOFault) || errors.Is(v.Err, storage.ErrCorruptPage))
+}
+
 // Replay executes a fixed history against a fresh harness. Panics are
 // converted into violations so a seeded fault that trips an internal
 // assertion still yields a shrinkable failure instead of killing the run.
@@ -475,9 +655,9 @@ func Replay(cfg RunConfig, ops []Op) (res Result) {
 	curStep := 0
 	defer func() {
 		if r := recover(); r != nil {
-			res = h.res
-			res.Ops = curStep
-			res.Violation = &Violation{Step: curStep, Op: "panic", Msg: fmt.Sprint(r)}
+			h.res.Ops = curStep
+			h.res.Violation = &Violation{Step: curStep, Op: "panic", Msg: fmt.Sprint(r)}
+			res = h.finish()
 			return
 		}
 		if h.eng != nil {
@@ -486,43 +666,47 @@ func Replay(cfg RunConfig, ops []Op) (res Result) {
 	}()
 	for i, op := range ops {
 		curStep = i
-		if v := h.step(i, op); v != nil {
+		v := h.step(i, op)
+		if v == nil && (cfg.StepAudit || (i+1)%cfg.AuditEvery == 0) &&
+			op.Kind != OpBarrier && op.Kind != OpCrash { // those just audited
+			v = h.audit(i, op.String())
+		}
+		if v != nil && cfg.Faults && faultDamage(v) {
+			// An injected fault made it to the top of an op instead of being
+			// masked in a lower layer (e.g. heap-page rot, retry-exhausting
+			// error bursts). That is legal — but it must be RECOVERABLE:
+			// disarm everything, crash-restart, and hold the engine to the
+			// oracle's committed state like any other crash.
+			h.eng.Dev.DisarmAllFaults()
+			h.res.FaultRecoveries++
+			v = h.crash(i)
+		}
+		if v != nil {
 			h.res.Ops = i + 1
 			h.res.Violation = v
-			return h.res
-		}
-		if cfg.StepAudit || (i+1)%cfg.AuditEvery == 0 {
-			if op.Kind == OpBarrier || op.Kind == OpCrash {
-				continue // just audited
-			}
-			if v := h.audit(i, op.String()); v != nil {
-				h.res.Ops = i + 1
-				h.res.Violation = v
-				return h.res
-			}
+			return h.finish()
 		}
 		if cfg.Log != nil && (i+1)%10000 == 0 {
-			cfg.Log("  %d/%d ops, %d audits, %d crashes, %d conflicts",
-				i+1, len(ops), h.res.Audits, h.res.Crashes, h.res.Conflicts)
+			cfg.Log("  %d/%d ops, %d audits, %d crashes, %d conflicts, %d fault recoveries",
+				i+1, len(ops), h.res.Audits, h.res.Crashes, h.res.Conflicts, h.res.FaultRecoveries)
 		}
 	}
 	h.res.Ops = len(ops)
+	// Armed-but-unfired rules must not leak into the shutdown flushes.
+	h.eng.Dev.DisarmAllFaults()
 	h.eng.Quiesce()
 	h.res.Violation = h.audit(len(ops), "final audit")
-	return h.res
+	return h.finish()
 }
 
 // Run generates the history for cfg and replays it.
 func Run(cfg RunConfig) Result {
-	cfg = cfg.withDefaults()
-	ops := Generate(GenConfig{Seed: cfg.Seed, Ops: cfg.Ops, Clients: cfg.Clients,
-		Keys: cfg.Keys, Crashes: cfg.Crashes})
-	return Replay(cfg, ops)
+	return Replay(cfg, History(cfg))
 }
 
 // History returns the ops Run would execute for cfg (for shrinking).
 func History(cfg RunConfig) []Op {
 	cfg = cfg.withDefaults()
 	return Generate(GenConfig{Seed: cfg.Seed, Ops: cfg.Ops, Clients: cfg.Clients,
-		Keys: cfg.Keys, Crashes: cfg.Crashes})
+		Keys: cfg.Keys, Crashes: cfg.Crashes, Faults: cfg.Faults})
 }

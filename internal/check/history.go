@@ -31,13 +31,22 @@ const (
 	OpResume                  // resume background maintenance
 	OpBarrier                 // quiesce maintenance, then audit everything
 	OpCrash                   // crash the engine, recover from the WAL, re-audit
+	// Fault ops (generated only with GenConfig.Faults). Every fault is
+	// armed as a deterministic ssd.FaultRule whose parameters derive from
+	// Op.Key, so a replayed history injects the exact same faults.
+	OpFaultRead  // arm 1-3 consecutive read errors on table/index pages
+	OpFaultWrite // arm 1-3 consecutive write errors on table/index pages
+	OpFaultFlip  // arm a one-shot bit-flip (media rot) on a table/index read
+	OpTornCommit // commit through a torn WAL write, resolve the in-doubt
+	// transaction from the durable bytes, then crash-restart
 	nOpKinds
 )
 
 var opNames = [nOpKinds]string{
 	"insert", "update", "updatekey", "delete", "lookup", "scan", "count",
 	"commit", "abort", "vacuum", "evict", "merge", "pause", "resume",
-	"barrier", "crash",
+	"barrier", "crash", "fault-read", "fault-write", "fault-flip",
+	"torn-commit",
 }
 
 func (k OpKind) String() string {
@@ -66,8 +75,10 @@ func (op Op) String() string {
 		return fmt.Sprintf("c%d %s k%d ix%d", op.Client, op.Kind, op.Key, op.Ix)
 	case OpScan, OpCount:
 		return fmt.Sprintf("c%d %s [k%d,k%d) ix%d", op.Client, op.Kind, op.Key, op.Key2, op.Ix)
-	case OpCommit, OpAbort:
+	case OpCommit, OpAbort, OpTornCommit:
 		return fmt.Sprintf("c%d %s", op.Client, op.Kind)
+	case OpFaultRead, OpFaultWrite, OpFaultFlip:
+		return fmt.Sprintf("%s k%d", op.Kind, op.Key)
 	default:
 		return op.Kind.String()
 	}
@@ -89,6 +100,10 @@ type GenConfig struct {
 	Clients int
 	Keys    int
 	Crashes int
+	// Faults mixes deterministic device-fault ops into the history
+	// (read/write errors, bit rot, torn commit flushes). Off by default so
+	// legacy (seed, …) tuples keep generating byte-identical histories.
+	Faults bool
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -142,6 +157,24 @@ func Generate(cfg GenConfig) []Op {
 		key := r.Intn(cfg.Keys)
 		span := 1 + r.Intn(cfg.Keys/4+1)
 		op := Op{Client: c, Key: key, Ix: r.Intn(4)}
+		if cfg.Faults {
+			// ~7% of ops arm a fault; the extra draw happens only in fault
+			// mode, so non-fault histories are unchanged.
+			if fr := r.Intn(100); fr < 7 {
+				switch {
+				case fr < 2:
+					op.Kind = OpFaultRead
+				case fr < 4:
+					op.Kind = OpFaultWrite
+				case fr < 6:
+					op.Kind = OpFaultFlip
+				default:
+					op.Kind = OpTornCommit
+				}
+				ops = append(ops, op)
+				continue
+			}
+		}
 		switch roll := r.Intn(1000); {
 		case roll < 180:
 			op.Kind = OpInsert

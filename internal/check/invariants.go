@@ -75,7 +75,7 @@ func (h *harness) compareLookup(step int, opStr string, tx *txn.Tx, ix *db.Index
 		return h.tbl.Lookup(tx, ix, key, true, cb)
 	})
 	if err != nil {
-		return h.viol(step, opStr, "%s lookup: %v", ix.Def.Name, err)
+		return h.violE(step, opStr, err, "%s lookup: %v", ix.Def.Name, err)
 	}
 	return h.diffRows(step, opStr, ix, got, h.ora.LookupVisible(tx.ID, key))
 }
@@ -88,7 +88,7 @@ func (h *harness) compareScan(step int, opStr string, tx *txn.Tx, ix *db.Index, 
 		return h.tbl.Scan(tx, ix, lo, hi, true, cb)
 	})
 	if err != nil {
-		return h.viol(step, opStr, "%s scan: %v", ix.Def.Name, err)
+		return h.violE(step, opStr, err, "%s scan: %v", ix.Def.Name, err)
 	}
 	seen := make(map[string]bool, len(got))
 	for i, g := range got {
@@ -148,7 +148,7 @@ func (h *harness) checkMirror(step int, opStr string) *Violation {
 		return true
 	})
 	if err != nil {
-		return h.viol(step, opStr, "mirror scan: %v", err)
+		return h.violE(step, opStr, err, "mirror scan: %v", err)
 	}
 	want := h.ora.CommittedRows()
 	if len(got) != len(want) {
@@ -198,7 +198,7 @@ func (h *harness) checkRawMV(step int, opStr string, tx *txn.Tx, name string) *V
 		return true
 	})
 	if err != nil {
-		return h.viol(step, opStr, "%s visible scan: %v", name, err)
+		return h.violE(step, opStr, err, "%s visible scan: %v", name, err)
 	}
 	if vv != nil {
 		return vv
@@ -229,7 +229,7 @@ func (h *harness) checkRawMV(step int, opStr string, tx *txn.Tx, name string) *V
 		return true
 	})
 	if err != nil {
-		return h.viol(step, opStr, "%s raw dump: %v", name, err)
+		return h.violE(step, opStr, err, "%s raw dump: %v", name, err)
 	}
 	if vv != nil {
 		return vv
@@ -259,7 +259,7 @@ func (h *harness) checkRawLSM(step int, opStr string) *Violation {
 		return true
 	})
 	if err != nil {
-		return h.viol(step, opStr, "lsm raw scan: %v", err)
+		return h.violE(step, opStr, err, "lsm raw scan: %v", err)
 	}
 	live := 0
 	for _, n := range top {
@@ -273,7 +273,7 @@ func (h *harness) checkRawLSM(step int, opStr string) *Violation {
 		return true
 	})
 	if err != nil {
-		return h.viol(step, opStr, "lsm scan: %v", err)
+		return h.violE(step, opStr, err, "lsm scan: %v", err)
 	}
 	if len(got) != live {
 		return h.viol(step, opStr, "lsm scan returned %d keys, raw newest-wins implies %d", len(got), live)

@@ -172,7 +172,9 @@ func (e *Engine) Close() error {
 		}
 	}
 	if e.wal != nil {
-		e.wal.Flush()
+		if err := e.wal.Flush(); err != nil && first == nil {
+			first = err
+		}
 	}
 	e.closeErr = first
 	return first
@@ -189,13 +191,31 @@ func (e *Engine) Begin() *txn.Tx {
 
 // Commit commits tx. With logging enabled the commit record and all of the
 // transaction's row operations are flushed to the device first — the
-// durability point.
+// durability point. A persistent log-flush failure panics: the transaction
+// can be neither acknowledged nor cleanly rolled back at this point, so
+// callers that must survive device faults use CommitDurable instead.
 func (e *Engine) Commit(tx *txn.Tx) {
+	if err := e.CommitDurable(tx); err != nil {
+		panic("db: commit log flush failed: " + err.Error())
+	}
+}
+
+// CommitDurable commits tx, returning the WAL flush error instead of
+// panicking. On error the transaction is NOT committed in memory and its
+// durability is IN DOUBT: depending on where the flush tore, the commit
+// record may or may not have reached the device, so after a restart
+// recovery may legitimately resurface the transaction as committed. The
+// caller decides between retrying the flush (the log writer resumes at the
+// failed page) and crashing.
+func (e *Engine) CommitDurable(tx *txn.Tx) error {
 	if e.wal != nil {
 		e.wal.Append(&wal.Record{Op: wal.OpCommit, TxID: uint64(tx.ID)})
-		e.wal.Flush()
+		if err := e.wal.Flush(); err != nil {
+			return err
+		}
 	}
 	e.Mgr.Commit(tx)
+	return nil
 }
 
 // Abort aborts tx.
@@ -206,13 +226,25 @@ func (e *Engine) Abort(tx *txn.Tx) {
 	e.Mgr.Abort(tx)
 }
 
-// readWholeFile concatenates a file's pages (the WAL image).
+// readWholeFile concatenates a file's pages (the WAL image). Transient
+// read faults are retried a bounded number of times per page; a page that
+// stays unreadable truncates the image there (recovery semantics: the log
+// beyond an unreadable page is unreachable anyway, since replay stops at
+// the first gap).
 func readWholeFile(f *sfile.File) []byte {
 	n := f.NumPages()
 	out := make([]byte, 0, int(n)*storage.PageSize)
 	buf := make([]byte, storage.PageSize)
 	for i := uint64(0); i < n; i++ {
-		f.ReadPage(i, buf)
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if err = f.ReadPage(i, buf); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
 		out = append(out, buf...)
 	}
 	return out

@@ -51,6 +51,26 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 			committed[rec.TxID] = true
 		}
 	}
+	// If the readable prefix ended at an unreadable record, decide whether
+	// that is a harmless torn tail (an unacknowledged flush died with the
+	// crash — nothing committed is lost) or mid-log corruption: salvage-scan
+	// past the damage for commit records of transactions the replay below
+	// cannot reach. Dropped committed work makes the log corrupt; replay
+	// still applies the intact prefix, but the error is surfaced so the
+	// caller never mistakes the partial state for complete.
+	var corruptErr error
+	if r.Stopped() {
+		dropped := map[uint64]bool{}
+		for _, txid := range wal.Salvage(logImage, r.Offset()) {
+			if !committed[txid] {
+				dropped[txid] = true
+			}
+		}
+		if len(dropped) > 0 {
+			corruptErr = fmt.Errorf("db: WAL unreadable at offset %d, %d committed transaction(s) dropped: %w",
+				r.Offset(), len(dropped), wal.ErrWALCorrupt)
+		}
+	}
 	// Pass 2: replay committed row operations in log order. Original
 	// transaction ids are remapped to fresh ones; commit order follows the
 	// log, so the final visible state matches.
@@ -93,7 +113,7 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 	for _, tx := range open {
 		e.Abort(tx)
 	}
-	return applied, nil
+	return applied, corruptErr
 }
 
 // replay applies one logged row operation inside tx through the normal

@@ -1,10 +1,13 @@
 package db
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"mvpbt/internal/util"
+	"mvpbt/internal/wal"
 )
 
 // walTable builds a WAL-enabled engine with one MV-PBT table.
@@ -368,5 +371,86 @@ func TestWALDisabledByDefault(t *testing.T) {
 	}
 	if _, err := e.Recover(nil, nil); err == nil {
 		t.Fatal("Recover should fail without EnableWAL")
+	}
+}
+
+// TestRecoverMidLogCorruption flips a bit in the MIDDLE of the log (not the
+// torn tail): recovery must stop at the corrupt record, apply only the
+// intact prefix, report how many committed transactions were dropped, and
+// return a typed wal.ErrWALCorrupt instead of replaying garbage.
+func TestRecoverMidLogCorruption(t *testing.T) {
+	e, tbl, _ := walTable(t)
+	for i, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		tx := e.Begin()
+		if _, _, err := tbl.Insert(tx, row(kv[0], kv[1])); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit(tx)
+		_ = i
+	}
+	img := e.LogImage()
+
+	// Locate the end of the FIRST committed transaction, then corrupt the
+	// record that follows it.
+	r := wal.NewReaderFromBytes(img)
+	cut := -1
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			t.Fatal("log unexpectedly short")
+		}
+		if rec.Op == wal.OpCommit {
+			cut = r.Offset()
+			break
+		}
+	}
+	img[cut+3] ^= 0x08
+
+	e2, tbl2, ix2 := walTable(t)
+	applied, err := e2.Recover(img, map[string]*Table{"accounts": tbl2})
+	if !errors.Is(err, wal.ErrWALCorrupt) {
+		t.Fatalf("want ErrWALCorrupt, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "2 committed transaction(s) dropped") {
+		t.Fatalf("error does not report dropped commits: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d txs, want 1 (the intact prefix)", applied)
+	}
+	got := snapshotState(t, e2, tbl2, ix2)
+	if len(got) != 1 || got["a"] != "1" {
+		t.Fatalf("recovered state wrong: %v", got)
+	}
+}
+
+// TestRecoverTornTailIsNotCorruption: a log whose final record is torn
+// (crash during an unacknowledged flush) recovers the prefix with NO error
+// — nothing committed was lost.
+func TestRecoverTornTailIsNotCorruption(t *testing.T) {
+	e, tbl, _ := walTable(t)
+	tx := e.Begin()
+	tbl.Insert(tx, row("a", "1"))
+	e.Commit(tx)
+	img := e.LogImage()
+	// Append garbage where the next flush would have landed: a torn,
+	// undecodable half-record with no commit beyond it.
+	r := wal.NewReaderFromBytes(img)
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	copy(img[r.Offset():], []byte{0x17, 0x99, 0x42})
+
+	e2, tbl2, ix2 := walTable(t)
+	applied, err := e2.Recover(img, map[string]*Table{"accounts": tbl2})
+	if err != nil {
+		t.Fatalf("torn tail must not be an error: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d, want 1", applied)
+	}
+	if got := snapshotState(t, e2, tbl2, ix2); got["a"] != "1" {
+		t.Fatalf("state wrong: %v", got)
 	}
 }

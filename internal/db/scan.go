@@ -2,6 +2,7 @@ package db
 
 import (
 	"bytes"
+	"errors"
 
 	"mvpbt/internal/heap"
 	"mvpbt/internal/index"
@@ -19,31 +20,47 @@ import (
 //   - B-Tree / PBT / MV-PBT with NoIdxVC: the index returns candidates and
 //     each one is verified against the base table (chain walks, random
 //     reads), then deduplicated and rechecked against the predicate.
+//
+// Error handling separates the two storage structures involved: an error
+// from the BASE TABLE (heap page unreadable or corrupt) is always surfaced
+// as-is — the heap is the source of truth and nothing can regenerate it. A
+// checksum failure inside a version-oblivious INDEX is recoverable: the
+// index is quarantined, rebuilt from the heap (Table.RebuildIndex) and the
+// operation retried once. Rows already delivered before the first attempt
+// failed are not re-delivered (the dedup set spans both attempts).
 func (t *Table) Scan(tx *txn.Tx, ix *Index, lo, hi []byte, withRows bool, fn func(RowRef) bool) error {
 	if ix.mv != nil && !ix.Def.NoIdxVC {
-		return ix.mv.Scan(tx, lo, hi, func(e index.Entry) bool {
+		var heapErr error
+		err := ix.mv.Scan(tx, lo, hi, func(e index.Entry) bool {
 			rr := RowRef{RID: e.Ref.RID, VID: e.Ref.VID, Key: e.Key}
 			if withRows {
 				v, err := t.h.ReadVersion(e.Ref.RID)
 				if err != nil {
+					heapErr = err
 					return false
 				}
 				rr.Row = v.Data
 			}
 			return fn(rr)
 		})
+		if heapErr != nil {
+			return heapErr
+		}
+		return err
 	}
 	return t.scanOblivious(tx, ix, lo, hi, fn)
 }
 
 func (t *Table) scanOblivious(tx *txn.Tx, ix *Index, lo, hi []byte, fn func(RowRef) bool) error {
 	seen := make(map[storage.RecordID]bool)
+	var heapErr error
 	visit := func(e index.Entry) bool {
 		vv, err := t.resolveVisible(tx, ix, e)
-		if err != nil || vv == nil {
-			return err == nil
+		if err != nil {
+			heapErr = err
+			return false
 		}
-		if seen[vv.RID] {
+		if vv == nil || seen[vv.RID] {
 			return true
 		}
 		seen[vv.RID] = true
@@ -55,14 +72,39 @@ func (t *Table) scanOblivious(tx *txn.Tx, ix *Index, lo, hi []byte, fn func(RowR
 		}
 		return fn(RowRef{RID: vv.RID, VID: vv.VID, Key: k, Row: vv.Data})
 	}
-	switch {
-	case ix.bt != nil:
-		return ix.bt.ScanCandidates(lo, hi, visit)
-	case ix.pb != nil:
-		return ix.pb.ScanCandidates(lo, hi, visit)
-	default:
-		return ix.mv.ScanAllMatter(lo, hi, visit)
+	run := func() error {
+		heapErr = nil
+		switch {
+		case ix.bt != nil:
+			return ix.bt.ScanCandidates(lo, hi, visit)
+		case ix.pb != nil:
+			return ix.pb.ScanCandidates(lo, hi, visit)
+		default:
+			return ix.mv.ScanAllMatter(lo, hi, visit)
+		}
 	}
+	return t.runWithRebuild(ix, run, &heapErr)
+}
+
+// runWithRebuild executes one index read, separating heap errors (stashed
+// by the visit closure in *heapErr — always hard) from index errors. A
+// corrupt page inside a rebuildable index triggers one quarantine-rebuild
+// and one retry; if the rebuild itself fails, the ORIGINAL corruption error
+// is returned (the rebuild failure is a consequence, not the cause).
+func (t *Table) runWithRebuild(ix *Index, run func() error, heapErr *error) error {
+	err := run()
+	if *heapErr != nil {
+		return *heapErr
+	}
+	if err != nil && errors.Is(err, storage.ErrCorruptPage) && ix.mv == nil {
+		if rerr := t.RebuildIndex(ix); rerr != nil {
+			return err
+		}
+		if err = run(); *heapErr != nil {
+			return *heapErr
+		}
+	}
+	return err
 }
 
 // resolveVisible performs the base-table visibility check for one
@@ -74,29 +116,39 @@ func (t *Table) resolveVisible(tx *txn.Tx, ix *Index, e index.Entry) (*heap.Visi
 	return t.h.ReadVisible(tx, e.Ref.RID)
 }
 
-// Lookup streams the visible rows with exactly this index key.
+// Lookup streams the visible rows with exactly this index key. Error
+// handling matches Scan: heap errors are hard, a corrupt rebuildable index
+// is quarantined, rebuilt and retried once.
 func (t *Table) Lookup(tx *txn.Tx, ix *Index, key []byte, withRows bool, fn func(RowRef) bool) error {
 	if ix.mv != nil && !ix.Def.NoIdxVC {
-		return ix.mv.Lookup(tx, key, func(e index.Entry) bool {
+		var heapErr error
+		err := ix.mv.Lookup(tx, key, func(e index.Entry) bool {
 			rr := RowRef{RID: e.Ref.RID, VID: e.Ref.VID, Key: e.Key}
 			if withRows {
 				v, err := t.h.ReadVersion(e.Ref.RID)
 				if err != nil {
+					heapErr = err
 					return false
 				}
 				rr.Row = v.Data
 			}
 			return fn(rr)
 		})
+		if heapErr != nil {
+			return heapErr
+		}
+		return err
 	}
 	hi := append(append([]byte(nil), key...), 0)
 	seen := make(map[storage.RecordID]bool)
+	var heapErr error
 	visit := func(e index.Entry) bool {
 		vv, err := t.resolveVisible(tx, ix, e)
-		if err != nil || vv == nil {
-			return err == nil
+		if err != nil {
+			heapErr = err
+			return false
 		}
-		if seen[vv.RID] {
+		if vv == nil || seen[vv.RID] {
 			return true
 		}
 		seen[vv.RID] = true
@@ -105,14 +157,18 @@ func (t *Table) Lookup(tx *txn.Tx, ix *Index, key []byte, withRows bool, fn func
 		}
 		return fn(RowRef{RID: vv.RID, VID: vv.VID, Key: key, Row: vv.Data})
 	}
-	switch {
-	case ix.bt != nil:
-		return ix.bt.LookupCandidates(key, visit)
-	case ix.pb != nil:
-		return ix.pb.LookupCandidates(key, visit)
-	default:
-		return ix.mv.ScanAllMatter(key, hi, visit)
+	run := func() error {
+		heapErr = nil
+		switch {
+		case ix.bt != nil:
+			return ix.bt.LookupCandidates(key, visit)
+		case ix.pb != nil:
+			return ix.pb.LookupCandidates(key, visit)
+		default:
+			return ix.mv.ScanAllMatter(key, hi, visit)
+		}
 	}
+	return t.runWithRebuild(ix, run, &heapErr)
 }
 
 // LookupOne returns the single visible row for key (nil when absent) —

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/wal"
 
@@ -28,6 +29,16 @@ const (
 	// HeapSIAS is Snapshot Isolation Append Storage.
 	HeapSIAS
 )
+
+func (k HeapKind) String() string {
+	switch k {
+	case HeapHOT:
+		return "hot"
+	case HeapSIAS:
+		return "sias"
+	}
+	return fmt.Sprintf("HeapKind(%d)", int(k))
+}
 
 // IndexKind selects the index structure.
 type IndexKind int
@@ -76,10 +87,12 @@ type IndexDef struct {
 
 // Index is one materialized index of a table.
 type Index struct {
-	Def IndexDef
-	bt  *btree.Tree
-	pb  *pbt.Tree
-	mv  *mvpbt.Tree
+	Def  IndexDef
+	bt   *btree.Tree
+	pb   *pbt.Tree
+	mv   *mvpbt.Tree
+	file *sfile.File
+	gen  int // rebuild generation (0 = original build)
 }
 
 // MV returns the underlying MV-PBT (nil for other kinds) for
@@ -103,7 +116,12 @@ type Table struct {
 	vids     *vid.Table
 	indexes  []*Index
 	mu       sync.Mutex
+	rebuilds atomic.Int64 // corrupt-index quarantine rebuilds
 }
+
+// Rebuilds returns how many times a corrupt version-oblivious index of this
+// table was quarantined and rebuilt from the base table.
+func (t *Table) Rebuilds() int64 { return t.rebuilds.Load() }
 
 // NewTable creates a table with the given heap organization and indexes.
 func (e *Engine) NewTable(name string, hk HeapKind, defs ...IndexDef) (*Table, error) {
@@ -124,6 +142,7 @@ func (e *Engine) NewTable(name string, hk HeapKind, defs ...IndexDef) (*Table, e
 	for _, def := range defs {
 		ix := &Index{Def: def}
 		f := e.FM.Create(name+"."+def.Name, sfile.ClassIndex)
+		ix.file = f
 		switch def.Kind {
 		case IdxBTree:
 			bt, err := btree.New(e.Pool, f)
@@ -300,4 +319,64 @@ func (t *Table) Delete(tx *txn.Tx, old RowRef) error {
 // Vacuum reclaims dead versions in the heap.
 func (t *Table) Vacuum() (int, error) {
 	return t.h.Vacuum(t.eng.Mgr.Horizon())
+}
+
+// RebuildIndex quarantines a corrupt version-oblivious index (B-Tree or
+// PBT) and rebuilds it from the base table: the heap streams its index
+// entry-points (Heap.ScanVersions), a fresh tree is built in a new file,
+// the table swaps over to it, and the old file's pages are dropped from the
+// buffer pool and freed on the device. The base table is the source of
+// truth, so derived-structure corruption is recoverable; errors reading the
+// HEAP during the rebuild are surfaced unchanged — those are not.
+//
+// MV-PBT indexes cannot be rebuilt this way: their entries carry
+// per-version transactional metadata (invalidation records, tombstones)
+// tied to live transaction state. Corruption there is a hard error.
+func (t *Table) RebuildIndex(ix *Index) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix.bt == nil && ix.pb == nil {
+		return fmt.Errorf("db: index %s.%s is not version-oblivious and cannot be rebuilt from the base table", t.name, ix.Def.Name)
+	}
+	e := t.eng
+	gen := ix.gen + 1
+	f := e.FM.Create(fmt.Sprintf("%s.%s.r%d", t.name, ix.Def.Name, gen), sfile.ClassIndex)
+	var nbt *btree.Tree
+	var npb *pbt.Tree
+	var insert func(key []byte, ref index.Ref) error
+	if ix.bt != nil {
+		var err error
+		if nbt, err = btree.New(e.Pool, f); err != nil {
+			return err
+		}
+		insert = nbt.Insert
+	} else {
+		npb = pbt.New(e.Pool, f, e.PBuf, pbt.Options{
+			Name:      fmt.Sprintf("%s.%s.r%d", t.name, ix.Def.Name, gen),
+			BloomBits: ix.Def.BloomBits, PrefixLen: ix.Def.PrefixLen,
+		})
+		insert = npb.Insert
+	}
+	var ierr error
+	err := t.h.ScanVersions(func(rid storage.RecordID, v heap.Version) bool {
+		ierr = insert(ix.Def.Extract(v.Data), index.Ref{RID: rid, VID: v.VID})
+		return ierr == nil
+	})
+	if err != nil {
+		return err // heap unreadable: the rebuild source itself is damaged
+	}
+	if ierr != nil {
+		return ierr
+	}
+	old, oldPB := ix.file, ix.pb
+	ix.bt, ix.pb, ix.file, ix.gen = nbt, npb, f, gen
+	if oldPB != nil {
+		e.PBuf.Unregister(oldPB)
+	}
+	if n := old.NumPages(); n > 0 {
+		e.Pool.DropFilePages(old, 0, int(n))
+		old.FreeRun(0, int(n))
+	}
+	t.rebuilds.Add(1)
+	return nil
 }

@@ -544,3 +544,94 @@ func TestManyTuplesAcrossEvictions(t *testing.T) {
 		})
 	}
 }
+
+// ScanVersions must stream exactly the versions a version-oblivious index
+// holds entries for: HOT emits one record per chain-segment root (a HOT
+// successor shares its root's entry), SIAS one per non-tombstone version.
+func TestScanVersionsEmitsIndexEntryPoints(t *testing.T) {
+	e := newEnv(64)
+	for name, h := range heapsUnderTest(e) {
+		t.Run(name, func(t *testing.T) {
+			var rids []storage.RecordID
+			e.commit(func(tx *txn.Tx) {
+				for i := 0; i < 3; i++ {
+					rid, err := h.Insert(tx, uint64(i), []byte(fmt.Sprintf("row-%d", i)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rids = append(rids, rid)
+				}
+			})
+			// Tuple 0: HOT-eligible update (same segment under HOT, new
+			// version under SIAS). Tuple 1: deleted.
+			e.commit(func(tx *txn.Tx) {
+				if _, err := h.Update(tx, rids[0], 0, []byte("row-0b"), true); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := h.Delete(tx, rids[1], 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			got := map[string]int{}
+			n := 0
+			if err := h.ScanVersions(func(rid storage.RecordID, v Version) bool {
+				got[string(v.Data)]++
+				n++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			switch name {
+			case "hot":
+				// Three inserts made three segment roots; the HOT update and
+				// the in-place delete add none.
+				if n != 3 || got["row-0"] != 1 || got["row-1"] != 1 || got["row-2"] != 1 {
+					t.Fatalf("hot entry-points %v (n=%d), want the 3 roots", got, n)
+				}
+			case "sias":
+				// Every non-tombstone version: 3 inserts + 1 update version.
+				if n != 4 || got["row-0b"] != 1 {
+					t.Fatalf("sias versions %v (n=%d), want 4 incl. row-0b", got, n)
+				}
+			}
+		})
+	}
+}
+
+// After vacuum prunes a HOT chain, ScanVersions resolves redirect stubs to
+// the surviving payload while reporting the stub's (stable) rid.
+func TestScanVersionsResolvesRedirects(t *testing.T) {
+	e := newEnv(64)
+	h := e.hot()
+	var rid storage.RecordID
+	e.commit(func(tx *txn.Tx) {
+		r, err := h.Insert(tx, 7, []byte("old"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid = r
+	})
+	e.commit(func(tx *txn.Tx) {
+		if _, err := h.Update(tx, rid, 7, []byte("new"), true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := h.Vacuum(e.mgr.Horizon()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	if err := h.ScanVersions(func(got storage.RecordID, v Version) bool {
+		if got == rid {
+			found = true
+			if string(v.Data) != "new" {
+				t.Fatalf("redirect resolved to %q, want new", v.Data)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("pruned root's rid missing from ScanVersions")
+	}
+}

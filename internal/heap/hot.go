@@ -260,6 +260,10 @@ func (h *HotHeap) ReadVisible(tx *txn.Tx, candidate storage.RecordID) (*VisibleV
 func (h *HotHeap) ReadVersion(rid storage.RecordID) (Version, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
+	return h.readVersionLocked(rid)
+}
+
+func (h *HotHeap) readVersionLocked(rid storage.RecordID) (Version, error) {
 	for rid.Valid() {
 		fr, err := h.pool.Get(h.file, rid.Page.PageNo())
 		if err != nil {
@@ -283,6 +287,65 @@ func (h *HotHeap) ReadVersion(rid storage.RecordID) (Version, error) {
 		return v, nil
 	}
 	return Version{}, errRecordGone
+}
+
+// ScanVersions implements Heap: it streams the heap's index entry-points —
+// every chain-segment root, since those are the versions HOT gives their own
+// index entries (initial inserts and non-HOT successors). Redirect stubs are
+// resolved to the surviving version's payload but reported at the stub's rid
+// (the stable location index entries reference). Visibility is NOT applied:
+// the stream is the raw material for rebuilding a version-oblivious index,
+// whose readers run their own base-table visibility check per candidate.
+func (h *HotHeap) ScanVersions(fn func(rid storage.RecordID, v Version) bool) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	nPages := h.file.NumPages()
+	for pageNo := uint64(0); pageNo < nPages; pageNo++ {
+		fr, err := h.pool.Get(h.file, pageNo)
+		if err != nil {
+			return err
+		}
+		p := page.Wrap(fr.Data())
+		pid := h.file.PageID(pageNo)
+		type root struct {
+			rid storage.RecordID
+			v   Version
+		}
+		var roots []root
+		for s := 0; s < p.NumSlots(); s++ {
+			rec := p.Get(s)
+			if rec == nil {
+				continue
+			}
+			v := decodeVersion(rec)
+			if !v.SegmentRoot {
+				continue
+			}
+			v.Data = append([]byte(nil), v.Data...)
+			roots = append(roots, root{rid: storage.RecordID{Page: pid, Slot: uint16(s)}, v: v})
+		}
+		h.pool.Unpin(fr, false)
+		for _, rt := range roots {
+			v := rt.v
+			if v.Redirect {
+				// Resolve the stub to the survivor it forwards to; a stub
+				// whose target vanished has no tuple left to index.
+				resolved, err := h.readVersionLocked(rt.rid)
+				if err == errRecordGone {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				resolved.VID = v.VID
+				v = resolved
+			}
+			if !fn(rt.rid, v) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // Vacuum implements Heap: PostgreSQL-style page pruning. For every chain

@@ -1,6 +1,7 @@
 package heap
 
 import (
+	"errors"
 	"sync"
 
 	"mvpbt/internal/buffer"
@@ -63,8 +64,12 @@ func (h *SiasHeap) append(rec []byte) (storage.RecordID, error) {
 		}
 		h.pool.Unpin(fr, false)
 		// Tail is full: write it out now — appends reach the device in
-		// page order, i.e. sequentially.
-		h.pool.FlushPage(h.file, h.tail)
+		// page order, i.e. sequentially. A flush fault is not fatal to the
+		// append (the page stays dirty in the pool and will be retried at
+		// eviction); only freed-page errors indicate real breakage.
+		if err := h.pool.FlushPage(h.file, h.tail); err != nil && errors.Is(err, storage.ErrFreedPage) {
+			return storage.RecordID{}, err
+		}
 	}
 	fr, pageNo, err := h.pool.NewPage(h.file)
 	if err != nil {
@@ -222,6 +227,43 @@ func (h *SiasHeap) readVersionLocked(rid storage.RecordID) (Version, error) {
 		return Version{}, errRecordGone
 	}
 	return v, nil
+}
+
+// ScanVersions implements Heap: it streams every live tuple-version in the
+// heap. Under SIAS each non-tombstone version was a chain entry-point once
+// and may still be the version some snapshot's index entry leads to, so a
+// rebuilt version-oblivious index gets one candidate entry per version —
+// readers deduplicate and visibility-check candidates anyway.
+func (h *SiasHeap) ScanVersions(fn func(rid storage.RecordID, v Version) bool) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	nPages := h.file.NumPages()
+	for pageNo := uint64(0); pageNo < nPages; pageNo++ {
+		fr, err := h.pool.Get(h.file, pageNo)
+		if err != nil {
+			return err
+		}
+		p := page.Wrap(fr.Data())
+		pid := h.file.PageID(pageNo)
+		cont := true
+		for s := 0; s < p.NumSlots() && cont; s++ {
+			rec := p.Get(s)
+			if rec == nil {
+				continue
+			}
+			v := decodeVersion(rec)
+			if v.Tombstone {
+				continue
+			}
+			v.Data = append([]byte(nil), v.Data...)
+			cont = fn(storage.RecordID{Page: pid, Slot: uint16(s)}, v)
+		}
+		h.pool.Unpin(fr, false)
+		if !cont {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Vacuum implements Heap: for every chain it finds the newest version that

@@ -44,7 +44,7 @@ type Version struct {
 	// pruning a dead chain prefix leaves the survivor in place and turns
 	// the root slot into a redirect instead.
 	Redirect bool
-	TCreate     txn.TxID
+	TCreate  txn.TxID
 	// TInvalidate is the invalidating transaction under two-point
 	// invalidation (HotHeap). SiasHeap uses one-point invalidation and
 	// leaves it zero.
@@ -143,6 +143,11 @@ type Heap interface {
 	// Vacuum reclaims versions invisible to every snapshot below horizon.
 	// It returns the number of version records removed.
 	Vacuum(horizon txn.TxID) (int, error)
+	// ScanVersions streams the versions a version-oblivious index would
+	// hold entries for (HOT: chain-segment roots; SIAS: every non-tombstone
+	// version), without applying visibility. It is the base-table side of an
+	// index rebuild. fn returning false stops the scan.
+	ScanVersions(fn func(rid storage.RecordID, v Version) bool) error
 }
 
 // ErrWriteConflict is returned when an update hits a version that a

@@ -105,6 +105,19 @@ func (b *PartitionBuffer) Register(o Owner) {
 	b.owners = append(b.owners, o)
 }
 
+// Unregister removes an index from the buffer's accounting (a quarantined
+// tree being replaced by a rebuild). No-op when o was never registered.
+func (b *PartitionBuffer) Unregister(o Owner) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, own := range b.owners {
+		if own == o {
+			b.owners = append(b.owners[:i], b.owners[i+1:]...)
+			return
+		}
+	}
+}
+
 // Used returns the total bytes of all main-memory partitions.
 func (b *PartitionBuffer) Used() int {
 	b.mu.RLock()

@@ -213,12 +213,27 @@ func Build(pool *buffer.Pool, file *sfile.File, no int, kvs []KV, minTS, maxTS u
 		fch <- f
 	}()
 
-	// ---- Sequential write-out.
+	// ---- Sequential write-out. Pages are stamped with their checksum (the
+	// buffer pool verifies them on every later fetch) and transient write
+	// faults are retried a bounded number of times before the build fails.
 	start := file.AllocRun(len(pages))
+	var werr error
 	for i, buf := range pages {
-		file.WritePage(start+uint64(i), buf)
+		page.StampChecksum(buf)
+		for attempt := 0; ; attempt++ {
+			werr = file.WritePage(start+uint64(i), buf)
+			if werr == nil || attempt >= 2 {
+				break
+			}
+		}
+		if werr != nil {
+			break
+		}
 	}
 	flt := <-fch
+	if werr != nil {
+		return nil, fmt.Errorf("part: segment write-out: %w", werr)
+	}
 
 	seg := &Segment{
 		No:         no,

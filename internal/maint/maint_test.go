@@ -2,10 +2,13 @@ package maint
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mvpbt/internal/storage"
 )
 
 func TestServiceRunsJobs(t *testing.T) {
@@ -240,5 +243,101 @@ func TestServiceConcurrentSubmit(t *testing.T) {
 	st := s.Stats()
 	if st.Submitted+st.Deduped != 8*200 {
 		t.Fatalf("submitted %d + deduped %d != 1600", st.Submitted, st.Deduped)
+	}
+}
+
+// Transient device faults (storage.ErrIOFault) are retried in place with
+// exponential backoff: N-1 failures followed by success must be invisible
+// to the error counters, and each retry must wait longer than the last.
+func TestRetryMasksTransientFaults(t *testing.T) {
+	var mu sync.Mutex
+	var delays []time.Duration
+	s := New(Config{
+		Workers:    1,
+		MaxRetries: 3,
+		RetryBase:  time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+		},
+	})
+	defer s.Close()
+	var calls atomic.Int64
+	s.Submit(Compact, "lsm", func() error {
+		if calls.Add(1) < 3 {
+			return fmt.Errorf("compact: %w", storage.ErrIOFault)
+		}
+		return nil
+	})
+	s.Drain()
+	st := s.Stats().Jobs[Compact]
+	if calls.Load() != 3 {
+		t.Fatalf("job ran %d times, want 3 (2 faults + success)", calls.Load())
+	}
+	if st.Runs != 1 || st.Retries != 2 || st.Errors != 0 || st.GiveUps != 0 {
+		t.Fatalf("stats %+v, want Runs=1 Retries=2 Errors=0 GiveUps=0", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) != 2 || delays[1] <= delays[0] {
+		t.Fatalf("backoff delays %v: want 2 growing delays", delays)
+	}
+}
+
+// A job that keeps faulting exhausts the retry budget, lands in the error
+// and give-up counters, and must NOT wedge the queue: later jobs still run.
+func TestRetryExhaustionDoesNotWedgeQueue(t *testing.T) {
+	s := New(Config{
+		Workers:    1,
+		MaxRetries: 2,
+		RetryBase:  time.Microsecond,
+		Sleep:      func(time.Duration) {},
+	})
+	var faulty atomic.Int64
+	s.Submit(Merge, "tree", func() error {
+		faulty.Add(1)
+		return fmt.Errorf("merge: %w", storage.ErrIOFault)
+	})
+	var ok atomic.Bool
+	s.Submit(Merge, "other", func() error { ok.Store(true); return nil })
+	s.Drain()
+	st := s.Stats().Jobs[Merge]
+	if faulty.Load() != 3 { // initial run + 2 retries
+		t.Fatalf("faulty job ran %d times, want 3", faulty.Load())
+	}
+	if st.Errors != 1 || st.GiveUps != 1 || st.Retries != 2 {
+		t.Fatalf("stats %+v, want Errors=1 GiveUps=1 Retries=2", st)
+	}
+	if !ok.Load() {
+		t.Fatal("job behind the exhausted one never ran: queue wedged")
+	}
+	if err := s.Close(); !errors.Is(err, storage.ErrIOFault) {
+		t.Fatalf("Close error %v, want the recorded fault", err)
+	}
+}
+
+// Permanent errors (anything that is not storage.ErrIOFault) must not be
+// retried: re-running a job that hit corruption or a logic bug cannot help.
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	slept := atomic.Int64{}
+	s := New(Config{
+		Workers:    1,
+		MaxRetries: 3,
+		Sleep:      func(time.Duration) { slept.Add(1) },
+	})
+	defer s.Close()
+	var calls atomic.Int64
+	s.Submit(GC, "tree", func() error {
+		calls.Add(1)
+		return fmt.Errorf("gc: %w", storage.ErrCorruptPage)
+	})
+	s.Drain()
+	st := s.Stats().Jobs[GC]
+	if calls.Load() != 1 || st.Retries != 0 || st.GiveUps != 0 || st.Errors != 1 {
+		t.Fatalf("calls=%d stats=%+v, want a single non-retried error", calls.Load(), st)
+	}
+	if slept.Load() != 0 {
+		t.Fatal("backoff slept for a permanent error")
 	}
 }

@@ -1,9 +1,12 @@
 package maint
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mvpbt/internal/storage"
 )
 
 // Kind identifies a class of maintenance job. Per-kind stats are kept so
@@ -49,7 +52,17 @@ type Config struct {
 	// byte accounting (jobs still run, limiter never charged).
 	WrittenBytes func() int64
 
-	// test seams for the limiter clock.
+	// MaxRetries bounds how often a job failing with a TRANSIENT error
+	// (storage.ErrIOFault) is re-run in place before the service gives up
+	// on that instance. Defaults to 3; negative disables retrying.
+	// Permanent errors (corrupt pages, freed pages, logic errors) are
+	// never retried.
+	MaxRetries int
+	// RetryBase is the delay before the first retry; each further retry
+	// doubles it (exponential backoff). Defaults to 1ms.
+	RetryBase time.Duration
+
+	// test seams for the limiter clock and the retry backoff.
 	Now   func() time.Time
 	Sleep func(time.Duration)
 }
@@ -62,10 +75,12 @@ type task struct {
 
 // JobStats aggregates one job kind's lifetime counters.
 type JobStats struct {
-	Runs   int64
-	Errors int64
-	Bytes  int64         // device bytes written while jobs of this kind ran
-	Busy   time.Duration // wall time spent running (excludes queue + throttle)
+	Runs    int64
+	Errors  int64
+	Retries int64         // transient-fault re-runs (not counted in Runs)
+	GiveUps int64         // jobs abandoned after exhausting the retry budget
+	Bytes   int64         // device bytes written while jobs of this kind ran
+	Busy    time.Duration // wall time spent running (excludes queue + throttle)
 }
 
 // Stats is a snapshot of the service's counters.
@@ -82,8 +97,11 @@ type Stats struct {
 // instance of it is RUNNING is enqueued again — the running instance
 // observed state from before the new trigger.
 type Service struct {
-	limiter *Limiter
-	written func() int64
+	limiter    *Limiter
+	written    func() int64
+	maxRetries int
+	retryBase  time.Duration
+	sleep      func(time.Duration)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -94,7 +112,7 @@ type Service struct {
 	lastErr error
 	wg      sync.WaitGroup
 
-	stats     [nKinds]struct{ runs, errors, bytes, busyNS atomic.Int64 }
+	stats     [nKinds]struct{ runs, errors, retries, giveUps, bytes, busyNS atomic.Int64 }
 	submitted atomic.Int64
 	deduped   atomic.Int64
 	active    atomic.Int64
@@ -105,10 +123,22 @@ func New(cfg Config) *Service {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Millisecond
+	}
 	s := &Service{
-		limiter: NewLimiter(cfg.BytesPerSec, cfg.Burst),
-		written: cfg.WrittenBytes,
-		pending: make(map[string]bool),
+		limiter:    NewLimiter(cfg.BytesPerSec, cfg.Burst),
+		written:    cfg.WrittenBytes,
+		maxRetries: cfg.MaxRetries,
+		retryBase:  cfg.RetryBase,
+		sleep:      time.Sleep,
+		pending:    make(map[string]bool),
+	}
+	if cfg.Sleep != nil {
+		s.sleep = cfg.Sleep
 	}
 	if cfg.Now != nil && cfg.Sleep != nil {
 		s.limiter.setClock(cfg.Now, cfg.Sleep)
@@ -195,6 +225,22 @@ func (s *Service) worker() {
 		start := time.Now()
 		err := t.run()
 		st := &s.stats[t.kind]
+		// Transient device faults are retried in place with exponential
+		// backoff: the job closure is idempotent (it re-reads current state),
+		// so re-running it after the fault clears is safe. Permanent errors
+		// (corrupt pages, freed pages, logic bugs) skip the loop entirely.
+		if err != nil && errors.Is(err, storage.ErrIOFault) && s.maxRetries > 0 {
+			delay := s.retryBase
+			for attempt := 0; attempt < s.maxRetries && err != nil && errors.Is(err, storage.ErrIOFault); attempt++ {
+				s.sleep(delay)
+				delay *= 2
+				st.retries.Add(1)
+				err = t.run()
+			}
+			if err != nil && errors.Is(err, storage.ErrIOFault) {
+				st.giveUps.Add(1)
+			}
+		}
 		st.busyNS.Add(int64(time.Since(start)))
 		st.runs.Add(1)
 		if s.written != nil {
@@ -302,10 +348,12 @@ func (s *Service) Stats() Stats {
 	for k := Kind(0); k < nKinds; k++ {
 		st := &s.stats[k]
 		out.Jobs[k] = JobStats{
-			Runs:   st.runs.Load(),
-			Errors: st.errors.Load(),
-			Bytes:  st.bytes.Load(),
-			Busy:   time.Duration(st.busyNS.Load()),
+			Runs:    st.runs.Load(),
+			Errors:  st.errors.Load(),
+			Retries: st.retries.Load(),
+			GiveUps: st.giveUps.Load(),
+			Bytes:   st.bytes.Load(),
+			Busy:    time.Duration(st.busyNS.Load()),
 		}
 	}
 	out.Submitted = s.submitted.Load()

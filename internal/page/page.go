@@ -9,27 +9,70 @@
 //	[2:4)   freeHi — offset where the record area begins (grows downward)
 //	[4:6)   page flags (e.g. FlagHasGarbage, §4.6 of the paper)
 //	[6:8)   garbage bytes reclaimable by compaction
-//	[8:44)  client header — 36 bytes owned by the page's user (B-tree node
+//	[8:12)  CRC32C checksum of the rest of the page, stamped at write-back
+//	        and verified on every buffer-pool fetch (zero on never-stamped
+//	        pages; an all-zero page is accepted as a valid fresh page)
+//	[12:48) client header — 36 bytes owned by the page's user (B-tree node
 //	        headers, heap page metadata, ...)
-//	[44:)   slot directory, 4 bytes per slot (offset, length); record data
+//	[48:)   slot directory, 4 bytes per slot (offset, length); record data
 //	        grows from the end of the page towards the directory.
 package page
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 
 	"mvpbt/internal/storage"
 )
 
 const (
-	headerEnd = 8
-	clientLen = 36
-	slotBase  = headerEnd + clientLen
-	slotSize  = 4
+	checksumOff = 8
+	checksumLen = 4
+	headerEnd   = checksumOff + checksumLen
+	clientLen   = 36
+	slotBase    = headerEnd + clientLen
+	slotSize    = 4
 )
 
 // MaxRecordLen is the largest record a page can hold.
 const MaxRecordLen = storage.PageSize - slotBase - slotSize
+
+// castagnoli is the CRC32C polynomial table (the checksum used by iSCSI,
+// ext4 and btrfs; hardware-accelerated by the stdlib on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32C of a page image, excluding the checksum
+// field itself.
+func Checksum(b []byte) uint32 {
+	c := crc32.Update(0, castagnoli, b[:checksumOff])
+	return crc32.Update(c, castagnoli, b[headerEnd:])
+}
+
+// StampChecksum stores the current content checksum into the page header.
+// Call it immediately before the page image reaches the device.
+func StampChecksum(b []byte) {
+	binary.LittleEndian.PutUint32(b[checksumOff:headerEnd], Checksum(b))
+}
+
+// VerifyChecksum reports whether a page image read from the device matches
+// its stored checksum. An all-zero page is accepted: never-written device
+// regions read as zeros (trimmed-SSD convention) and a fresh page has no
+// checksum yet.
+func VerifyChecksum(b []byte) bool {
+	stored := binary.LittleEndian.Uint32(b[checksumOff:headerEnd])
+	if Checksum(b) == stored {
+		return true
+	}
+	if stored != 0 {
+		return false
+	}
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Page flags. The low byte is reserved for this package's users (the heap
 // and index node implementations define their own bits there).

@@ -265,3 +265,55 @@ func TestFreeSpaceAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChecksumStampVerify(t *testing.T) {
+	p := newPage()
+	p.Insert([]byte("some record"))
+	b := p.Bytes()
+	StampChecksum(b)
+	if !VerifyChecksum(b) {
+		t.Fatal("freshly stamped page should verify")
+	}
+	// Any single-bit flip outside the checksum field must be detected.
+	for _, pos := range []int{0, 5, 100, storage.PageSize - 1} {
+		b[pos] ^= 0x40
+		if VerifyChecksum(b) {
+			t.Fatalf("bit flip at %d not detected", pos)
+		}
+		b[pos] ^= 0x40
+	}
+	// A flip inside the stored checksum itself must be detected too.
+	b[9] ^= 0x01
+	if VerifyChecksum(b) {
+		t.Fatal("checksum-field flip not detected")
+	}
+	b[9] ^= 0x01
+	if !VerifyChecksum(b) {
+		t.Fatal("restored page should verify again")
+	}
+}
+
+func TestChecksumAllZeroPageAccepted(t *testing.T) {
+	b := make([]byte, storage.PageSize)
+	if !VerifyChecksum(b) {
+		t.Fatal("all-zero (never written) page should be accepted")
+	}
+	b[17] = 1
+	if VerifyChecksum(b) {
+		t.Fatal("non-zero unstamped page should be rejected")
+	}
+}
+
+func TestChecksumContentChangeDetected(t *testing.T) {
+	p := newPage()
+	slot, _ := p.Insert([]byte("v1"))
+	StampChecksum(p.Bytes())
+	p.Replace(slot, []byte("v2"))
+	if VerifyChecksum(p.Bytes()) {
+		t.Fatal("modified page with stale stamp should fail verification")
+	}
+	StampChecksum(p.Bytes())
+	if !VerifyChecksum(p.Bytes()) {
+		t.Fatal("restamped page should verify")
+	}
+}

@@ -55,11 +55,32 @@ type Manager struct {
 	free     []int64
 	files    map[storage.FileID]*File
 	nextFile storage.FileID
+
+	// classMu guards extClass, the extent→class map backing the device's
+	// fault-scoping classifier. It is a separate mutex because the device
+	// calls the classifier with its own lock held, and the manager calls
+	// into the device (Discard) while holding m.mu — routing the classifier
+	// through m.mu would invert that order.
+	classMu  sync.Mutex
+	extClass map[int64]Class
 }
 
 // NewManager returns a manager allocating space on dev.
 func NewManager(dev *ssd.Device) *Manager {
-	return &Manager{dev: dev, files: make(map[storage.FileID]*File), nextFile: 1}
+	m := &Manager{dev: dev, files: make(map[storage.FileID]*File), nextFile: 1, extClass: make(map[int64]Class)}
+	dev.SetClassifier(m.classOf)
+	return m
+}
+
+// classOf maps a device byte offset to the sfile class of the extent it
+// falls in, for fault-rule scoping. Unattributed space is ssd.AnyClass.
+func (m *Manager) classOf(off int64) int {
+	m.classMu.Lock()
+	defer m.classMu.Unlock()
+	if c, ok := m.extClass[off/ExtentBytes]; ok {
+		return int(c)
+	}
+	return ssd.AnyClass
 }
 
 // Device returns the underlying device.
@@ -85,18 +106,25 @@ func (m *Manager) Lookup(id storage.FileID) *File {
 // allocExtent hands out one extent, reusing freed extents first. preferNew
 // forces fresh frontier space (used for partition runs, which want device
 // contiguity for sequential write-out).
-func (m *Manager) allocExtent(preferNew bool) int64 {
+func (m *Manager) allocExtent(preferNew bool, class Class) int64 {
+	var off int64
 	if !preferNew && len(m.free) > 0 {
-		off := m.free[len(m.free)-1]
+		off = m.free[len(m.free)-1]
 		m.free = m.free[:len(m.free)-1]
-		return off
+	} else {
+		off = m.frontier
+		m.frontier += ExtentBytes
 	}
-	off := m.frontier
-	m.frontier += ExtentBytes
+	m.classMu.Lock()
+	m.extClass[off/ExtentBytes] = class
+	m.classMu.Unlock()
 	return off
 }
 
 func (m *Manager) freeExtent(off int64) {
+	m.classMu.Lock()
+	delete(m.extClass, off/ExtentBytes)
+	m.classMu.Unlock()
 	m.dev.Discard(off, ExtentBytes)
 	m.free = append(m.free, off)
 }
@@ -156,7 +184,7 @@ func (f *File) allocPageLocked() uint64 {
 	ext := int(no / ExtentPages)
 	if ext >= len(f.extents) {
 		f.m.mu.Lock()
-		f.extents = append(f.extents, f.m.allocExtent(false))
+		f.extents = append(f.extents, f.m.allocExtent(false, f.class))
 		f.m.mu.Unlock()
 	}
 	f.nPages++
@@ -183,7 +211,7 @@ func (f *File) AllocRun(n int) uint64 {
 	need := (n + ExtentPages - 1) / ExtentPages
 	f.m.mu.Lock()
 	for i := 0; i < need; i++ {
-		f.extents = append(f.extents, f.m.allocExtent(true))
+		f.extents = append(f.extents, f.m.allocExtent(true, f.class))
 	}
 	f.m.mu.Unlock()
 	f.nPages = start + uint64(n)
@@ -211,24 +239,34 @@ func (f *File) FreeRun(start uint64, n int) {
 	f.m.mu.Unlock()
 }
 
-func (f *File) offsetOf(pageNo uint64) int64 {
+func (f *File) offsetOf(pageNo uint64) (int64, error) {
 	ext := int(pageNo / ExtentPages)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if ext >= len(f.extents) || f.extents[ext] < 0 {
-		panic(fmt.Sprintf("sfile: access to unallocated page %d of file %q", pageNo, f.name))
+		return 0, fmt.Errorf("sfile: page %d of file %q: %w", pageNo, f.name, storage.ErrFreedPage)
 	}
-	return f.extents[ext] + int64(pageNo%ExtentPages)*storage.PageSize
+	return f.extents[ext] + int64(pageNo%ExtentPages)*storage.PageSize, nil
 }
 
 // ReadPage reads page pageNo into buf (which must be storage.PageSize).
-func (f *File) ReadPage(pageNo uint64, buf []byte) {
-	f.m.dev.ReadAt(buf, f.offsetOf(pageNo))
+// Accessing a freed or never-allocated run returns storage.ErrFreedPage;
+// device-level failures wrap storage.ErrIOFault.
+func (f *File) ReadPage(pageNo uint64, buf []byte) error {
+	off, err := f.offsetOf(pageNo)
+	if err != nil {
+		return err
+	}
+	return f.m.dev.ReadAt(buf, off)
 }
 
-// WritePage writes buf to page pageNo.
-func (f *File) WritePage(pageNo uint64, buf []byte) {
-	f.m.dev.WriteAt(buf, f.offsetOf(pageNo))
+// WritePage writes buf to page pageNo. Errors mirror ReadPage.
+func (f *File) WritePage(pageNo uint64, buf []byte) error {
+	off, err := f.offsetOf(pageNo)
+	if err != nil {
+		return err
+	}
+	return f.m.dev.WriteAt(buf, off)
 }
 
 // PageID returns the global page id of pageNo in this file.

@@ -2,6 +2,7 @@ package sfile
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"mvpbt/internal/simclock"
@@ -117,17 +118,41 @@ func TestFreeRunRecyclesExtents(t *testing.T) {
 	}
 }
 
-func TestAccessFreedRunPanics(t *testing.T) {
+func TestAccessFreedRunReturnsTypedError(t *testing.T) {
 	m := newMgr()
 	f := m.Create("idx", ClassIndex)
 	start := f.AllocRun(ExtentPages)
 	f.FreeRun(start, ExtentPages)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("reading a freed page should panic")
-		}
-	}()
-	f.ReadPage(start, make([]byte, storage.PageSize))
+	buf := make([]byte, storage.PageSize)
+	if err := f.ReadPage(start, buf); !errors.Is(err, storage.ErrFreedPage) {
+		t.Fatalf("reading a freed page: got %v, want ErrFreedPage", err)
+	}
+	if err := f.WritePage(start, buf); !errors.Is(err, storage.ErrFreedPage) {
+		t.Fatalf("writing a freed page: got %v, want ErrFreedPage", err)
+	}
+	// Never-allocated pages report the same typed error.
+	if err := f.ReadPage(start+10*ExtentPages, buf); !errors.Is(err, storage.ErrFreedPage) {
+		t.Fatalf("reading an unallocated page: got %v, want ErrFreedPage", err)
+	}
+}
+
+func TestClassifierScopesFaultsByFileClass(t *testing.T) {
+	m := newMgr()
+	tbl := m.Create("t", ClassTable)
+	idx := m.Create("i", ClassIndex)
+	tno, ino := tbl.AllocPage(), idx.AllocPage()
+	buf := make([]byte, storage.PageSize)
+	m.Device().ArmFault(ssd.FaultRule{Kind: ssd.FaultWriteErr, Class: int(ClassIndex), Sticky: true})
+	if err := tbl.WritePage(tno, buf); err != nil {
+		t.Fatalf("table write should pass an index-scoped fault: %v", err)
+	}
+	if err := idx.WritePage(ino, buf); !errors.Is(err, storage.ErrIOFault) {
+		t.Fatalf("index write should hit the index-scoped fault, got %v", err)
+	}
+	// Freed extents lose their class attribution.
+	run := idx.AllocRun(ExtentPages)
+	idx.FreeRun(run, ExtentPages)
+	m.Device().DisarmAllFaults()
 }
 
 func TestPageIDComposition(t *testing.T) {

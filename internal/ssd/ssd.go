@@ -137,6 +137,13 @@ type Device struct {
 	stats     Stats
 	tracing   bool
 	trace     []TraceEntry
+
+	// Fault injection (faults.go). classifier maps a byte offset to the
+	// sfile class of the extent it falls in, for rule scoping.
+	faults      []*armedFault
+	nextFaultID int
+	faultStats  FaultCounters
+	classifier  func(off int64) int
 }
 
 // New returns an empty device with the given latency profile, charging I/O
@@ -149,10 +156,13 @@ func New(clock *simclock.Clock, prof Profile) *Device {
 func (d *Device) Clock() *simclock.Clock { return d.clock }
 
 // ReadAt reads len(p) bytes at byte offset off. Unwritten regions read as
-// zeros (like a trimmed SSD).
-func (d *Device) ReadAt(p []byte, off int64) {
+// zeros (like a trimmed SSD). An armed read-error fault fails the read with
+// an error wrapping storage.ErrIOFault (the latency is still charged — a
+// failed I/O is not a free I/O); an armed bit-flip fault corrupts the
+// stored media under the range and the read succeeds.
+func (d *Device) ReadAt(p []byte, off int64) error {
 	if len(p) == 0 {
-		return
+		return nil
 	}
 	d.mu.Lock()
 	seq := off == d.lastRdEnd
@@ -168,18 +178,32 @@ func (d *Device) ReadAt(p []byte, off int64) {
 	d.stats.Reads++
 	d.stats.BytesRead += int64(len(p))
 	d.stats.ReadTime += lat
-	d.copyOut(p, off)
+	var ioErr error
+	if f := d.matchFault(OpRead, off, len(p)); f != nil {
+		if f.rule.Kind == FaultBitFlip {
+			d.flipBit(f, off, len(p))
+		} else {
+			ioErr = faultErr(f.rule.Kind, off, len(p))
+		}
+	}
+	if ioErr == nil {
+		d.copyOut(p, off)
+	}
 	if d.tracing {
 		d.trace = append(d.trace, TraceEntry{Time: d.clock.Now() + lat, Op: OpRead, LBA: off / SectorSize, Len: len(p), Seq: seq})
 	}
 	d.mu.Unlock()
 	d.clock.Advance(lat)
+	return ioErr
 }
 
-// WriteAt writes len(p) bytes at byte offset off.
-func (d *Device) WriteAt(p []byte, off int64) {
+// WriteAt writes len(p) bytes at byte offset off. An armed write-error
+// fault persists nothing and fails with an error wrapping
+// storage.ErrIOFault; a torn-write fault persists only the leading sectors
+// (the rest of the range keeps its previous media contents) and then fails.
+func (d *Device) WriteAt(p []byte, off int64) error {
 	if len(p) == 0 {
-		return
+		return nil
 	}
 	d.mu.Lock()
 	seq := off == d.lastWrEnd
@@ -195,12 +219,28 @@ func (d *Device) WriteAt(p []byte, off int64) {
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(p))
 	d.stats.WriteTime += lat
-	d.copyIn(p, off)
+	var ioErr error
+	if f := d.matchFault(OpWrite, off, len(p)); f != nil {
+		if f.rule.Kind == FaultTornWrite {
+			n := f.rule.TornSectors * SectorSize
+			if n > len(p) {
+				n = len(p)
+			}
+			if n > 0 {
+				d.copyIn(p[:n], off)
+			}
+		}
+		ioErr = faultErr(f.rule.Kind, off, len(p))
+	}
+	if ioErr == nil {
+		d.copyIn(p, off)
+	}
 	if d.tracing {
 		d.trace = append(d.trace, TraceEntry{Time: d.clock.Now() + lat, Op: OpWrite, LBA: off / SectorSize, Len: len(p), Seq: seq})
 	}
 	d.mu.Unlock()
 	d.clock.Advance(lat)
+	return ioErr
 }
 
 // Discard releases the storage backing [off, off+n) (like TRIM). Only whole

@@ -1,0 +1,28 @@
+package storage
+
+import "errors"
+
+// Typed storage errors. They live in package storage — the one package every
+// storage-layer component already imports — so that ssd, sfile, buffer, heap,
+// the indexes, wal, db and maint can all wrap and test for them without
+// import cycles. Callers classify with errors.Is.
+var (
+	// ErrIOFault marks a device-level I/O failure (an injected or simulated
+	// media error). It is transient from the caller's point of view: retrying
+	// the operation may succeed, and the retry loops in buffer, wal and maint
+	// treat it as retryable.
+	ErrIOFault = errors.New("storage: device I/O fault")
+
+	// ErrCorruptPage marks a page whose checksum did not match its contents
+	// (bit rot, torn write, firmware bug). It is permanent: re-reading the
+	// same media returns the same corrupt bytes. Derived structures
+	// (B-Tree/PBT runs) respond by quarantine-and-rebuild; base-table and
+	// WAL pages surface it as a hard error.
+	ErrCorruptPage = errors.New("storage: corrupt page (checksum mismatch)")
+
+	// ErrFreedPage marks an access to a page of a freed or never-allocated
+	// run — a use-after-free at the space-manager level. It indicates a
+	// stale reference (e.g. an index entry pointing into a reclaimed
+	// partition) rather than a media problem.
+	ErrFreedPage = errors.New("storage: access to freed or unallocated page")
+)

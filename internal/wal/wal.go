@@ -16,6 +16,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,12 @@ import (
 	"mvpbt/internal/storage"
 	"mvpbt/internal/util"
 )
+
+// ErrWALCorrupt marks a log whose readable prefix ends at an unreadable
+// record even though committed transactions exist beyond it — mid-log
+// corruption, as opposed to a harmlessly torn tail. Recovery refuses to
+// replay garbage and reports how much committed work was dropped.
+var ErrWALCorrupt = errors.New("wal: corrupt record mid-log")
 
 // Op is a log record type.
 type Op uint8
@@ -153,50 +160,82 @@ func (w *Writer) Written() int64 {
 	return w.written
 }
 
-// Flush forces buffered records to the device.
-func (w *Writer) Flush() {
+// Flush forces buffered records to the device. Each page write is retried
+// a bounded number of times; if a write still fails, the unflushed suffix
+// stays buffered and the error (wrapping the device fault) is returned —
+// a later Flush resumes at exactly the failed page, reusing its page
+// number, so no unreadable gap pages are ever left in the log.
+func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.pending) == 0 {
-		return
+		return nil
 	}
 	stream := append(w.tail, w.pending...)
-	w.pending = nil
 	if !w.haveTail {
 		w.tailPage = w.file.AllocPage()
 		w.haveTail = true
 	}
+	w.tail, w.pending = nil, nil
 	for len(stream) > storage.PageSize {
-		w.file.WritePage(w.tailPage, stream[:storage.PageSize])
+		if err := w.writePageRetry(w.tailPage, stream[:storage.PageSize]); err != nil {
+			w.pending = stream
+			return fmt.Errorf("wal: flush: %w", err)
+		}
 		stream = append([]byte(nil), stream[storage.PageSize:]...)
 		w.tailPage = w.file.AllocPage()
 	}
 	page := make([]byte, storage.PageSize)
 	copy(page, stream)
-	w.file.WritePage(w.tailPage, page)
+	if err := w.writePageRetry(w.tailPage, page); err != nil {
+		w.pending = stream
+		return fmt.Errorf("wal: flush: %w", err)
+	}
 	w.tail = stream
+	return nil
+}
+
+func (w *Writer) writePageRetry(pageNo uint64, buf []byte) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = w.file.WritePage(pageNo, buf); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // Reader iterates a log image.
 type Reader struct {
-	data []byte
-	off  int
+	data    []byte
+	off     int
+	stopped bool // Next hit an unreadable record (not clean end-of-data)
 }
 
 // NewReader reads the log from the file's pages. Pages are concatenated in
-// order; decode stops at the first invalid record.
-func NewReader(file *sfile.File) *Reader {
+// order; decode stops at the first invalid record. Page reads are retried
+// a bounded number of times; a persistently unreadable page fails the
+// whole read (recovery cannot safely skip log pages).
+func NewReader(file *sfile.File) (*Reader, error) {
 	n := file.NumPages()
 	data := make([]byte, 0, int(n)*storage.PageSize)
 	buf := make([]byte, storage.PageSize)
 	for i := uint64(0); i < n; i++ {
-		file.ReadPage(i, buf)
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if err = file.ReadPage(i, buf); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading log page %d: %w", i, err)
+		}
 		data = append(data, buf...)
 	}
-	return &Reader{data: data}
+	return &Reader{data: data}, nil
 }
 
-// NewReaderFromBytes reads a raw log image (tests).
+// NewReaderFromBytes reads a raw log image.
 func NewReaderFromBytes(b []byte) *Reader { return &Reader{data: b} }
 
 // Next returns the next valid record; ok is false at end of log (or at
@@ -209,14 +248,57 @@ func (r *Reader) Next() (Record, bool) {
 			return rec, true
 		}
 		// A zero length byte means tail padding within a page: skip to the
-		// next page boundary and retry; anything else is a torn record.
+		// next page boundary and retry — but genuine padding is zero all the
+		// way to the boundary; a nonzero byte inside it means a zeroed
+		// length prefix, i.e. corruption, not padding.
 		if r.data[r.off] == 0 {
-			r.off = (r.off/storage.PageSize + 1) * storage.PageSize
+			next := (r.off/storage.PageSize + 1) * storage.PageSize
+			if next > len(r.data) {
+				next = len(r.data)
+			}
+			for i := r.off; i < next; i++ {
+				if r.data[i] != 0 {
+					r.stopped = true
+					return Record{}, false
+				}
+			}
+			r.off = next
 			continue
 		}
+		r.stopped = true
 		return Record{}, false
 	}
 	return Record{}, false
+}
+
+// Stopped reports whether iteration ended at an unreadable record rather
+// than at the clean end of the image. Whether that is a harmless torn tail
+// or real mid-log corruption is decided by Salvage: only dropped COMMITTED
+// transactions make it corruption.
+func (r *Reader) Stopped() bool { return r.stopped }
+
+// Offset returns the byte offset reached by Next.
+func (r *Reader) Offset() int { return r.off }
+
+// Salvage scans the log image beyond off for decodable records and returns
+// the TxIDs of commit records found there. After the readable prefix ends,
+// these are transactions whose commit reached the device but which recovery
+// cannot safely replay (their operations may lie in the unreadable region):
+// the count of such transactions not already applied is the damage a
+// corrupt log did.
+func Salvage(data []byte, off int) (commits []uint64) {
+	for i := off; i >= 0 && i < len(data); i++ {
+		if data[i] == 0 {
+			continue
+		}
+		if rec, n, ok := decode(data[i:]); ok {
+			if rec.Op == OpCommit {
+				commits = append(commits, rec.TxID)
+			}
+			i += n - 1
+		}
+	}
+	return commits
 }
 
 // String renders a record for diagnostics.

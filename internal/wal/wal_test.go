@@ -2,13 +2,24 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/simclock"
 	"mvpbt/internal/ssd"
+	"mvpbt/internal/storage"
 )
+
+func mustReader(t *testing.T, f *sfile.File) *Reader {
+	t.Helper()
+	r, err := NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
 
 func newFile() *sfile.File {
 	m := sfile.NewManager(ssd.New(simclock.New(), ssd.IntelP3600))
@@ -56,7 +67,7 @@ func TestWriterReaderThroughFile(t *testing.T) {
 		}
 	}
 	w.Flush()
-	r := NewReader(f)
+	r := mustReader(t, f)
 	for i := 0; i < n; i++ {
 		rec, ok := r.Next()
 		if !ok {
@@ -77,7 +88,7 @@ func TestUnflushedRecordsLost(t *testing.T) {
 	w.Append(&Record{Op: OpBegin, TxID: 1})
 	w.Flush()
 	w.Append(&Record{Op: OpCommit, TxID: 1}) // never flushed: "crash"
-	r := NewReader(f)
+	r := mustReader(t, f)
 	rec, ok := r.Next()
 	if !ok || rec.Op != OpBegin {
 		t.Fatalf("flushed record lost: %+v %v", rec, ok)
@@ -130,7 +141,7 @@ func TestTailPageRewrite(t *testing.T) {
 	if n := f.NumPages(); n > 2 {
 		t.Fatalf("20 tiny commits used %d pages", n)
 	}
-	r := NewReader(f)
+	r := mustReader(t, f)
 	count := 0
 	for {
 		if _, ok := r.Next(); !ok {
@@ -179,7 +190,7 @@ func TestOpAndRecordStrings(t *testing.T) {
 
 func TestEmptyLogRecovers(t *testing.T) {
 	f := newFile()
-	r := NewReader(f)
+	r := mustReader(t, f)
 	if _, ok := r.Next(); ok {
 		t.Fatal("empty log yielded a record")
 	}
@@ -192,12 +203,125 @@ func TestRecordSpanningPages(t *testing.T) {
 	w.Append(&Record{Op: OpInsert, TxID: 1, Table: "t", Key: []byte("k"), Row: big})
 	w.Append(&Record{Op: OpCommit, TxID: 1})
 	w.Flush()
-	r := NewReader(f)
+	r := mustReader(t, f)
 	rec, ok := r.Next()
 	if !ok || len(rec.Row) != len(big) {
 		t.Fatalf("page-spanning record lost: ok=%v len=%d", ok, len(rec.Row))
 	}
 	if rec2, ok := r.Next(); !ok || rec2.Op != OpCommit {
 		t.Fatal("record after page-spanner lost")
+	}
+}
+
+func TestStoppedDistinguishesCleanEnd(t *testing.T) {
+	var buf []byte
+	buf = encode(buf, &Record{Op: OpBegin, TxID: 1})
+	buf = encode(buf, &Record{Op: OpCommit, TxID: 1})
+	r := NewReaderFromBytes(buf)
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Stopped() {
+		t.Fatal("clean end of image reported as stopped")
+	}
+	// Corrupt the second record: iteration must stop AND report it.
+	buf[len(buf)-4] ^= 0x20
+	r = NewReaderFromBytes(buf)
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 || !r.Stopped() {
+		t.Fatalf("n=%d stopped=%v, want 1 true", n, r.Stopped())
+	}
+}
+
+func TestSalvageFindsCommitsPastCorruption(t *testing.T) {
+	var buf []byte
+	buf = encode(buf, &Record{Op: OpBegin, TxID: 1})
+	buf = encode(buf, &Record{Op: OpCommit, TxID: 1})
+	cut := len(buf)
+	buf = encode(buf, &Record{Op: OpInsert, TxID: 2, Table: "t", Key: []byte("k"), Row: []byte("v")})
+	buf = encode(buf, &Record{Op: OpCommit, TxID: 2})
+	buf = encode(buf, &Record{Op: OpBegin, TxID: 3}) // no commit
+	buf[cut+3] ^= 0x01                               // corrupt tx2's insert
+	r := NewReaderFromBytes(buf)
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if !r.Stopped() || r.Offset() != cut {
+		t.Fatalf("stopped=%v off=%d, want true %d", r.Stopped(), r.Offset(), cut)
+	}
+	commits := Salvage(buf, r.Offset())
+	if len(commits) != 1 || commits[0] != 2 {
+		t.Fatalf("salvaged commits %v, want [2]", commits)
+	}
+}
+
+func TestZeroedLengthMidPageIsCorruption(t *testing.T) {
+	// A bit flip that zeroes a record's length byte must not be mistaken
+	// for tail padding (which would silently skip the rest of the page).
+	var buf []byte
+	buf = encode(buf, &Record{Op: OpBegin, TxID: 1})
+	cut := len(buf)
+	buf = encode(buf, &Record{Op: OpCommit, TxID: 1})
+	img := make([]byte, storage.PageSize)
+	copy(img, buf)
+	img[cut] = 0 // zero the commit record's length prefix
+	r := NewReaderFromBytes(img)
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 || !r.Stopped() {
+		t.Fatalf("n=%d stopped=%v, want 1 true (zeroed length must stop iteration)", n, r.Stopped())
+	}
+}
+
+func TestFlushRetriesTransientFaultAndResumes(t *testing.T) {
+	dev := ssd.New(simclock.New(), ssd.IntelP3600)
+	f := sfile.NewManager(dev).Create("wal", sfile.ClassMeta)
+	w := NewWriter(f)
+	// One-shot write fault: Flush's in-line retry must mask it.
+	dev.ArmFault(ssd.FaultRule{Kind: ssd.FaultWriteErr, Class: ssd.AnyClass, Ops: []uint64{1}})
+	w.Append(&Record{Op: OpBegin, TxID: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("one-shot write fault should be masked by retry: %v", err)
+	}
+	// Sticky fault: Flush fails, records stay buffered; after disarm a new
+	// Flush resumes at the same page and loses nothing.
+	id := dev.ArmFault(ssd.FaultRule{Kind: ssd.FaultWriteErr, Class: ssd.AnyClass, Sticky: true})
+	w.Append(&Record{Op: OpCommit, TxID: 1})
+	if err := w.Flush(); !errors.Is(err, storage.ErrIOFault) {
+		t.Fatalf("sticky fault should surface, got %v", err)
+	}
+	dev.DisarmFault(id)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustReader(t, f)
+	var ops []Op
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, rec.Op)
+	}
+	if len(ops) != 2 || ops[0] != OpBegin || ops[1] != OpCommit || r.Stopped() {
+		t.Fatalf("log after faulty flushes: %v stopped=%v", ops, r.Stopped())
+	}
+	if n := f.NumPages(); n != 1 {
+		t.Fatalf("failed flush left gap pages: %d pages", n)
 	}
 }
