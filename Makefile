@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check check-nightly check-faults bench bench-full examples cover
+.PHONY: all build vet test race check check-nightly check-faults check-exhaust bench bench-full examples cover
 
 all: build vet test
 
@@ -29,6 +29,13 @@ check-nightly:
 # to pin fault determinism (same counters, same final state hash).
 check-faults:
 	go run ./cmd/mvpbt-check -faults -seed 1 -seeds 8 -ops 1500
+
+# Resource-exhaustion campaign: fill a capacity-bounded device to its hard
+# watermark on both heaps, assert read-only degradation with oracle-correct
+# reads, reclamation (WAL truncation, GC, vacuum) back under the soft
+# watermark, write resume, crash-recovery, and byte-identical double replay.
+check-exhaust:
+	go run ./cmd/mvpbt-check -exhaust -seed 1 -seeds 4
 
 # One testing.B benchmark per paper figure (quick scale).
 bench:

@@ -20,6 +20,15 @@
 // fault counters and final state (the determinism contract):
 //
 //	go run ./cmd/mvpbt-check -faults -seed 1 -seeds 8 -ops 1500
+//
+// Exhaustion campaign (`make check-exhaust`): -exhaust fills a
+// capacity-bounded device to its hard watermark on both heap layouts,
+// asserting read-only degradation with oracle-correct reads, reclamation
+// (WAL checkpoint/truncation, GC, vacuum) back under the soft watermark,
+// write resume, crash-recovery, and byte-identical double replay — plus a
+// context-deadline bound on writes wedged in a partition-buffer stall:
+//
+//	go run ./cmd/mvpbt-check -exhaust -seed 1 -seeds 2
 package main
 
 import (
@@ -45,10 +54,14 @@ func main() {
 		noShrink = flag.Bool("no-shrink", false, "skip shrinking on failure")
 		verbose  = flag.Bool("v", false, "progress output")
 		faults   = flag.Bool("faults", false, "fault-campaign mode: seeded device faults on both heaps, each history replayed twice for determinism")
-		seeds    = flag.Int("seeds", 8, "campaign seed count (seeds -seed..-seed+N-1); only with -faults")
+		seeds    = flag.Int("seeds", 8, "campaign seed count (seeds -seed..-seed+N-1); only with -faults or -exhaust")
+		exhaust  = flag.Bool("exhaust", false, "exhaustion-campaign mode: fill a capacity-bounded device to read-only, reclaim, resume, recover, replay twice for determinism")
 	)
 	flag.Parse()
 
+	if *exhaust {
+		os.Exit(runExhaust(*seed, *seeds))
+	}
 	if *faults {
 		os.Exit(runCampaign(*seed, *seeds, *ops, *clients, *keys, *crashes))
 	}
@@ -140,5 +153,34 @@ func runCampaign(seed uint64, n, ops, clients, keys, crashes int) int {
 		return 1
 	}
 	fmt.Println("OK: every fault masked or recovered, all replays deterministic")
+	return 0
+}
+
+// runExhaust drives check.ExhaustCampaign and reports it. Returns the
+// process exit code.
+func runExhaust(seed uint64, n int) int {
+	seedList := make([]uint64, n)
+	for i := range seedList {
+		seedList[i] = seed + uint64(i)
+	}
+	fmt.Printf("exhaustion campaign: %d seeds (%d..%d) x both heaps\n", n, seed, seed+uint64(n)-1)
+	res := check.ExhaustCampaign(check.ExhaustConfig{
+		Seeds: seedList,
+		Log:   func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if res.Failed() {
+		fmt.Printf("FAIL: %d violations, %d nondeterministic replays", res.Violations, res.Mismatches)
+		if res.StallViolation != nil {
+			fmt.Printf(", stall probe: %v", res.StallViolation)
+		}
+		fmt.Println()
+		for _, r := range res.Runs {
+			if r.Violation != nil || r.Mismatch != "" {
+				fmt.Printf("  reproduce: go run ./cmd/mvpbt-check -exhaust -seed %d -seeds 1\n", r.Seed)
+			}
+		}
+		return 1
+	}
+	fmt.Println("OK: degraded read-only under fill, reads oracle-correct, reclamation re-opened writes, replays deterministic, stalls cancellable")
 	return 0
 }

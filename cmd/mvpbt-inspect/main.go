@@ -18,13 +18,15 @@ func main() {
 		tuples  = flag.Int("tuples", 200, "number of tuples")
 		updates = flag.Int("updates", 5, "updates per tuple")
 		pbuf    = flag.Int("pbuf", 32<<10, "partition buffer bytes")
-		key     = flag.String("key", "key-000", "key whose index records to dump")
-		bgMaint = flag.Bool("maint", false, "run eviction/merge/GC on the background maintenance service")
+		key      = flag.String("key", "key-000", "key whose index records to dump")
+		bgMaint  = flag.Bool("maint", false, "run eviction/merge/GC on the background maintenance service")
+		capacity = flag.Int64("capacity", 64<<20, "device capacity budget in bytes (0 = unbounded)")
 	)
 	flag.Parse()
 
 	eng := db.NewEngine(db.Config{
 		BufferPages: 1024, PartitionBufferBytes: *pbuf, BackgroundMaint: *bgMaint,
+		EnableWAL: true, DeviceCapacityBytes: *capacity,
 	})
 	defer eng.Close()
 	tbl, err := eng.NewTable("demo", db.HeapSIAS, db.IndexDef{
@@ -121,6 +123,23 @@ func main() {
 	fmt.Printf("faults injected: [%v]\n", eng.Dev.FaultCounters())
 	fmt.Printf("error path: checksum_failures=%d read_retries=%d write_retries=%d read_failures=%d write_failures=%d\n",
 		io.ChecksumFailures, io.ReadRetries, io.WriteRetries, io.ReadFailures, io.WriteFailures)
+
+	// Space governance: the capacity budget, the governor's counters, and
+	// the effect of a WAL checkpoint on log size (all transactions are done
+	// by now, so the quiescence precondition holds).
+	sp := eng.SpaceInfo()
+	fmt.Printf("\n== space governance ==\n")
+	fmt.Printf("device: capacity=%d live=%d high-water=%d (soft=%d hard=%d)\n",
+		sp.Capacity, sp.Live, sp.HighWater, sp.Soft, sp.Hard)
+	fmt.Printf("read-only: now=%v entries=%d exits=%d reclaims=%d\n",
+		sp.ReadOnly, sp.ROEntries, sp.ROExits, sp.Reclaims)
+	walBefore := eng.WALDeviceBytes()
+	if err := eng.Checkpoint(); err != nil {
+		fmt.Printf("checkpoint: %v\n", err)
+	}
+	ck := eng.CheckpointInfo()
+	fmt.Printf("wal: checkpoints=%d seq=%d size before last checkpoint=%dB after=%dB (device now %dB, was %dB)\n",
+		ck.Count, ck.Seq, ck.WALBytesBefore, ck.WALBytesAfter, eng.WALDeviceBytes(), walBefore)
 }
 
 func val(rr *db.RowRef) string {

@@ -11,6 +11,7 @@
 package buffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -196,6 +197,15 @@ func (p *Pool) unlockAll() {
 // Get fetches page pageNo of file f, pinning it. The returned frame must be
 // released with Unpin.
 func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
+	return p.GetCtx(context.Background(), f, pageNo)
+}
+
+// GetCtx is Get with a cancellation point: a done ctx fails the fetch
+// before any device I/O and between I/O retry attempts (an in-flight
+// device operation itself is never interrupted — the simulated I/O is
+// atomic). Cache hits always succeed; a pinned frame is returned even
+// under a canceled context because the caller must Unpin it regardless.
+func (p *Pool) GetCtx(ctx context.Context, f *sfile.File, pageNo uint64) (*Frame, error) {
 	pid := f.PageID(pageNo)
 	p.stats[f.Class()].requests.Add(1)
 	sh := p.shardOf(pid)
@@ -207,6 +217,10 @@ func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 		sh.mu.Unlock()
 		return fr, nil
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("buffer: page %d of %q: %w", pageNo, f.Name(), cerr)
+	}
 	fr, err := sh.victimLocked(p)
 	if err != nil {
 		sh.mu.Unlock()
@@ -217,7 +231,7 @@ func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 	// so holding the latch across the "I/O" costs nothing real. The frame is
 	// installed in the page table only once the read verified, so a failed
 	// fetch leaves it free for the next victim search.
-	if err := p.readPageChecked(f, pageNo, fr.data); err != nil {
+	if err := p.readPageChecked(ctx, f, pageNo, fr.data); err != nil {
 		fr.ref = false
 		sh.mu.Unlock()
 		return nil, err
@@ -236,10 +250,16 @@ func (p *Pool) Get(f *sfile.File, pageNo uint64) (*Frame, error) {
 // checksum. Checksum mismatches count as corrupt pages (re-reads are still
 // attempted: controllers do recover marginal reads) and I/O faults as
 // transient; freed-page references fail immediately.
-func (p *Pool) readPageChecked(f *sfile.File, pageNo uint64, buf []byte) error {
+func (p *Pool) readPageChecked(ctx context.Context, f *sfile.File, pageNo uint64, buf []byte) error {
 	var err error
 	for attempt := 0; attempt <= maxIORetries; attempt++ {
 		if attempt > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancelled between retries: give the caller its deadline
+				// back instead of burning the remaining attempts.
+				p.readFailures.Add(1)
+				return fmt.Errorf("buffer: page %d of %q: %w (after %v)", pageNo, f.Name(), cerr, err)
+			}
 			p.readRetries.Add(1)
 		}
 		if err = f.ReadPage(pageNo, buf); err != nil {
@@ -284,7 +304,10 @@ func (p *Pool) writePageChecked(f *sfile.File, pageNo uint64, buf []byte) error 
 // NewPage allocates a fresh page in f, returning a pinned zeroed frame and
 // the new page number.
 func (p *Pool) NewPage(f *sfile.File) (*Frame, uint64, error) {
-	pageNo := f.AllocPage()
+	pageNo, err := f.AllocPage()
+	if err != nil {
+		return nil, 0, err
+	}
 	pid := f.PageID(pageNo)
 	p.stats[f.Class()].requests.Add(1)
 	p.stats[f.Class()].hits.Add(1) // fresh pages never touch the device

@@ -182,7 +182,7 @@ func TestFlushAll(t *testing.T) {
 func TestDropFilePages(t *testing.T) {
 	p, m := setup(8)
 	f := m.Create("i", sfile.ClassIndex)
-	start := f.AllocRun(4)
+	start, _ := f.AllocRun(4)
 	// Cache the run's pages dirty via direct writes, then fetch.
 	buf := make([]byte, storage.PageSize)
 	for i := 0; i < 4; i++ {
@@ -284,7 +284,7 @@ func TestEvictAllFlushesDirty(t *testing.T) {
 func TestDropPinnedPagePanics(t *testing.T) {
 	p, m := setup(4)
 	f := m.Create("i", sfile.ClassIndex)
-	start := f.AllocRun(1)
+	start, _ := f.AllocRun(1)
 	buf := make([]byte, storage.PageSize)
 	f.WritePage(start, buf)
 	fr, _ := p.Get(f, start)

@@ -118,7 +118,7 @@ func TestFlushRetriesAndKeepsDirtyOnFailure(t *testing.T) {
 func TestFreedPageNotRetried(t *testing.T) {
 	p, m := setup(8)
 	f := m.Create("idx", sfile.ClassIndex)
-	start := f.AllocRun(sfile.ExtentPages)
+	start, _ := f.AllocRun(sfile.ExtentPages)
 	f.FreeRun(start, sfile.ExtentPages)
 	if _, err := p.Get(f, start); !errors.Is(err, storage.ErrFreedPage) {
 		t.Fatalf("want ErrFreedPage, got %v", err)

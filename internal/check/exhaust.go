@@ -1,0 +1,497 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/storage"
+)
+
+// ExhaustCampaign drives the resource-exhaustion acceptance criterion: on a
+// capacity-bounded device, filling to the hard watermark must flip the
+// engine into degraded read-only mode WITHOUT losing read correctness
+// (every read while degraded is held to the oracle), reclamation — WAL
+// checkpoint/truncation, garbage collection, heap vacuum — must recover at
+// least the soft-watermark headroom so writes resume by themselves, and the
+// whole scenario replayed from the same seed must be byte-identical
+// (fingerprint comparison, state hash included). A deterministic ENOSPC is
+// also injected through the fault-rule machinery (FaultNoSpace on a heap
+// extent allocation) to prove the typed-error path degrades and recovers
+// too — this is the injection TestFaultCampaignSmoke deliberately leaves to
+// this campaign. Maintenance runs synchronously: background timing would
+// make the fill/reclaim interleaving, and with it the fingerprint, racy.
+
+// ExhaustConfig parameterizes an exhaustion campaign.
+type ExhaustConfig struct {
+	Seeds []uint64
+	// Keys is the live key-space churned during the fill (default 48).
+	Keys int
+	// CapacityBytes bounds the device (default 16 MiB); SoftBytes and
+	// HardBytes are the governor watermarks (default 3 MiB / 4 MiB —
+	// far below capacity so the watermarks, not raw ENOSPC, decide).
+	CapacityBytes int64
+	SoftBytes     int64
+	HardBytes     int64
+	// MaxTx bounds the fill loop (default 30000 update transactions).
+	MaxTx int
+	// Log, when set, receives one progress line per run.
+	Log func(format string, args ...any)
+}
+
+func (c ExhaustConfig) withDefaults() ExhaustConfig {
+	if len(c.Seeds) == 0 {
+		c.Seeds = []uint64{1}
+	}
+	if c.Keys <= 0 {
+		c.Keys = 48
+	}
+	if c.CapacityBytes <= 0 {
+		c.CapacityBytes = 16 << 20
+	}
+	if c.SoftBytes <= 0 {
+		c.SoftBytes = 3 << 20
+	}
+	if c.HardBytes <= 0 {
+		c.HardBytes = 4 << 20
+	}
+	if c.MaxTx <= 0 {
+		c.MaxTx = 30000
+	}
+	return c
+}
+
+// ExhaustFingerprint is the determinism-relevant outcome of one scenario:
+// two replays of the same (heap, seed) must agree on every field.
+type ExhaustFingerprint struct {
+	// FillTxs is the number of committed update transactions it took to
+	// degrade the engine.
+	FillTxs int
+	// NoSpaceInjected counts FaultNoSpace injections (the ENOSPC probe).
+	NoSpaceInjected int64
+	// Governor counters at the end of the scenario.
+	ROEntries, ROExits, Reclaims int64
+	// Live device bytes and WAL device bytes at the moment of degradation
+	// and after reclamation re-opened the engine.
+	LiveAtRO, WALAtRO, LiveAfter, WALAfter int64
+	// RecoveredTxs is the transaction count replayed from the final log.
+	RecoveredTxs int
+	// StateHash fingerprints the recovered engine's visible rows (FNV-1a
+	// over key/row pairs in key order).
+	StateHash uint64
+}
+
+// ExhaustRun is the outcome of one (heap, seed) scenario pair.
+type ExhaustRun struct {
+	Heap db.HeapKind
+	Seed uint64
+	Fp   ExhaustFingerprint
+	// Mismatch describes how the two replays diverged ("" = deterministic).
+	Mismatch  string
+	Violation *Violation
+}
+
+// ExhaustResult aggregates an exhaustion campaign.
+type ExhaustResult struct {
+	Runs       []ExhaustRun
+	Violations int
+	Mismatches int
+	// StallViolation is the context-deadline probe's verdict (nil = pass):
+	// an operation blocked in a partition-buffer write stall, and the scan
+	// issued under the same deadline, must surface
+	// context.DeadlineExceeded within 2x the deadline.
+	StallViolation *Violation
+}
+
+// Failed reports whether any scenario violated an invariant, replayed
+// nondeterministically, or the stall probe missed its deadline bound.
+func (r *ExhaustResult) Failed() bool {
+	return r.Violations > 0 || r.Mismatches > 0 || r.StallViolation != nil
+}
+
+// ExhaustCampaign runs the campaign over both heap layouts.
+func ExhaustCampaign(cfg ExhaustConfig) ExhaustResult {
+	cfg = cfg.withDefaults()
+	var out ExhaustResult
+	for _, hk := range []db.HeapKind{db.HeapHOT, db.HeapSIAS} {
+		for _, seed := range cfg.Seeds {
+			fp1, v1 := exhaustScenario(cfg, hk, seed)
+			run := ExhaustRun{Heap: hk, Seed: seed, Fp: fp1, Violation: v1}
+			if v1 == nil {
+				fp2, v2 := exhaustScenario(cfg, hk, seed)
+				if v2 != nil {
+					run.Violation = v2 // a replay-only failure is still a failure
+				} else {
+					run.Mismatch = diffExhaust(fp1, fp2)
+				}
+			}
+			out.Runs = append(out.Runs, run)
+			if run.Violation != nil {
+				out.Violations++
+			}
+			if run.Mismatch != "" {
+				out.Mismatches++
+			}
+			if cfg.Log != nil {
+				status := "ok"
+				switch {
+				case run.Violation != nil:
+					status = "VIOLATION: " + run.Violation.Error()
+				case run.Mismatch != "":
+					status = "NONDETERMINISTIC: " + run.Mismatch
+				}
+				cfg.Log("  heap=%v seed=%d: %d fill txs, ro %d/%d, %d reclaims, wal %d->%d, live %d->%d, %d enospc, hash %016x — %s",
+					hk, seed, fp1.FillTxs, fp1.ROEntries, fp1.ROExits, fp1.Reclaims,
+					fp1.WALAtRO, fp1.WALAfter, fp1.LiveAtRO, fp1.LiveAfter,
+					fp1.NoSpaceInjected, fp1.StateHash, status)
+			}
+		}
+	}
+	out.StallViolation = exhaustStallProbe()
+	if cfg.Log != nil && out.StallViolation != nil {
+		cfg.Log("  stall probe: VIOLATION: %v", out.StallViolation.Error())
+	}
+	return out
+}
+
+// diffExhaust compares two fingerprints of the same scenario.
+func diffExhaust(a, b ExhaustFingerprint) string {
+	if a == b {
+		return ""
+	}
+	return fmt.Sprintf("fingerprints differ: %+v vs %+v", a, b)
+}
+
+// exRow builds a row in the harness layout ([len][key][val]) so keyExtract
+// applies unchanged.
+func exRow(key, val string) []byte {
+	row := make([]byte, 0, 1+len(key)+len(val))
+	row = append(row, byte(len(key)))
+	row = append(row, key...)
+	return append(row, val...)
+}
+
+// exhauster is one scenario's state: a capacity-bounded engine plus the
+// expected committed state (the oracle — single-client histories make a
+// last-committed-row map a complete one).
+type exhauster struct {
+	cfg    ExhaustConfig
+	eng    *db.Engine
+	tbl    *db.Table
+	expect map[string]string
+}
+
+func (x *exhauster) build(hk db.HeapKind) error {
+	x.eng = db.NewEngine(db.Config{
+		BufferPages:          2048,
+		PartitionBufferBytes: 1 << 22,
+		EnableWAL:            true,
+		DeviceCapacityBytes:  x.cfg.CapacityBytes,
+		SpaceSoftBytes:       x.cfg.SoftBytes,
+		SpaceHardBytes:       x.cfg.HardBytes,
+	})
+	tbl, err := x.eng.NewTable("t", hk, db.IndexDef{
+		Name: "pk", Kind: db.IdxMVPBT, RefMode: db.RefPhysical, Unique: true,
+		Extract: keyExtract, BloomBits: 10, MaxPartitions: 4,
+	})
+	x.tbl = tbl
+	return err
+}
+
+// put inserts or updates key to val in one committed transaction and
+// mirrors it into the expected state. A write error aborts the transaction
+// and is returned untouched.
+func (x *exhauster) put(key, val string) error {
+	row := exRow(key, val)
+	tx := x.eng.Begin()
+	if _, ok := x.expect[key]; ok {
+		cur, err := x.tbl.LookupOne(tx, x.tbl.Indexes()[0], []byte(key), true)
+		if err == nil && cur == nil {
+			err = fmt.Errorf("committed key %q not visible to a fresh transaction", key)
+		}
+		if err == nil {
+			_, err = x.tbl.Update(tx, *cur, row)
+		}
+		if err != nil {
+			x.eng.Abort(tx)
+			return err
+		}
+	} else if _, _, err := x.tbl.Insert(tx, row); err != nil {
+		x.eng.Abort(tx)
+		return err
+	}
+	if err := x.eng.CommitDurable(tx); err != nil {
+		x.eng.Abort(tx)
+		return err
+	}
+	x.expect[key] = string(row)
+	return nil
+}
+
+// checkState holds the engine to the oracle: a fresh snapshot's full scan
+// over the primary index must yield exactly the expected committed rows.
+func (x *exhauster) checkState(phase string) *Violation {
+	tx := x.eng.Begin()
+	defer x.eng.Abort(tx)
+	got := map[string]string{}
+	err := x.tbl.Scan(tx, x.tbl.Indexes()[0], nil, nil, true, func(rr db.RowRef) bool {
+		got[string(rr.Key)] = string(rr.Row)
+		return true
+	})
+	if err != nil {
+		return &Violation{Op: phase, Msg: fmt.Sprintf("scan: %v", err), Err: err}
+	}
+	if len(got) != len(x.expect) {
+		return &Violation{Op: phase, Msg: fmt.Sprintf("engine has %d rows, oracle %d", len(got), len(x.expect))}
+	}
+	for k, w := range x.expect {
+		if g, ok := got[k]; !ok || g != w {
+			return &Violation{Op: phase, Msg: fmt.Sprintf("row %q: engine %q, oracle %q", k, g, w)}
+		}
+	}
+	return nil
+}
+
+// stateHash fingerprints the engine's visible rows in key order.
+func (x *exhauster) stateHash() uint64 {
+	keys := make([]string, 0, len(x.expect))
+	for k := range x.expect {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fh := fnv.New64a()
+	for _, k := range keys {
+		fh.Write([]byte(k))
+		fh.Write([]byte{0})
+		fh.Write([]byte(x.expect[k]))
+		fh.Write([]byte{0})
+	}
+	return fh.Sum64()
+}
+
+// exhaustScenario is one full pass: seed rows, prove the injected-ENOSPC
+// path, fill to read-only under a pinning reader, hold degraded reads to
+// the oracle, reclaim, resume writes, crash-recover, fingerprint.
+func exhaustScenario(cfg ExhaustConfig, hk db.HeapKind, seed uint64) (ExhaustFingerprint, *Violation) {
+	var fp ExhaustFingerprint
+	x := &exhauster{cfg: cfg, expect: map[string]string{}}
+	if err := x.build(hk); err != nil {
+		return fp, &Violation{Op: "setup", Msg: err.Error(), Err: err}
+	}
+	defer func() {
+		if x.eng != nil {
+			x.eng.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	// Seed the live key-space.
+	for i := 0; i < cfg.Keys; i++ {
+		if err := x.put(fmt.Sprintf("k%04d", i), fmt.Sprintf("s%d.%d", seed, i)); err != nil {
+			return fp, &Violation{Op: "seed", Msg: err.Error(), Err: err}
+		}
+	}
+
+	// Deterministic ENOSPC via the fault-rule machinery: the next extent
+	// allocation fails with storage.ErrNoSpace. All probe inserts ride ONE
+	// uncommitted transaction, so no WAL flush runs while the rule is armed
+	// and the first allocation is guaranteed to be a heap extent — the
+	// typed error surfaces through the write, degrades the engine, and the
+	// abort-boundary reclamation re-opens it (live bytes are far below soft
+	// here). Class scoping would not help: a fresh-frontier allocation has
+	// no class registered yet, so only AnyClass rules can match it.
+	faultID := x.eng.Dev.ArmFault(ssd.FaultRule{
+		Kind: ssd.FaultNoSpace, Class: ssd.AnyClass, Ops: []uint64{1},
+	})
+	probeTx := x.eng.Begin()
+	var nospace error
+	for i := 0; i < 500 && nospace == nil; i++ {
+		// Fat rows force a fresh heap extent within a few inserts.
+		_, _, err := x.tbl.Insert(probeTx, exRow(fmt.Sprintf("p%04d", i), strings.Repeat("y", 4000)))
+		nospace = err
+	}
+	x.eng.Dev.DisarmFault(faultID)
+	x.eng.Abort(probeTx)
+	if nospace == nil {
+		return fp, &Violation{Op: "enospc-probe", Msg: "armed FaultNoSpace never fired within 500 inserts"}
+	}
+	if !errors.Is(nospace, storage.ErrNoSpace) {
+		return fp, &Violation{Op: "enospc-probe", Err: nospace,
+			Msg: fmt.Sprintf("injected allocation failure surfaced as %v, want storage.ErrNoSpace", nospace)}
+	}
+	fp.NoSpaceInjected = x.eng.Dev.FaultCounters().Injected[ssd.FaultNoSpace]
+	if fp.NoSpaceInjected == 0 {
+		return fp, &Violation{Op: "enospc-probe", Msg: "FaultNoSpace counter did not advance"}
+	}
+	if x.eng.ReadOnly() {
+		return fp, &Violation{Op: "enospc-probe",
+			Msg: "engine still read-only after the injected ENOSPC was reclaimed away"}
+	}
+	if st := x.eng.SpaceInfo(); st.ROEntries == 0 {
+		return fp, &Violation{Op: "enospc-probe", Msg: "injected ENOSPC never degraded the engine"}
+	}
+	if v := x.checkState("enospc-probe"); v != nil {
+		return fp, v
+	}
+
+	// Fill to the hard watermark. The long-running reader pins the garbage
+	// horizon and keeps the checkpoint busy, so the soft-watermark
+	// reclamation passes cannot free anything — degradation is guaranteed.
+	reader := x.eng.Begin()
+	readerOpen := true
+	defer func() {
+		if readerOpen {
+			x.eng.Abort(reader)
+		}
+	}()
+	for fp.FillTxs = 0; fp.FillTxs < cfg.MaxTx && !x.eng.ReadOnly(); fp.FillTxs++ {
+		key := fmt.Sprintf("k%04d", fp.FillTxs%cfg.Keys)
+		val := fmt.Sprintf("u%d.%s", fp.FillTxs, strings.Repeat("x", 200+rng.Intn(120)))
+		if err := x.put(key, val); err != nil {
+			if errors.Is(err, db.ErrReadOnly) || errors.Is(err, storage.ErrNoSpace) {
+				break
+			}
+			return fp, &Violation{Op: "fill", Msg: err.Error(), Err: err}
+		}
+	}
+	if !x.eng.ReadOnly() {
+		return fp, &Violation{Op: "fill",
+			Msg: fmt.Sprintf("engine never degraded after %d update transactions (live=%d)", fp.FillTxs, x.eng.FM.LiveBytes())}
+	}
+	fp.LiveAtRO = x.eng.SpaceInfo().Live
+	fp.WALAtRO = x.eng.WALDeviceBytes()
+
+	// Degraded: writes fail fast with the typed error, reads stay
+	// oracle-correct.
+	tx := x.eng.Begin()
+	if _, _, err := x.tbl.Insert(tx, exRow("nope", "x")); !errors.Is(err, db.ErrReadOnly) {
+		x.eng.Abort(tx)
+		return fp, &Violation{Op: "degraded", Err: err,
+			Msg: fmt.Sprintf("insert while degraded returned %v, want db.ErrReadOnly", err)}
+	}
+	x.eng.Abort(tx)
+	if v := x.checkState("degraded"); v != nil {
+		return fp, v
+	}
+	if st := x.eng.SpaceInfo(); !st.ReadOnly {
+		return fp, &Violation{Op: "degraded", Msg: fmt.Sprintf("space stats disagree with ReadOnly(): %+v", st)}
+	}
+
+	// Ending the reader unpins the horizon; its abort boundary retries
+	// reclamation (checkpoint truncation, GC, vacuum) and the engine must
+	// re-open with at least the soft-watermark headroom recovered.
+	readerOpen = false
+	x.eng.Abort(reader)
+	st := x.eng.SpaceInfo()
+	if st.ReadOnly {
+		return fp, &Violation{Op: "reclaim", Msg: fmt.Sprintf("engine still read-only after reclamation: %+v", st)}
+	}
+	if st.Live >= st.Soft {
+		return fp, &Violation{Op: "reclaim",
+			Msg: fmt.Sprintf("reclamation left live=%d at or above soft=%d", st.Live, st.Soft)}
+	}
+	fp.LiveAfter = st.Live
+	fp.WALAfter = x.eng.WALDeviceBytes()
+	if fp.WALAfter >= fp.WALAtRO {
+		return fp, &Violation{Op: "reclaim",
+			Msg: fmt.Sprintf("checkpoint did not truncate the log: %d -> %d bytes", fp.WALAtRO, fp.WALAfter)}
+	}
+
+	// Writes resume.
+	for i := 0; i < 5; i++ {
+		if err := x.put(fmt.Sprintf("r%04d", i), fmt.Sprintf("resume%d", i)); err != nil {
+			return fp, &Violation{Op: "resume", Msg: err.Error(), Err: err}
+		}
+	}
+	if v := x.checkState("resume"); v != nil {
+		return fp, v
+	}
+	fp.ROEntries = x.eng.SpaceInfo().ROEntries
+	fp.ROExits = x.eng.SpaceInfo().ROExits
+	fp.Reclaims = x.eng.SpaceInfo().Reclaims
+
+	// Crash and recover from the checkpointed log: the snapshot fence plus
+	// the post-checkpoint tail must rebuild exactly the oracle state.
+	img := x.eng.LogImage()
+	x.eng.Crash()
+	x.eng = nil
+	if err := x.build(hk); err != nil {
+		return fp, &Violation{Op: "recover", Msg: "rebuild: " + err.Error(), Err: err}
+	}
+	applied, err := x.eng.Recover(img, map[string]*db.Table{"t": x.tbl})
+	if err != nil {
+		return fp, &Violation{Op: "recover", Msg: err.Error(), Err: err}
+	}
+	fp.RecoveredTxs = applied
+	if v := x.checkState("recover"); v != nil {
+		return fp, v
+	}
+	fp.StateHash = x.stateHash()
+	return fp, nil
+}
+
+// exhaustStallProbe asserts the cancellable-stall contract: with the
+// partition buffer wedged above its high watermark and eviction never
+// catching up (a no-op background notifier), a write blocked in
+// stallWait must return context.DeadlineExceeded when its transaction's
+// deadline expires, and a Scan issued under that same spent deadline must
+// surface the same error — the whole sequence bounded by 2x the deadline,
+// i.e. the stall wake-up is prompt, not polled.
+func exhaustStallProbe() *Violation {
+	e := db.NewEngine(db.Config{BufferPages: 512, PartitionBufferBytes: 64 << 10})
+	defer e.Close()
+	tbl, err := e.NewTable("t", db.HeapHOT, db.IndexDef{
+		Name: "pk", Kind: db.IdxMVPBT, RefMode: db.RefPhysical, Unique: true,
+		Extract: keyExtract, BloomBits: 10,
+	})
+	if err != nil {
+		return &Violation{Op: "stall", Msg: err.Error(), Err: err}
+	}
+	// Background mode whose eviction never runs: once usage crosses the
+	// high watermark every insert stalls. Short stall timeouts let the fill
+	// phase push past the watermark; the probe then raises the timeout so
+	// only the context can end the stall.
+	e.PBuf.SetNotifier(func() {})
+	e.PBuf.SetStallTimeout(time.Millisecond)
+	val := strings.Repeat("w", 512)
+	for i := 0; e.PBuf.Used() < e.PBuf.High() && i < 10000; i++ {
+		tx := e.Begin()
+		if _, _, err := tbl.Insert(tx, exRow(fmt.Sprintf("k%05d", i), val)); err != nil {
+			e.Abort(tx)
+			return &Violation{Op: "stall", Msg: "fill: " + err.Error(), Err: err}
+		}
+		e.Commit(tx)
+	}
+	if e.PBuf.Used() < e.PBuf.High() {
+		return &Violation{Op: "stall", Msg: "could not push the partition buffer past its high watermark"}
+	}
+	e.PBuf.SetStallTimeout(time.Minute)
+
+	const deadline = 150 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	tx := e.BeginCtx(ctx)
+	defer e.Abort(tx)
+	_, _, err = tbl.Insert(tx, exRow("stalled", "z"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return &Violation{Op: "stall", Err: err,
+			Msg: fmt.Sprintf("stalled write returned %v, want context.DeadlineExceeded", err)}
+	}
+	if err := tbl.Scan(tx, tbl.Indexes()[0], nil, nil, false, func(db.RowRef) bool { return true }); !errors.Is(err, context.DeadlineExceeded) {
+		return &Violation{Op: "stall", Err: err,
+			Msg: fmt.Sprintf("scan under the spent deadline returned %v, want context.DeadlineExceeded", err)}
+	}
+	if elapsed := time.Since(start); elapsed > 2*deadline {
+		return &Violation{Op: "stall",
+			Msg: fmt.Sprintf("stall + scan took %v, want <= 2x the %v deadline", elapsed, deadline)}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestExhaustCampaignSmoke is the tier-1 slice of the exhaustion campaign
+// (cmd/mvpbt-check -exhaust runs it at more seeds): on both heap layouts a
+// capacity-bounded engine must degrade to read-only under fill, keep reads
+// oracle-correct while degraded, recover the soft-watermark headroom via
+// checkpoint truncation + GC + vacuum, resume writes, recover from the
+// checkpointed log, and replay the whole scenario byte-identically. The
+// stall probe holds the context-deadline bound on a wedged write stall.
+func TestExhaustCampaignSmoke(t *testing.T) {
+	var lines []string
+	res := ExhaustCampaign(ExhaustConfig{
+		Seeds: []uint64{1},
+		Log:   func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) },
+	})
+	if res.Failed() {
+		if res.StallViolation != nil {
+			t.Errorf("stall probe: %v", res.StallViolation)
+		}
+		t.Fatalf("campaign failed (%d violations, %d nondeterministic):\n%s",
+			res.Violations, res.Mismatches, strings.Join(lines, "\n"))
+	}
+	for _, r := range res.Runs {
+		if r.Fp.NoSpaceInjected == 0 {
+			t.Errorf("heap=%v: FaultNoSpace never injected", r.Heap)
+		}
+		// One read-only entry from the ENOSPC probe, one from the fill.
+		if r.Fp.ROEntries < 2 || r.Fp.ROExits < 2 {
+			t.Errorf("heap=%v: read-only entry/exit counters too low: %+v", r.Heap, r.Fp)
+		}
+		if r.Fp.FillTxs == 0 {
+			t.Errorf("heap=%v: fill committed no transactions", r.Heap)
+		}
+		if r.Fp.WALAfter >= r.Fp.WALAtRO {
+			t.Errorf("heap=%v: WAL never truncated: %d -> %d", r.Heap, r.Fp.WALAtRO, r.Fp.WALAfter)
+		}
+		if r.Fp.RecoveredTxs == 0 || r.Fp.StateHash == 0 {
+			t.Errorf("heap=%v: recovery fingerprint empty: %+v", r.Heap, r.Fp)
+		}
+	}
+}

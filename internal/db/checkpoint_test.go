@@ -1,0 +1,237 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// walTableKind is walTable with a selectable heap organization — the
+// checkpoint tests run against both HOT and SIAS.
+func walTableKind(t *testing.T, hk HeapKind, cfg Config) (*Engine, *Table, *Index) {
+	t.Helper()
+	cfg.EnableWAL = true
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 1024
+	}
+	if cfg.PartitionBufferBytes == 0 {
+		cfg.PartitionBufferBytes = 1 << 22
+	}
+	e := NewEngine(cfg)
+	tbl, err := e.NewTable("accounts", hk, IndexDef{
+		Name: "pk", Kind: IdxMVPBT, Unique: true, BloomBits: 10, Extract: keyExtract,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, tbl, tbl.Indexes()[0]
+}
+
+func bothHeaps(t *testing.T, fn func(t *testing.T, hk HeapKind)) {
+	for _, hk := range []HeapKind{HeapHOT, HeapSIAS} {
+		t.Run(hk.String(), func(t *testing.T) { fn(t, hk) })
+	}
+}
+
+func insertN(t *testing.T, e *Engine, tbl *Table, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		tx := e.Begin()
+		if _, _, err := tbl.Insert(tx, row(fmt.Sprintf("k%04d", i), fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit(tx)
+	}
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	bothHeaps(t, func(t *testing.T, hk HeapKind) {
+		e, tbl, ix := walTableKind(t, hk, Config{})
+		insertN(t, e, tbl, 0, 200)
+		// Churn versions so the log is much bigger than the live state (the
+		// snapshot must undercut the history even with the 2-page superblock
+		// overhead the first checkpoint adds).
+		for round := 0; round < 5; round++ {
+			for i := 0; i < 200; i += 4 {
+				tx := e.Begin()
+				key := []byte(fmt.Sprintf("k%04d", i))
+				cur, err := tbl.LookupOne(tx, ix, key, true)
+				if err != nil || cur == nil {
+					t.Fatalf("lookup: %v %v", cur, err)
+				}
+				if _, err := tbl.Update(tx, *cur, row(string(key), fmt.Sprintf("u%d", round))); err != nil {
+					t.Fatal(err)
+				}
+				e.Commit(tx)
+			}
+		}
+		want := snapshotState(t, e, tbl, ix)
+		before := e.WALDeviceBytes()
+
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		after := e.WALDeviceBytes()
+		if after >= before {
+			t.Fatalf("checkpoint did not shrink the log: %d -> %d bytes", before, after)
+		}
+		st := e.CheckpointInfo()
+		if st.Count != 1 || st.Seq != 1 || st.WALBytesBefore != before {
+			t.Fatalf("stats wrong: %+v (before=%d)", st, before)
+		}
+
+		// The checkpointed log must recover to the same state...
+		_, tbl2, ix2, applied := recoverInto(t, e.LogImage())
+		if applied != 1 {
+			t.Fatalf("applied %d txs from a pure snapshot, want 1", applied)
+		}
+		if got := snapshotState(t, tbl2.eng, tbl2, ix2); !mapsEqual(got, want) {
+			t.Fatalf("recovered state diverged:\n got %v\nwant %v", got, want)
+		}
+
+		// ...and keep accepting appends: post-checkpoint commits recover too.
+		insertN(t, e, tbl, 200, 210)
+		want = snapshotState(t, e, tbl, ix)
+		_, tbl3, ix3, _ := recoverInto(t, e.LogImage())
+		if got := snapshotState(t, tbl3.eng, tbl3, ix3); !mapsEqual(got, want) {
+			t.Fatalf("post-checkpoint appends lost:\n got %v\nwant %v", got, want)
+		}
+	})
+}
+
+func TestCheckpointRequiresQuiescence(t *testing.T) {
+	e, tbl, _ := walTableKind(t, HeapSIAS, Config{})
+	insertN(t, e, tbl, 0, 5)
+	tx := e.Begin()
+	defer e.Abort(tx)
+	if err := e.Checkpoint(); !errors.Is(err, ErrCheckpointBusy) {
+		t.Fatalf("Checkpoint with an active tx: got %v, want ErrCheckpointBusy", err)
+	}
+}
+
+func TestCheckpointSecondGenerationAlternatesSlot(t *testing.T) {
+	e, tbl, ix := walTableKind(t, HeapSIAS, Config{})
+	insertN(t, e, tbl, 0, 50)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	insertN(t, e, tbl, 50, 100)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.CheckpointInfo(); st.Seq != 2 {
+		t.Fatalf("seq = %d, want 2", st.Seq)
+	}
+	want := snapshotState(t, e, tbl, ix)
+	_, tbl2, ix2, _ := recoverInto(t, e.LogImage())
+	if got := snapshotState(t, tbl2.eng, tbl2, ix2); !mapsEqual(got, want) {
+		t.Fatalf("second-generation recovery diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCheckpointCrashPoints crashes at each instant of the checkpoint
+// protocol — snapshot durable but superblock unwritten; superblock written
+// but old log not yet freed; old log freed but nothing appended since — and
+// checks the surviving log image recovers to the pre-checkpoint state, for
+// both heap organizations. A "crash" is taking the durable log image at
+// that instant: recovery depends on nothing else.
+func TestCheckpointCrashPoints(t *testing.T) {
+	bothHeaps(t, func(t *testing.T, hk HeapKind) {
+		for _, point := range []string{"before-super", "after-super", "after-truncate"} {
+			t.Run(point, func(t *testing.T) {
+				e, tbl, ix := walTableKind(t, hk, Config{})
+				insertN(t, e, tbl, 0, 60)
+				want := snapshotState(t, e, tbl, ix)
+
+				var img []byte
+				capture := func() { img = e.logImageLocked() }
+				switch point {
+				case "before-super":
+					e.ckptBeforeSuper = capture
+				case "after-super":
+					e.ckptAfterSuper = capture
+				case "after-truncate":
+					e.ckptAfterTruncate = capture
+				}
+				if err := e.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				if img == nil {
+					t.Fatal("crash hook never fired")
+				}
+				_, tbl2, ix2, _ := recoverInto(t, img)
+				if got := snapshotState(t, tbl2.eng, tbl2, ix2); !mapsEqual(got, want) {
+					t.Fatalf("crash at %s diverged:\n got %v\nwant %v", point, got, want)
+				}
+			})
+		}
+	})
+}
+
+// TestCheckpointCrashAfterPostTruncateAppend covers the remaining window:
+// the first commits AFTER a checkpoint land in the new generation, then the
+// engine crashes. Recovery must see snapshot + suffix.
+func TestCheckpointCrashAfterPostTruncateAppend(t *testing.T) {
+	bothHeaps(t, func(t *testing.T, hk HeapKind) {
+		e, tbl, ix := walTableKind(t, hk, Config{})
+		insertN(t, e, tbl, 0, 40)
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		insertN(t, e, tbl, 40, 45)
+		// Capture the image before snapshotState: its read-only transaction
+		// would otherwise append one more begin/commit pair to the log.
+		img := e.LogImage()
+		want := snapshotState(t, e, tbl, ix)
+		_, tbl2, ix2, applied := recoverInto(t, img)
+		if applied != 1+5 {
+			t.Fatalf("applied = %d, want 6 (snapshot + 5 commits)", applied)
+		}
+		if got := snapshotState(t, tbl2.eng, tbl2, ix2); !mapsEqual(got, want) {
+			t.Fatalf("snapshot+suffix recovery diverged:\n got %v\nwant %v", got, want)
+		}
+	})
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	e, tbl, ix := walTableKind(t, HeapSIAS, Config{WALCheckpointBytes: 4 << 10})
+	insertN(t, e, tbl, 0, 300)
+	st := e.CheckpointInfo()
+	if st.Count == 0 {
+		t.Fatal("auto-checkpoint never triggered")
+	}
+	want := snapshotState(t, e, tbl, ix)
+	_, tbl2, ix2, _ := recoverInto(t, e.LogImage())
+	if got := snapshotState(t, tbl2.eng, tbl2, ix2); !mapsEqual(got, want) {
+		t.Fatalf("auto-checkpointed log diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCheckpointReplayIsRecoverable: recovering a checkpointed log re-logs
+// everything (snapshot rows become ordinary inserts), so the recovered
+// engine's own log must again recover to the same state.
+func TestCheckpointReplayIsRecoverable(t *testing.T) {
+	e, tbl, ix := walTableKind(t, HeapSIAS, Config{})
+	insertN(t, e, tbl, 0, 30)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotState(t, e, tbl, ix)
+	_, tbl2, _, _ := recoverInto(t, e.LogImage())
+	_, tbl3, ix3, _ := recoverInto(t, tbl2.eng.LogImage())
+	if got := snapshotState(t, tbl3.eng, tbl3, ix3); !mapsEqual(got, want) {
+		t.Fatalf("recovery-of-recovery diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -11,7 +11,9 @@
 package db
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/buffer"
 	"mvpbt/internal/index/mvpbt"
@@ -49,6 +51,23 @@ type Config struct {
 	// MaintBytesPerSec caps background device writes via a token bucket
 	// (0 = unthrottled).
 	MaintBytesPerSec int64
+	// WALCheckpointBytes triggers an automatic checkpoint (snapshot + log
+	// truncation, see Engine.Checkpoint) once the current log generation
+	// grows past this many bytes (0 = no automatic checkpoints).
+	WALCheckpointBytes int64
+	// DeviceCapacityBytes bounds the device space the engine may allocate
+	// (0 = unbounded). Allocations beyond the budget fail with
+	// storage.ErrNoSpace, and the watermarks below govern degradation.
+	DeviceCapacityBytes int64
+	// SpaceSoftBytes is the reclamation watermark: live bytes at or above
+	// it trigger urgent reclamation (WAL truncation, GC, merges, vacuum).
+	// Default 85% of DeviceCapacityBytes.
+	SpaceSoftBytes int64
+	// SpaceHardBytes is the degradation watermark: live bytes at or above
+	// it flip the engine to read-only (writes fail with ErrReadOnly; reads
+	// keep working) until reclamation brings usage back under
+	// SpaceSoftBytes. Default 95% of DeviceCapacityBytes.
+	SpaceHardBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +80,14 @@ func (c Config) withDefaults() Config {
 	zero := ssd.Profile{}
 	if c.Profile == zero {
 		c.Profile = ssd.IntelP3600
+	}
+	if c.DeviceCapacityBytes > 0 {
+		if c.SpaceSoftBytes <= 0 {
+			c.SpaceSoftBytes = c.DeviceCapacityBytes * 85 / 100
+		}
+		if c.SpaceHardBytes <= 0 {
+			c.SpaceHardBytes = c.DeviceCapacityBytes * 95 / 100
+		}
 	}
 	return c
 }
@@ -76,8 +103,39 @@ type Engine struct {
 	// Maint is the background maintenance service, nil in synchronous mode.
 	Maint *maint.Service
 
-	wal     *wal.Writer
-	walFile *sfile.File
+	// walMu orders log access against checkpointing: record appends and
+	// flushes hold it shared, Checkpoint holds it exclusive while it swaps
+	// log generations. Lock-order note: Checkpoint's quiescence precondition
+	// (no active transactions) guarantees no thread holding a table mutex
+	// can be waiting on walMu when the exclusive lock is taken.
+	walMu        sync.RWMutex
+	wal          *wal.Writer
+	walFile      *sfile.File
+	walMeta      *sfile.File // dual-slot checkpoint superblock
+	walBaseBytes int64       // wal.Written() at the current generation's start
+	ckptStats    CheckpointStats
+	ckptErrs     atomic.Int64
+
+	// Checkpoint crash hooks (tests only): called with walMu held at the
+	// three interesting instants — new generation durable but superblock
+	// not yet written; superblock written but old generation not yet freed;
+	// old generation freed but nothing appended to the new one yet.
+	ckptBeforeSuper   func()
+	ckptAfterSuper    func()
+	ckptAfterTruncate func()
+
+	cfg Config
+
+	tablesMu sync.Mutex
+	tables   map[string]*Table
+
+	// Space governor state (see governor.go).
+	readOnly       atomic.Bool
+	aboveSoft      atomic.Bool // edge detector for the soft watermark
+	roEntries      atomic.Int64
+	roExits        atomic.Int64
+	reclaims       atomic.Int64
+	reclaimPending atomic.Bool // synchronous mode: pass due at next commit/abort
 
 	closeMu  sync.Mutex
 	closed   bool
@@ -91,16 +149,23 @@ func NewEngine(cfg Config) *Engine {
 	clk := simclock.New()
 	dev := ssd.New(clk, cfg.Profile)
 	e := &Engine{
-		Clock: clk,
-		Dev:   dev,
-		FM:    sfile.NewManager(dev),
-		Pool:  buffer.New(cfg.BufferPages),
-		Mgr:   txn.NewManager(),
-		PBuf:  part.NewPartitionBuffer(cfg.PartitionBufferBytes),
+		Clock:  clk,
+		Dev:    dev,
+		FM:     sfile.NewManager(dev),
+		Pool:   buffer.New(cfg.BufferPages),
+		Mgr:    txn.NewManager(),
+		PBuf:   part.NewPartitionBuffer(cfg.PartitionBufferBytes),
+		cfg:    cfg,
+		tables: map[string]*Table{},
 	}
 	if cfg.EnableWAL {
 		e.walFile = e.FM.Create("wal", sfile.ClassMeta)
 		e.wal = wal.NewWriter(e.walFile)
+		e.walMeta = e.FM.Create("walmeta", sfile.ClassMeta)
+	}
+	if cfg.DeviceCapacityBytes > 0 {
+		e.FM.SetCapacity(cfg.DeviceCapacityBytes)
+		e.FM.SetSpaceNotifier(e.onSpace)
 	}
 	if cfg.BackgroundMaint {
 		e.Maint = maint.New(maint.Config{
@@ -172,7 +237,10 @@ func (e *Engine) Close() error {
 		}
 	}
 	if e.wal != nil {
-		if err := e.wal.Flush(); err != nil && first == nil {
+		e.walMu.RLock()
+		err := e.wal.Flush()
+		e.walMu.RUnlock()
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -180,11 +248,22 @@ func (e *Engine) Close() error {
 	return first
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction (carrying context.Background — see BeginCtx).
 func (e *Engine) Begin() *txn.Tx {
-	tx := e.Mgr.Begin()
+	return e.BeginCtx(context.Background())
+}
+
+// BeginCtx starts a transaction carrying ctx. Operations issued through
+// the transaction — writes that hit a partition-buffer stall, scans, I/O
+// retries — consult the context at their blocking points, so a deadline or
+// cancellation bounds how long any single call can block. The context does
+// not abort the transaction by itself; the caller still Commits or Aborts.
+func (e *Engine) BeginCtx(ctx context.Context) *txn.Tx {
+	tx := e.Mgr.BeginCtx(ctx)
 	if e.wal != nil {
+		e.walMu.RLock()
 		e.wal.Append(&wal.Record{Op: wal.OpBegin, TxID: uint64(tx.ID)})
+		e.walMu.RUnlock()
 	}
 	return tx
 }
@@ -209,21 +288,29 @@ func (e *Engine) Commit(tx *txn.Tx) {
 // failed page) and crashing.
 func (e *Engine) CommitDurable(tx *txn.Tx) error {
 	if e.wal != nil {
+		e.walMu.RLock()
 		e.wal.Append(&wal.Record{Op: wal.OpCommit, TxID: uint64(tx.ID)})
-		if err := e.wal.Flush(); err != nil {
+		err := e.wal.Flush()
+		e.walMu.RUnlock()
+		if err != nil {
 			return err
 		}
 	}
 	e.Mgr.Commit(tx)
+	e.maybeAutoCheckpoint()
+	e.maybeReclaim()
 	return nil
 }
 
 // Abort aborts tx.
 func (e *Engine) Abort(tx *txn.Tx) {
 	if e.wal != nil {
+		e.walMu.RLock()
 		e.wal.Append(&wal.Record{Op: wal.OpAbort, TxID: uint64(tx.ID)})
+		e.walMu.RUnlock()
 	}
 	e.Mgr.Abort(tx)
+	e.maybeReclaim()
 }
 
 // readWholeFile concatenates a file's pages (the WAL image). Transient

@@ -1,0 +1,209 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+
+	"mvpbt/internal/maint"
+	"mvpbt/internal/storage"
+)
+
+// Space governance. A bounded device (Config.DeviceCapacityBytes) gets two
+// watermarks. Crossing the SOFT watermark triggers urgent reclamation — WAL
+// checkpoint/truncation first (frees whole extents of dead log), then
+// partition garbage collection, merges and heap vacuum — on the maintenance
+// service's urgent lane (bypassing the background rate limiter) or, in
+// synchronous mode, at the next commit/abort boundary. Crossing the HARD
+// watermark additionally degrades the engine to READ-ONLY: new row writes
+// fail fast with ErrReadOnly while reads, scans, commits and aborts keep
+// working, so the engine stays queryable instead of grinding into ENOSPC
+// failures mid-transaction. The degradation heals itself: once reclamation
+// (or external deletes) brings live bytes back under the soft watermark the
+// engine re-opens for writes.
+//
+// The wiring: sfile.Manager calls Engine.onSpace with the live byte count
+// after every extent allocation and free (outside all sfile locks), and a
+// write that still manages to hit storage.ErrNoSpace — the budget can be
+// exceeded between the notification and the next allocation — flips the
+// engine read-only through the same path.
+
+// ErrReadOnly is returned by write operations while the engine is degraded
+// to read-only because device space ran out. Reads and scans still work;
+// the engine re-opens for writes once space drops below the soft watermark.
+var ErrReadOnly = errors.New("db: engine is read-only: device space exhausted")
+
+// SpaceStats reports the governor's view of the device.
+type SpaceStats struct {
+	Capacity  int64 // configured budget (0 = unbounded)
+	Soft      int64 // reclamation watermark
+	Hard      int64 // read-only watermark
+	Live      int64 // bytes currently allocated
+	HighWater int64 // peak allocation frontier
+	ReadOnly  bool
+	ROEntries int64 // times the engine degraded to read-only
+	ROExits   int64 // times it re-opened for writes
+	Reclaims  int64 // urgent reclamation passes run
+}
+
+// SpaceInfo returns the governor's current statistics.
+func (e *Engine) SpaceInfo() SpaceStats {
+	return SpaceStats{
+		Capacity:  e.FM.CapacityBytes(),
+		Soft:      e.cfg.SpaceSoftBytes,
+		Hard:      e.cfg.SpaceHardBytes,
+		Live:      e.FM.LiveBytes(),
+		HighWater: e.FM.HighWaterBytes(),
+		ReadOnly:  e.readOnly.Load(),
+		ROEntries: e.roEntries.Load(),
+		ROExits:   e.roExits.Load(),
+		Reclaims:  e.reclaims.Load(),
+	}
+}
+
+// ReadOnly reports whether the engine is degraded to read-only.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
+// onSpace is the sfile space notifier: classify live bytes against the
+// watermarks and react. Called after every extent alloc/free with no sfile
+// locks held, and possibly from many goroutines at once.
+// Reclamation is edge-triggered: one pass per upward crossing of the soft
+// watermark (plus one per read-only entry and one per late ENOSPC), not one
+// per allocation above it — a steady writer between the watermarks must not
+// pay a reclamation pass on every commit.
+func (e *Engine) onSpace(live int64) {
+	e.evalSpace(live)
+	if e.cfg.SpaceSoftBytes > 0 {
+		if live >= e.cfg.SpaceSoftBytes {
+			if e.aboveSoft.CompareAndSwap(false, true) {
+				e.requestReclaim()
+			}
+		} else {
+			e.aboveSoft.Store(false)
+		}
+	}
+}
+
+// evalSpace toggles the read-only state (entry at hard, exit below soft)
+// without requesting reclamation — the hysteresis band between the two
+// watermarks keeps the state from flapping on every alloc/free pair.
+func (e *Engine) evalSpace(live int64) {
+	switch {
+	case e.cfg.SpaceHardBytes > 0 && live >= e.cfg.SpaceHardBytes:
+		e.enterReadOnly()
+	case e.cfg.SpaceSoftBytes > 0 && live < e.cfg.SpaceSoftBytes:
+		if e.readOnly.CompareAndSwap(true, false) {
+			e.roExits.Add(1)
+		}
+	}
+}
+
+func (e *Engine) enterReadOnly() {
+	if e.readOnly.CompareAndSwap(false, true) {
+		e.roEntries.Add(1)
+		e.requestReclaim()
+	}
+}
+
+// requestReclaim schedules an urgent reclamation pass. With background
+// maintenance it rides the urgent lane (front of queue, no rate limiting,
+// deduplicated while one is already pending). In synchronous mode the
+// notifier may be firing from inside a write path that holds table or tree
+// locks, so the pass is deferred to the next commit/abort boundary.
+func (e *Engine) requestReclaim() {
+	if e.Maint != nil {
+		e.Maint.SubmitUrgent(maint.Reclaim, "space", e.reclaimSpace)
+		return
+	}
+	e.reclaimPending.Store(true)
+}
+
+// maybeReclaim runs due reclamation at a commit/abort boundary — the point
+// where no table locks are held and the calling transaction is no longer
+// active (so the WAL checkpoint can proceed when the engine is otherwise
+// quiescent). A pass is due when one is pending (synchronous mode), or
+// whenever the engine is read-only: reclamation while degraded may have
+// been impotent — a long-running reader pinning the GC horizon and holding
+// the checkpoint busy — and the boundary that ends such a transaction is
+// precisely the moment a retry can finally make progress.
+func (e *Engine) maybeReclaim() {
+	pending := e.reclaimPending.CompareAndSwap(true, false)
+	if !pending && !e.readOnly.Load() {
+		return
+	}
+	if e.Maint != nil {
+		e.Maint.SubmitUrgent(maint.Reclaim, "space", e.reclaimSpace)
+		return
+	}
+	e.reclaimSpace() //nolint:errcheck // best-effort; watermarks re-evaluated inside
+}
+
+// reclaimSpace is one urgent reclamation pass, cheapest lever first:
+//
+//  1. WAL checkpoint — truncating the log frees whole extents of dead
+//     history and is usually the largest single win. Skipped (not failed)
+//     when transactions are active or the WAL is off.
+//  2. MV-PBT garbage collection and partition merges — dropping
+//     out-of-snapshot versions and merge duplicates.
+//  3. Heap vacuum — reclaiming dead row versions.
+//
+// The final watermark re-evaluation re-opens the engine if enough space
+// came back; it deliberately does NOT re-request reclamation, so a pass
+// that frees nothing terminates instead of looping — the next allocation
+// above the soft watermark schedules a fresh pass.
+func (e *Engine) reclaimSpace() error {
+	e.reclaims.Add(1)
+	if e.wal != nil {
+		if err := e.Checkpoint(); err != nil && !errors.Is(err, ErrCheckpointBusy) {
+			// Checkpoint failure is survivable (the old log stays
+			// authoritative) but worth surfacing to maintenance stats.
+			e.ckptErrs.Add(1)
+		}
+	}
+	e.tablesMu.Lock()
+	tables := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		tables = append(tables, t)
+	}
+	e.tablesMu.Unlock()
+	var first error
+	for _, t := range tables {
+		for _, ix := range t.indexes {
+			if ix.mv == nil {
+				continue
+			}
+			ix.mv.SweepPN()
+			if ix.mv.NeedsMerge() {
+				if err := ix.mv.MergePartitions(); err != nil && first == nil {
+					first = fmt.Errorf("db: reclaim: merging %s.%s: %w", t.name, ix.Def.Name, err)
+				}
+			}
+		}
+		if _, err := t.Vacuum(); err != nil && first == nil {
+			first = fmt.Errorf("db: reclaim: vacuuming %s: %w", t.name, err)
+		}
+	}
+	e.evalSpace(e.FM.LiveBytes())
+	return first
+}
+
+// writeGate is the fast-path admission check at the head of every row
+// write. It also converts a late storage.ErrNoSpace — one that slipped past
+// the watermarks — into read-only degradation via noteWriteErr.
+func (e *Engine) writeGate() error {
+	if e.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// noteWriteErr inspects a write-path error: device exhaustion degrades the
+// engine to read-only (and schedules reclamation) so subsequent writes fail
+// fast instead of repeatedly dying inside the allocator. The error is
+// returned unchanged.
+func (e *Engine) noteWriteErr(err error) error {
+	if err != nil && errors.Is(err, storage.ErrNoSpace) {
+		e.enterReadOnly()
+		e.requestReclaim()
+	}
+	return err
+}

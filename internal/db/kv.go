@@ -28,6 +28,7 @@ type KV interface {
 
 // BTreeKV is a clustered B-Tree key-value store.
 type BTreeKV struct {
+	e *Engine
 	t *btree.Tree
 }
 
@@ -37,11 +38,14 @@ func NewBTreeKV(e *Engine, name string) (*BTreeKV, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &BTreeKV{t: t}, nil
+	return &BTreeKV{e: e, t: t}, nil
 }
 
 // Put implements KV: an existing value is replaced in place.
 func (b *BTreeKV) Put(key, val []byte) error {
+	if err := b.e.writeGate(); err != nil {
+		return err
+	}
 	var old []byte
 	hi := append(append([]byte(nil), key...), 0)
 	if err := b.t.ScanRaw(key, hi, func(k, body []byte) bool {
@@ -55,7 +59,7 @@ func (b *BTreeKV) Put(key, val []byte) error {
 			return err
 		}
 	}
-	return b.t.InsertEntry(key, val)
+	return b.e.noteWriteErr(b.t.InsertEntry(key, val))
 }
 
 // Get implements KV.
@@ -71,6 +75,9 @@ func (b *BTreeKV) Get(key []byte) ([]byte, bool, error) {
 
 // Delete implements KV.
 func (b *BTreeKV) Delete(key []byte) error {
+	if err := b.e.writeGate(); err != nil {
+		return err
+	}
 	v, ok, err := b.Get(key)
 	if err != nil || !ok {
 		return err
@@ -95,6 +102,7 @@ func (b *BTreeKV) Scan(lo []byte, limit int, fn func(key, val []byte) bool) erro
 
 // LSMKV adapts lsm.Tree to the KV contract.
 type LSMKV struct {
+	e *Engine
 	t *lsm.Tree
 }
 
@@ -110,20 +118,30 @@ func NewLSMKV(e *Engine, name string, opts lsm.Options) *LSMKV {
 		})
 		e.AddCloser(t.Close)
 	}
-	return &LSMKV{t: t}
+	return &LSMKV{e: e, t: t}
 }
 
 // Tree exposes the underlying LSM tree (statistics).
 func (l *LSMKV) Tree() *lsm.Tree { return l.t }
 
 // Put implements KV.
-func (l *LSMKV) Put(key, val []byte) error { return l.t.Put(key, val) }
+func (l *LSMKV) Put(key, val []byte) error {
+	if err := l.e.writeGate(); err != nil {
+		return err
+	}
+	return l.e.noteWriteErr(l.t.Put(key, val))
+}
 
 // Get implements KV.
 func (l *LSMKV) Get(key []byte) ([]byte, bool, error) { return l.t.Get(key) }
 
 // Delete implements KV.
-func (l *LSMKV) Delete(key []byte) error { return l.t.Delete(key) }
+func (l *LSMKV) Delete(key []byte) error {
+	if err := l.e.writeGate(); err != nil {
+		return err
+	}
+	return l.e.noteWriteErr(l.t.Delete(key))
+}
 
 // Scan implements KV.
 func (l *LSMKV) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
@@ -183,10 +201,13 @@ func (m *MVPBTKV) nextRef() index.Ref {
 // reference unnecessary; this is the LSM-like write path of §5: "Updates
 // in MV-PBT hit PN".
 func (m *MVPBTKV) Put(key, val []byte) error {
+	if err := m.e.writeGate(); err != nil {
+		return err
+	}
 	tx := m.e.Begin()
 	if err := m.tree.InsertRegularVal(tx, key, m.nextRef(), val); err != nil {
 		m.e.Abort(tx)
-		return err
+		return m.e.noteWriteErr(err)
 	}
 	m.e.Commit(tx)
 	return nil
@@ -209,10 +230,13 @@ func (m *MVPBTKV) Get(key []byte) ([]byte, bool, error) {
 // Delete implements KV: a blind tombstone (no predecessor reference
 // needed under unique-index visibility).
 func (m *MVPBTKV) Delete(key []byte) error {
+	if err := m.e.writeGate(); err != nil {
+		return err
+	}
 	tx := m.e.Begin()
 	if err := m.tree.InsertTombstone(tx, key, storage.RecordID{}); err != nil {
 		m.e.Abort(tx)
-		return err
+		return m.e.noteWriteErr(err)
 	}
 	m.e.Commit(tx)
 	return nil

@@ -19,7 +19,9 @@ func (t *Table) logOp(tx *txn.Tx, op wal.Op, key, row []byte) {
 	if t.eng.wal == nil {
 		return
 	}
+	t.eng.walMu.RLock()
 	t.eng.wal.Append(&wal.Record{Op: op, TxID: uint64(tx.ID), Table: t.name, Key: key, Row: row})
+	t.eng.walMu.RUnlock()
 }
 
 // pkKey extracts the row's primary-key (the first index's key).
@@ -73,8 +75,13 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 	}
 	// Pass 2: replay committed row operations in log order. Original
 	// transaction ids are remapped to fresh ones; commit order follows the
-	// log, so the final visible state matches.
+	// log, so the final visible state matches. A checkpoint snapshot at the
+	// head of the log replays as one synthetic committed transaction; its
+	// CkptEnd record carries the row count, which replay verifies so a torn
+	// snapshot is rejected rather than silently half-applied.
 	open := map[uint64]*txn.Tx{}
+	var ckptTx *txn.Tx
+	var ckptRows uint64
 	r = wal.NewReaderFromBytes(logImage)
 	for {
 		rec, ok := r.Next()
@@ -106,7 +113,42 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 			if err := tbl.replay(tx, rec); err != nil {
 				return applied, fmt.Errorf("db: replaying %v: %w", rec, err)
 			}
+		case wal.OpCkptBegin:
+			if ckptTx != nil {
+				return applied, fmt.Errorf("db: nested checkpoint begin (seq %d): %w", rec.TxID, wal.ErrWALCorrupt)
+			}
+			ckptTx, ckptRows = e.Begin(), 0
+		case wal.OpCkptRow:
+			if ckptTx == nil {
+				return applied, fmt.Errorf("db: checkpoint row outside a snapshot: %w", wal.ErrWALCorrupt)
+			}
+			tbl := tables[rec.Table]
+			if tbl == nil {
+				return applied, fmt.Errorf("db: checkpoint references unknown table %q", rec.Table)
+			}
+			if _, _, err := tbl.Insert(ckptTx, rec.Row); err != nil {
+				return applied, fmt.Errorf("db: replaying %v: %w", rec, err)
+			}
+			ckptRows++
+		case wal.OpCkptEnd:
+			if ckptTx == nil {
+				return applied, fmt.Errorf("db: checkpoint end without begin: %w", wal.ErrWALCorrupt)
+			}
+			if rec.TxID != ckptRows {
+				return applied, fmt.Errorf("db: checkpoint row count mismatch: snapshot has %d, end record says %d: %w",
+					ckptRows, rec.TxID, wal.ErrWALCorrupt)
+			}
+			e.Commit(ckptTx)
+			ckptTx = nil
+			applied++
 		}
+	}
+	if ckptTx != nil {
+		// The snapshot never closed: the generation is torn at its head and
+		// nothing in it is trustworthy.
+		e.Abort(ckptTx)
+		return applied, fmt.Errorf("db: checkpoint snapshot torn (no end record after %d rows): %w",
+			ckptRows, wal.ErrWALCorrupt)
 	}
 	// Any transaction left open here logged a begin but no commit was
 	// found (should not happen given pass 1); abort defensively.
@@ -149,10 +191,21 @@ func (t *Table) replay(tx *txn.Tx, rec wal.Record) error {
 }
 
 // LogImage returns the bytes of the engine's write-ahead log as persisted
-// on the device (what survives a crash).
+// on the device (what survives a crash). The authoritative generation is
+// resolved through the checkpoint superblock, exactly as recovery after a
+// real restart would: a crash mid-checkpoint yields whichever complete
+// generation the superblock points at.
 func (e *Engine) LogImage() []byte {
+	e.walMu.RLock()
+	defer e.walMu.RUnlock()
+	return e.logImageLocked()
+}
+
+// logImageLocked is LogImage without the lock — for the checkpoint crash
+// hooks, which run with walMu already held.
+func (e *Engine) logImageLocked() []byte {
 	if e.walFile == nil {
 		return nil
 	}
-	return readWholeFile(e.walFile)
+	return readWholeFile(e.currentLogFile())
 }

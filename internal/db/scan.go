@@ -3,12 +3,33 @@ package db
 import (
 	"bytes"
 	"errors"
+	"fmt"
 
 	"mvpbt/internal/heap"
 	"mvpbt/internal/index"
 	"mvpbt/internal/storage"
 	"mvpbt/internal/txn"
 )
+
+// ctxCheck returns a per-entry cancellation probe for tx's context, or nil
+// when the context can never be canceled (the Background fast path — scans
+// then pay nothing). The probe stashes the context error in *stop and tells
+// the index iterator to halt; the scan surfaces *stop as its result so a
+// deadline-bearing Scan returns context.DeadlineExceeded instead of running
+// to completion while the caller has already given up.
+func ctxCheck(tx *txn.Tx, stop *error) func() bool {
+	ctx := tx.Context()
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool {
+		if err := ctx.Err(); err != nil {
+			*stop = fmt.Errorf("db: scan: %w", err)
+			return false
+		}
+		return true
+	}
+}
 
 // Scan streams the rows visible to tx whose index key is in [lo, hi)
 // through fn. withRows controls whether Row payloads are fetched from the
@@ -29,9 +50,14 @@ import (
 // operation retried once. Rows already delivered before the first attempt
 // failed are not re-delivered (the dedup set spans both attempts).
 func (t *Table) Scan(tx *txn.Tx, ix *Index, lo, hi []byte, withRows bool, fn func(RowRef) bool) error {
+	var ctxErr error
+	check := ctxCheck(tx, &ctxErr)
 	if ix.mv != nil && !ix.Def.NoIdxVC {
 		var heapErr error
 		err := ix.mv.Scan(tx, lo, hi, func(e index.Entry) bool {
+			if check != nil && !check() {
+				return false
+			}
 			rr := RowRef{RID: e.Ref.RID, VID: e.Ref.VID, Key: e.Key}
 			if withRows {
 				v, err := t.h.ReadVersion(e.Ref.RID)
@@ -46,6 +72,9 @@ func (t *Table) Scan(tx *txn.Tx, ix *Index, lo, hi []byte, withRows bool, fn fun
 		if heapErr != nil {
 			return heapErr
 		}
+		if ctxErr != nil {
+			return ctxErr
+		}
 		return err
 	}
 	return t.scanOblivious(tx, ix, lo, hi, fn)
@@ -54,7 +83,11 @@ func (t *Table) Scan(tx *txn.Tx, ix *Index, lo, hi []byte, withRows bool, fn fun
 func (t *Table) scanOblivious(tx *txn.Tx, ix *Index, lo, hi []byte, fn func(RowRef) bool) error {
 	seen := make(map[storage.RecordID]bool)
 	var heapErr error
+	check := ctxCheck(tx, &heapErr)
 	visit := func(e index.Entry) bool {
+		if check != nil && !check() {
+			return false
+		}
 		vv, err := t.resolveVisible(tx, ix, e)
 		if err != nil {
 			heapErr = err
@@ -120,9 +153,14 @@ func (t *Table) resolveVisible(tx *txn.Tx, ix *Index, e index.Entry) (*heap.Visi
 // handling matches Scan: heap errors are hard, a corrupt rebuildable index
 // is quarantined, rebuilt and retried once.
 func (t *Table) Lookup(tx *txn.Tx, ix *Index, key []byte, withRows bool, fn func(RowRef) bool) error {
+	var ctxErr error
+	check := ctxCheck(tx, &ctxErr)
 	if ix.mv != nil && !ix.Def.NoIdxVC {
 		var heapErr error
 		err := ix.mv.Lookup(tx, key, func(e index.Entry) bool {
+			if check != nil && !check() {
+				return false
+			}
 			rr := RowRef{RID: e.Ref.RID, VID: e.Ref.VID, Key: e.Key}
 			if withRows {
 				v, err := t.h.ReadVersion(e.Ref.RID)
@@ -137,12 +175,19 @@ func (t *Table) Lookup(tx *txn.Tx, ix *Index, key []byte, withRows bool, fn func
 		if heapErr != nil {
 			return heapErr
 		}
+		if ctxErr != nil {
+			return ctxErr
+		}
 		return err
 	}
 	hi := append(append([]byte(nil), key...), 0)
 	seen := make(map[storage.RecordID]bool)
 	var heapErr error
 	visit := func(e index.Entry) bool {
+		if check != nil && !check() {
+			heapErr = ctxErr
+			return false
+		}
 		vv, err := t.resolveVisible(tx, ix, e)
 		if err != nil {
 			heapErr = err

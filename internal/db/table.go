@@ -166,6 +166,9 @@ func (e *Engine) NewTable(name string, hk HeapKind, defs ...IndexDef) (*Table, e
 		}
 		t.indexes = append(t.indexes, ix)
 	}
+	e.tablesMu.Lock()
+	e.tables[name] = t
+	e.tablesMu.Unlock()
 	return t, nil
 }
 
@@ -203,13 +206,16 @@ type RowRef struct {
 // Insert adds a new tuple and maintains every index. It returns the
 // tuple's VID and initial version rid.
 func (t *Table) Insert(tx *txn.Tx, row []byte) (uint64, storage.RecordID, error) {
+	if err := t.eng.writeGate(); err != nil {
+		return 0, storage.RecordID{}, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.logOp(tx, wal.OpInsert, t.pkKey(row), row)
 	v := t.vids.Alloc()
 	rid, err := t.h.Insert(tx, v, row)
 	if err != nil {
-		return 0, storage.RecordID{}, err
+		return 0, storage.RecordID{}, t.eng.noteWriteErr(err)
 	}
 	if t.heapKind == HeapHOT {
 		t.vids.Set(v, rid)
@@ -227,7 +233,7 @@ func (t *Table) Insert(tx *txn.Tx, row []byte) (uint64, storage.RecordID, error)
 			ierr = ix.mv.InsertRegular(tx, key, ref)
 		}
 		if ierr != nil {
-			return 0, storage.RecordID{}, ierr
+			return 0, storage.RecordID{}, t.eng.noteWriteErr(ierr)
 		}
 	}
 	return v, rid, nil
@@ -237,6 +243,9 @@ func (t *Table) Insert(tx *txn.Tx, row []byte) (uint64, storage.RecordID, error)
 // read) with newRow, maintaining indexes per their kind and reference
 // mode. Write-write conflicts surface as heap.ErrWriteConflict.
 func (t *Table) Update(tx *txn.Tx, old RowRef, newRow []byte) (storage.RecordID, error) {
+	if err := t.eng.writeGate(); err != nil {
+		return storage.RecordID{}, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	type keyPair struct {
@@ -255,7 +264,7 @@ func (t *Table) Update(tx *txn.Tx, old RowRef, newRow []byte) (storage.RecordID,
 	}
 	res, err := t.h.Update(tx, old.RID, old.VID, newRow, hotEligible)
 	if err != nil {
-		return storage.RecordID{}, err
+		return storage.RecordID{}, t.eng.noteWriteErr(err)
 	}
 	t.logOp(tx, wal.OpUpdate, t.pkKey(old.Row), newRow)
 	newRID := res.NewRID
@@ -289,7 +298,7 @@ func (t *Table) Update(tx *txn.Tx, old RowRef, newRow []byte) (storage.RecordID,
 			}
 		}
 		if ierr != nil {
-			return storage.RecordID{}, ierr
+			return storage.RecordID{}, t.eng.noteWriteErr(ierr)
 		}
 	}
 	return newRID, nil
@@ -297,16 +306,19 @@ func (t *Table) Update(tx *txn.Tx, old RowRef, newRow []byte) (storage.RecordID,
 
 // Delete removes the tuple whose visible version is old.
 func (t *Table) Delete(tx *txn.Tx, old RowRef) error {
+	if err := t.eng.writeGate(); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, err := t.h.Delete(tx, old.RID, old.VID); err != nil {
-		return err
+		return t.eng.noteWriteErr(err)
 	}
 	t.logOp(tx, wal.OpDelete, t.pkKey(old.Row), nil)
 	for _, ix := range t.indexes {
 		if ix.mv != nil {
 			if err := ix.mv.InsertTombstone(tx, ix.Def.Extract(old.Row), old.RID); err != nil {
-				return err
+				return t.eng.noteWriteErr(err)
 			}
 		}
 		// Version-oblivious indexes are left alone: the heap's

@@ -146,10 +146,18 @@ func (h *SiasHeap) supersede(tx *txn.Tx, prev storage.RecordID, v uint64, data [
 	return UpdateResult{NewRID: rid, NeedsIndexUpdate: true}, nil
 }
 
-// readAt decodes the version at rid; dead slots return ok=false.
+// readAt decodes the version at rid; dead slots return ok=false. A freed
+// page also reads as "gone" rather than an error: vacuum only frees extents
+// whose every record was already deleted (invisible to all live snapshots),
+// so a reference leading into one is by construction a dead-version
+// reference — exactly the case SIAS's append-only design already resolves
+// to "record gone" at the slot level.
 func (h *SiasHeap) readAt(rid storage.RecordID) (Version, bool, error) {
 	fr, err := h.pool.Get(h.file, rid.Page.PageNo())
 	if err != nil {
+		if errors.Is(err, storage.ErrFreedPage) {
+			return Version{}, false, nil
+		}
 		return Version{}, false, err
 	}
 	p := page.Wrap(fr.Data())
@@ -241,6 +249,11 @@ func (h *SiasHeap) ScanVersions(fn func(rid storage.RecordID, v Version) bool) e
 	for pageNo := uint64(0); pageNo < nPages; pageNo++ {
 		fr, err := h.pool.Get(h.file, pageNo)
 		if err != nil {
+			if errors.Is(err, storage.ErrFreedPage) {
+				// A vacuumed extent: nothing lives there, skip past it.
+				pageNo = (pageNo/sfile.ExtentPages+1)*sfile.ExtentPages - 1
+				continue
+			}
 			return err
 		}
 		p := page.Wrap(fr.Data())
@@ -318,7 +331,57 @@ func (h *SiasHeap) Vacuum(horizon txn.TxID) (int, error) {
 			rid = ver.Next
 		}
 	}
+	h.freeDeadExtents()
 	return removed, nil
+}
+
+// freeDeadExtents returns fully-dead extents to the device. SIAS appends
+// only to the tail page, so once vacuum has deleted every record in an
+// extent the extent can never gain a live record again — its device space
+// is pure garbage. The extent holding the tail page is exempt, as is any
+// extent with even one live slot (including tombstones, which must remain
+// readable). Freed pages surface as storage.ErrFreedPage, which readAt maps
+// to "record gone" — the resolution any stale reference into the extent
+// would have gotten anyway. Returns the number of extents freed.
+func (h *SiasHeap) freeDeadExtents() int {
+	nPages := h.file.NumPages()
+	if nPages == 0 {
+		return 0
+	}
+	freed := 0
+	nExt := (nPages + sfile.ExtentPages - 1) / sfile.ExtentPages
+	for ext := uint64(0); ext < nExt; ext++ {
+		if h.hasTail && ext == h.tail/sfile.ExtentPages {
+			continue
+		}
+		start := ext * sfile.ExtentPages
+		end := start + sfile.ExtentPages
+		if end > nPages {
+			end = nPages
+		}
+		dead := true
+		for pageNo := start; pageNo < end; pageNo++ {
+			fr, err := h.pool.Get(h.file, pageNo)
+			if err != nil {
+				// Already freed, or unreadable — either way, leave it be.
+				dead = false
+				break
+			}
+			live := page.Wrap(fr.Data()).LiveCount()
+			h.pool.Unpin(fr, false)
+			if live > 0 {
+				dead = false
+				break
+			}
+		}
+		if !dead {
+			continue
+		}
+		h.pool.DropFilePages(h.file, start, int(end-start))
+		h.file.FreeRun(start, int(end-start))
+		freed++
+	}
+	return freed
 }
 
 func (h *SiasHeap) clearNext(rid storage.RecordID) error {

@@ -31,7 +31,10 @@ func (t *Tree) SaveManifest() (startPage uint64, numPages int, err error) {
 		body = part.EncodeMeta(body, s)
 	}
 	n := (len(body) + 8 + storage.PageSize - 1) / storage.PageSize
-	start := t.file.AllocRun(n)
+	start, err := t.file.AllocRun(n)
+	if err != nil {
+		return 0, 0, fmt.Errorf("mvpbt: manifest alloc: %w", err)
+	}
 	framed := util.EncodeUint64(nil, uint64(len(body)))
 	framed = append(framed, body...)
 	page := make([]byte, storage.PageSize)

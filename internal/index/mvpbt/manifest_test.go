@@ -77,7 +77,7 @@ func TestManifestRejectsGarbage(t *testing.T) {
 	e := newEnv(256, 1<<22)
 	tr := e.tree(Options{})
 	// Write junk pages and try to load them.
-	start := tr.file.AllocRun(1)
+	start, _ := tr.file.AllocRun(1)
 	junk := make([]byte, 8192)
 	for i := range junk {
 		junk[i] = byte(i * 13)

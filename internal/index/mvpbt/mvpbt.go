@@ -287,7 +287,7 @@ func (t *Tree) pnPut(tx *txn.Tx, key []byte, rec *Record) error {
 	if needGC != nil {
 		needGC()
 	}
-	return t.pbuf.DidInsert()
+	return t.pbuf.DidInsert(tx.Context())
 }
 
 // InsertRegular implements index.VersionAware.

@@ -1,6 +1,7 @@
 package part
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -64,10 +65,15 @@ type PartitionBuffer struct {
 	notify atomic.Pointer[func()] // background-mode trigger; nil = sync mode
 
 	// stall machinery: stallCh is closed (and replaced) after every
-	// eviction to wake all stalled writers at once.
+	// eviction to wake all stalled writers at once. stallTimers pools the
+	// stall timers per buffer: one literal timer would be shared mutable
+	// state across concurrent stallers, while a per-call time.NewTimer is
+	// an allocation on the hottest degraded path — the pool gives each
+	// staller a private timer that is Reset-reused across stalls.
 	stallMu      sync.Mutex
 	stallCh      chan struct{}
 	stallTimeout atomic.Int64 // ns
+	stallTimers  sync.Pool
 
 	evictions   atomic.Int64
 	evictErrors atomic.Int64
@@ -185,12 +191,15 @@ func (b *PartitionBuffer) Stalls() (int64, time.Duration) {
 	return b.stalls.Load(), time.Duration(b.stallNS.Load())
 }
 
-// DidInsert is called by indexes after every PN insert. In synchronous
-// mode it evicts inline (the original MaybeEvict behavior). In background
-// mode it triggers the notifier at the low watermark and stalls the
-// caller — bounded, with periodic re-triggering — above the high
-// watermark until eviction catches up.
-func (b *PartitionBuffer) DidInsert() error {
+// DidInsert is called by indexes after every PN insert, with the context
+// of the inserting transaction. In synchronous mode it evicts inline (the
+// original MaybeEvict behavior). In background mode it triggers the
+// notifier at the low watermark and stalls the caller — bounded, with
+// periodic re-triggering — above the high watermark until eviction catches
+// up. A canceled or expired ctx ends the stall immediately and its error
+// is returned; the insert itself has already happened, so callers treat it
+// as "insert done, deadline hit while absorbing backpressure".
+func (b *PartitionBuffer) DidInsert(ctx context.Context) error {
 	fn := b.notify.Load()
 	if fn == nil {
 		return b.MaybeEvict()
@@ -203,34 +212,58 @@ func (b *PartitionBuffer) DidInsert() error {
 	if used < b.High() {
 		return nil
 	}
-	b.stallWait(fn)
-	return nil
+	return b.stallWait(ctx, fn)
 }
 
-// stallWait blocks until usage drops below the high watermark or the
-// stall timeout elapses, waking early whenever an eviction completes.
-func (b *PartitionBuffer) stallWait(fn *func()) {
+// acquireTimer takes a stopped timer from the pool (or makes one) and arms
+// it for d.
+func (b *PartitionBuffer) acquireTimer(d time.Duration) *time.Timer {
+	if t, _ := b.stallTimers.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// releaseTimer stops and drains t, returning it to the pool ready for the
+// next Reset.
+func (b *PartitionBuffer) releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	b.stallTimers.Put(t)
+}
+
+// stallWait blocks until usage drops below the high watermark, the stall
+// timeout elapses (returns nil — the writer proceeds and will stall again
+// on its next insert if eviction is still behind), or ctx is done (returns
+// ctx.Err()), waking early whenever an eviction completes.
+func (b *PartitionBuffer) stallWait(ctx context.Context, fn *func()) error {
 	start := time.Now()
-	timer := time.NewTimer(time.Duration(b.stallTimeout.Load()))
-	defer timer.Stop()
+	timer := b.acquireTimer(time.Duration(b.stallTimeout.Load()))
+	defer b.releaseTimer(timer)
+	defer func() { b.stallNS.Add(int64(time.Since(start))) }()
 	b.stalls.Add(1)
 	for {
 		b.stallMu.Lock()
 		ch := b.stallCh
 		b.stallMu.Unlock()
 		if b.Used() < b.High() {
-			break
+			return nil
 		}
 		(*fn)() // keep the eviction queue primed while we wait
 		select {
 		case <-ch:
 			// an eviction finished; re-check usage
 		case <-timer.C:
-			b.stallNS.Add(int64(time.Since(start)))
-			return
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
-	b.stallNS.Add(int64(time.Since(start)))
 }
 
 // wakeStalled releases every writer currently blocked in stallWait.

@@ -1,6 +1,7 @@
 package part
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -135,14 +136,14 @@ func TestPartitionBufferBackgroundTrigger(t *testing.T) {
 	b.SetNotifier(func() { triggers.Add(1) })
 
 	o.Grow(100)
-	if err := b.DidInsert(); err != nil {
+	if err := b.DidInsert(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if triggers.Load() != 0 {
 		t.Fatal("notifier fired below the low watermark")
 	}
 	o.Grow(800) // 900 >= low(800), < high(1250)
-	if err := b.DidInsert(); err != nil {
+	if err := b.DidInsert(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if triggers.Load() != 1 {
@@ -174,7 +175,7 @@ func TestPartitionBufferWriteStall(t *testing.T) {
 		b.EvictToLow()
 	}()
 	start := time.Now()
-	if err := b.DidInsert(); err != nil {
+	if err := b.DidInsert(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	el := time.Since(start)
@@ -200,7 +201,7 @@ func TestPartitionBufferStallTimesOut(t *testing.T) {
 	o.Grow(2000)
 	done := make(chan struct{})
 	go func() {
-		b.DidInsert()
+		b.DidInsert(context.Background())
 		close(done)
 	}()
 	select {
@@ -245,7 +246,7 @@ func TestPartitionBufferConcurrent(t *testing.T) {
 			o := owners[g%len(owners)]
 			for i := 0; i < 3000; i++ {
 				o.Grow(64)
-				b.DidInsert()
+				b.DidInsert(context.Background())
 				if i%64 == 0 {
 					_ = b.Used()
 				}
@@ -276,7 +277,7 @@ func TestPartitionBufferSyncModeUnchanged(t *testing.T) {
 	o := &atomicOwner{name: "o"}
 	b.Register(o)
 	o.Grow(150)
-	if err := b.DidInsert(); err != nil {
+	if err := b.DidInsert(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if o.evicted.Load() != 1 || b.Used() != 0 {
@@ -284,5 +285,41 @@ func TestPartitionBufferSyncModeUnchanged(t *testing.T) {
 	}
 	if n, _ := b.Stalls(); n != 0 {
 		t.Fatal("sync mode stalled")
+	}
+}
+
+func TestPartitionBufferStallCanceledContext(t *testing.T) {
+	// A canceled (or deadline-expired) context must release a stalled
+	// writer promptly — well before the stall timeout — with ctx.Err().
+	b := NewPartitionBuffer(1000)
+	b.SetStallTimeout(10 * time.Second) // the context must beat this
+	o := &atomicOwner{name: "o"}
+	b.Register(o)
+	b.SetNotifier(func() {}) // notifier that never evicts
+	o.Grow(2000)             // way above high(1250)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- b.DidInsert(ctx) }()
+	time.Sleep(5 * time.Millisecond) // let the writer reach stallWait
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stalled DidInsert returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled writer still stalled")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancellation took %v to release the stall", el)
+	}
+
+	// A context with an already-expired deadline must not stall at all.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := b.DidInsert(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline DidInsert returned %v, want DeadlineExceeded", err)
 	}
 }

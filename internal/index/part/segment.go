@@ -216,7 +216,11 @@ func Build(pool *buffer.Pool, file *sfile.File, no int, kvs []KV, minTS, maxTS u
 	// ---- Sequential write-out. Pages are stamped with their checksum (the
 	// buffer pool verifies them on every later fetch) and transient write
 	// faults are retried a bounded number of times before the build fails.
-	start := file.AllocRun(len(pages))
+	start, err := file.AllocRun(len(pages))
+	if err != nil {
+		<-fch // the filter goroutine sends exactly once; drain it
+		return nil, fmt.Errorf("part: segment alloc: %w", err)
+	}
 	var werr error
 	for i, buf := range pages {
 		page.StampChecksum(buf)

@@ -10,6 +10,7 @@ package pbt
 
 import (
 	"bytes"
+	"context"
 	"sync"
 
 	"mvpbt/internal/buffer"
@@ -101,7 +102,7 @@ func (t *Tree) Insert(key []byte, ref index.Ref) error {
 	t.pnSeq++
 	t.pn.Set(k, index.EncodeRef(nil, ref))
 	t.mu.Unlock()
-	return t.pbuf.DidInsert()
+	return t.pbuf.DidInsert(context.Background())
 }
 
 // EvictPN implements part.Owner (Algorithm 4, without the version steps):

@@ -19,6 +19,7 @@ const (
 	GC                  // PN garbage sweep (§4.6 phase 1)
 	Flush               // LSM memtable flush
 	Compact             // LSM compaction
+	Reclaim             // space reclamation under watermark pressure (urgent lane)
 	nKinds
 )
 
@@ -34,6 +35,8 @@ func (k Kind) String() string {
 		return "flush"
 	case Compact:
 		return "compact"
+	case Reclaim:
+		return "reclaim"
 	}
 	return "unknown"
 }
@@ -68,9 +71,10 @@ type Config struct {
 }
 
 type task struct {
-	kind Kind
-	key  string
-	run  func() error
+	kind   Kind
+	key    string
+	run    func() error
+	urgent bool
 }
 
 // JobStats aggregates one job kind's lifetime counters.
@@ -88,6 +92,7 @@ type Stats struct {
 	Jobs      [nKinds]JobStats
 	Submitted int64 // Submit calls accepted (enqueued)
 	Deduped   int64 // Submit calls coalesced into an already-pending task
+	Urgent    int64 // SubmitUrgent calls accepted (also counted in Submitted)
 	Throttle  time.Duration
 }
 
@@ -111,10 +116,12 @@ type Service struct {
 	closed  bool
 	lastErr error
 	wg      sync.WaitGroup
+	done    chan struct{} // closed on Kill/Close; unblocks retry backoffs
 
 	stats     [nKinds]struct{ runs, errors, retries, giveUps, bytes, busyNS atomic.Int64 }
 	submitted atomic.Int64
 	deduped   atomic.Int64
+	urgent    atomic.Int64
 	active    atomic.Int64
 }
 
@@ -134,8 +141,8 @@ func New(cfg Config) *Service {
 		written:    cfg.WrittenBytes,
 		maxRetries: cfg.MaxRetries,
 		retryBase:  cfg.RetryBase,
-		sleep:      time.Sleep,
 		pending:    make(map[string]bool),
+		done:       make(chan struct{}),
 	}
 	if cfg.Sleep != nil {
 		s.sleep = cfg.Sleep
@@ -155,6 +162,20 @@ func New(cfg Config) *Service {
 // waiting in the queue. Returns false when coalesced or when the service
 // is closed.
 func (s *Service) Submit(kind Kind, key string, run func() error) bool {
+	return s.submit(kind, key, run, false)
+}
+
+// SubmitUrgent enqueues a job on the priority lane: it goes to the FRONT
+// of the queue and its run bypasses the background rate limiter — this is
+// the path the engine's space governor uses, because throttling the work
+// that frees space behind the writes that need it would be a priority
+// inversion. An already-pending job with the same identity is promoted to
+// the front and made urgent instead of being queued twice.
+func (s *Service) SubmitUrgent(kind Kind, key string, run func() error) bool {
+	return s.submit(kind, key, run, true)
+}
+
+func (s *Service) submit(kind Kind, key string, run func() error, urgent bool) bool {
 	id := kind.String() + "/" + key
 	s.mu.Lock()
 	if s.closed {
@@ -162,12 +183,31 @@ func (s *Service) Submit(kind Kind, key string, run func() error) bool {
 		return false
 	}
 	if s.pending[id] {
+		if urgent {
+			// Promote the queued instance: urgent + front of the queue.
+			for i := range s.queue {
+				if s.queue[i].kind == kind && s.queue[i].key == key {
+					t := s.queue[i]
+					t.urgent = true
+					copy(s.queue[1:i+1], s.queue[:i])
+					s.queue[0] = t
+					break
+				}
+			}
+			s.cond.Broadcast()
+		}
 		s.mu.Unlock()
 		s.deduped.Add(1)
 		return false
 	}
 	s.pending[id] = true
-	s.queue = append(s.queue, task{kind: kind, key: key, run: run})
+	t := task{kind: kind, key: key, run: run, urgent: urgent}
+	if urgent {
+		s.queue = append([]task{t}, s.queue...)
+		s.urgent.Add(1)
+	} else {
+		s.queue = append(s.queue, t)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.submitted.Add(1)
@@ -217,7 +257,9 @@ func (s *Service) worker() {
 		s.active.Add(1)
 		s.mu.Unlock()
 
-		s.limiter.Wait()
+		if !t.urgent {
+			s.limiter.Wait()
+		}
 		var before int64
 		if s.written != nil {
 			before = s.written()
@@ -232,7 +274,11 @@ func (s *Service) worker() {
 		if err != nil && errors.Is(err, storage.ErrIOFault) && s.maxRetries > 0 {
 			delay := s.retryBase
 			for attempt := 0; attempt < s.maxRetries && err != nil && errors.Is(err, storage.ErrIOFault); attempt++ {
-				s.sleep(delay)
+				if !s.backoff(delay) {
+					// The service is being killed/closed; abandon the retry
+					// loop instead of sleeping through the shutdown.
+					break
+				}
 				delay *= 2
 				st.retries.Add(1)
 				err = t.run()
@@ -258,6 +304,25 @@ func (s *Service) worker() {
 			s.mu.Unlock()
 		}
 		s.active.Add(-1)
+	}
+}
+
+// backoff waits d before a retry. It returns false — without having waited
+// the full delay — when the service is shut down meanwhile, so a worker
+// never holds up Kill/Close by sleeping in an exponential-backoff loop.
+// The cfg.Sleep test seam, when installed, is used as-is (virtual time).
+func (s *Service) backoff(d time.Duration) bool {
+	if s.sleep != nil {
+		s.sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.done:
+		return false
 	}
 }
 
@@ -312,6 +377,9 @@ func (s *Service) Quiesce() {
 // pending. Idempotent; a subsequent Close is a no-op.
 func (s *Service) Kill() {
 	s.mu.Lock()
+	if !s.closed {
+		close(s.done)
+	}
 	s.closed = true
 	s.queue = nil
 	s.pending = make(map[string]bool)
@@ -325,6 +393,9 @@ func (s *Service) Kill() {
 // first error any job recorded over the service's lifetime.
 func (s *Service) Close() error {
 	s.mu.Lock()
+	if !s.closed {
+		close(s.done)
+	}
 	s.closed = true
 	s.paused = false // drain everything even if paused
 	s.cond.Broadcast()
@@ -358,6 +429,7 @@ func (s *Service) Stats() Stats {
 	}
 	out.Submitted = s.submitted.Load()
 	out.Deduped = s.deduped.Load()
+	out.Urgent = s.urgent.Load()
 	out.Throttle = s.limiter.ThrottleTime()
 	return out
 }

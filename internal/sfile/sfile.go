@@ -8,6 +8,7 @@ package sfile
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/ssd"
 	"mvpbt/internal/storage"
@@ -47,14 +48,29 @@ func (c Class) String() string {
 }
 
 // Manager owns the device space: it hands out extents to files and
-// recycles freed ones.
+// recycles freed ones. Space is accounted two ways: LIVE bytes (extents
+// currently handed out, decremented on free) and the HIGH-WATER mark (the
+// allocation frontier, which never shrinks). An optional capacity budget
+// bounds live bytes: an allocation that would exceed it fails with an
+// error wrapping storage.ErrNoSpace instead of growing forever.
 type Manager struct {
 	mu       sync.Mutex
 	dev      *ssd.Device
-	frontier int64 // next unallocated device byte offset
+	frontier int64 // next unallocated device byte offset (high-water mark)
 	free     []int64
 	files    map[storage.FileID]*File
 	nextFile storage.FileID
+
+	capacity atomic.Int64 // live-byte budget; 0 = unbounded
+	live     atomic.Int64 // bytes of extents currently handed out
+
+	// notify, when installed, fires after every allocation or free with the
+	// current live-byte count — the engine's space governor hangs its
+	// watermark state machine off it. It is invoked OUTSIDE the manager and
+	// file locks, so it may call back into the manager (LiveBytes, etc.)
+	// but sees a count that may already be stale; governors must tolerate
+	// that.
+	notify atomic.Pointer[func(live int64)]
 
 	// classMu guards extClass, the extent→class map backing the device's
 	// fault-scoping classifier. It is a separate mutex because the device
@@ -86,6 +102,51 @@ func (m *Manager) classOf(off int64) int {
 // Device returns the underlying device.
 func (m *Manager) Device() *ssd.Device { return m.dev }
 
+// SetCapacity installs a live-byte budget (0 removes it). Allocations that
+// would push live bytes past the budget fail with storage.ErrNoSpace;
+// already-allocated space is unaffected, so shrinking below current usage
+// only blocks future growth.
+func (m *Manager) SetCapacity(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	m.capacity.Store(bytes)
+}
+
+// CapacityBytes returns the configured live-byte budget (0 = unbounded).
+func (m *Manager) CapacityBytes() int64 { return m.capacity.Load() }
+
+// LiveBytes returns the bytes of extents currently handed out. Unlike the
+// high-water mark it shrinks when runs are freed.
+func (m *Manager) LiveBytes() int64 { return m.live.Load() }
+
+// HighWaterBytes returns the allocation frontier — the most device address
+// space ever handed out at once. It never shrinks.
+func (m *Manager) HighWaterBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frontier
+}
+
+// SetSpaceNotifier installs fn to run (outside the manager's locks) after
+// every allocation and free, with the current live-byte count. Pass nil to
+// remove it.
+func (m *Manager) SetSpaceNotifier(fn func(live int64)) {
+	if fn == nil {
+		m.notify.Store(nil)
+		return
+	}
+	m.notify.Store(&fn)
+}
+
+// noteSpace fires the space notifier. Callers must hold NO manager or file
+// locks.
+func (m *Manager) noteSpace() {
+	if fn := m.notify.Load(); fn != nil {
+		(*fn)(m.live.Load())
+	}
+}
+
 // Create makes a new empty file.
 func (m *Manager) Create(name string, class Class) *File {
 	m.mu.Lock()
@@ -105,20 +166,37 @@ func (m *Manager) Lookup(id storage.FileID) *File {
 
 // allocExtent hands out one extent, reusing freed extents first. preferNew
 // forces fresh frontier space (used for partition runs, which want device
-// contiguity for sequential write-out).
-func (m *Manager) allocExtent(preferNew bool, class Class) int64 {
+// contiguity for sequential write-out). The allocation is charged against
+// the live-byte budget — reusing a freed extent counts the same as frontier
+// space, since freed extents were discarded and their live bytes released —
+// and checked against the device's armed FaultNoSpace rules. On failure
+// nothing is committed: the free list, frontier, and live count are
+// untouched.
+func (m *Manager) allocExtent(preferNew bool, class Class) (int64, error) {
 	var off int64
-	if !preferNew && len(m.free) > 0 {
+	fromFree := !preferNew && len(m.free) > 0
+	if fromFree {
 		off = m.free[len(m.free)-1]
-		m.free = m.free[:len(m.free)-1]
 	} else {
 		off = m.frontier
+	}
+	if cap := m.capacity.Load(); cap > 0 && m.live.Load()+ExtentBytes > cap {
+		return 0, fmt.Errorf("sfile: extent at off=%d: live=%d + extent=%d exceeds capacity=%d: %w",
+			off, m.live.Load(), int64(ExtentBytes), cap, storage.ErrNoSpace)
+	}
+	if err := m.dev.CheckAlloc(off, ExtentBytes); err != nil {
+		return 0, err
+	}
+	if fromFree {
+		m.free = m.free[:len(m.free)-1]
+	} else {
 		m.frontier += ExtentBytes
 	}
+	m.live.Add(ExtentBytes)
 	m.classMu.Lock()
 	m.extClass[off/ExtentBytes] = class
 	m.classMu.Unlock()
-	return off
+	return off, nil
 }
 
 func (m *Manager) freeExtent(off int64) {
@@ -127,9 +205,12 @@ func (m *Manager) freeExtent(off int64) {
 	m.classMu.Unlock()
 	m.dev.Discard(off, ExtentBytes)
 	m.free = append(m.free, off)
+	m.live.Add(-ExtentBytes)
 }
 
 // AllocatedBytes returns the high-water mark of device space handed out.
+// It is an alias for HighWaterBytes, kept for older callers; use LiveBytes
+// for current usage.
 func (m *Manager) AllocatedBytes() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -172,35 +253,49 @@ func (f *File) NumPages() uint64 {
 	return f.nPages
 }
 
-// AllocPage allocates one page and returns its page number.
-func (f *File) AllocPage() uint64 {
+// AllocPage allocates one page and returns its page number. It fails with
+// an error wrapping storage.ErrNoSpace when the extent it needs exceeds the
+// manager's capacity budget (or an injected ENOSPC fault fires); on failure
+// the file is unchanged.
+func (f *File) AllocPage() (uint64, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.allocPageLocked()
+	no, err := f.allocPageLocked()
+	f.mu.Unlock()
+	if err == nil {
+		f.m.noteSpace()
+	}
+	return no, err
 }
 
-func (f *File) allocPageLocked() uint64 {
+func (f *File) allocPageLocked() (uint64, error) {
 	no := f.nPages
 	ext := int(no / ExtentPages)
 	if ext >= len(f.extents) {
 		f.m.mu.Lock()
-		f.extents = append(f.extents, f.m.allocExtent(false, f.class))
+		off, err := f.m.allocExtent(false, f.class)
 		f.m.mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("sfile: file %q: %w", f.name, err)
+		}
+		f.extents = append(f.extents, off)
 	}
 	f.nPages++
-	return no
+	return no, nil
 }
 
 // AllocRun allocates n pages starting at an extent boundary, backed by
 // freshly allocated (device-contiguous where possible) extents. It returns
 // the first page number. Partition eviction uses this so the subsequent
-// page writes form one long sequential stream.
-func (f *File) AllocRun(n int) uint64 {
+// page writes form one long sequential stream. A capacity failure mid-run
+// rolls the whole run back (extents already taken are freed again, the file
+// size is restored) so a failed AllocRun is a no-op.
+func (f *File) AllocRun(n int) (uint64, error) {
 	if n <= 0 {
 		panic("sfile: AllocRun with n <= 0")
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	savedPages := f.nPages
+	savedExt := len(f.extents)
 	// Align to the next extent boundary; the tail of the current extent is
 	// wasted (dense-packed partitions tolerate this, and it keeps runs
 	// extent-aligned for freeing).
@@ -209,13 +304,32 @@ func (f *File) AllocRun(n int) uint64 {
 	}
 	start := f.nPages
 	need := (n + ExtentPages - 1) / ExtentPages
+	var allocErr error
 	f.m.mu.Lock()
 	for i := 0; i < need; i++ {
-		f.extents = append(f.extents, f.m.allocExtent(true, f.class))
+		off, err := f.m.allocExtent(true, f.class)
+		if err != nil {
+			allocErr = err
+			break
+		}
+		f.extents = append(f.extents, off)
+	}
+	if allocErr != nil {
+		for _, off := range f.extents[savedExt:] {
+			f.m.freeExtent(off)
+		}
+		f.extents = f.extents[:savedExt]
+		f.nPages = savedPages
 	}
 	f.m.mu.Unlock()
+	if allocErr != nil {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("sfile: file %q: run of %d pages: %w", f.name, n, allocErr)
+	}
 	f.nPages = start + uint64(n)
-	return start
+	f.mu.Unlock()
+	f.m.noteSpace()
+	return start, nil
 }
 
 // FreeRun releases the extents backing pages [start, start+n). start must
@@ -226,7 +340,6 @@ func (f *File) FreeRun(start uint64, n int) {
 		panic("sfile: FreeRun start not extent-aligned")
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	first := int(start / ExtentPages)
 	last := int((start + uint64(n) + ExtentPages - 1) / ExtentPages)
 	f.m.mu.Lock()
@@ -237,6 +350,8 @@ func (f *File) FreeRun(start uint64, n int) {
 		}
 	}
 	f.m.mu.Unlock()
+	f.mu.Unlock()
+	f.m.noteSpace()
 }
 
 func (f *File) offsetOf(pageNo uint64) (int64, error) {

@@ -14,6 +14,24 @@ func newMgr() *Manager {
 	return NewManager(ssd.New(simclock.New(), ssd.IntelP3600))
 }
 
+func mustAllocPage(t *testing.T, f *File) uint64 {
+	t.Helper()
+	no, err := f.AllocPage()
+	if err != nil {
+		t.Fatalf("AllocPage(%q): %v", f.Name(), err)
+	}
+	return no
+}
+
+func mustAllocRun(t *testing.T, f *File, n int) uint64 {
+	t.Helper()
+	start, err := f.AllocRun(n)
+	if err != nil {
+		t.Fatalf("AllocRun(%q, %d): %v", f.Name(), n, err)
+	}
+	return start
+}
+
 func TestCreateAndIdentity(t *testing.T) {
 	m := newMgr()
 	f1 := m.Create("table-a", ClassTable)
@@ -37,7 +55,7 @@ func TestPageRoundTrip(t *testing.T) {
 	f := m.Create("t", ClassTable)
 	buf := make([]byte, storage.PageSize)
 	for i := 0; i < 100; i++ {
-		no := f.AllocPage()
+		no := mustAllocPage(t, f)
 		if no != uint64(i) {
 			t.Fatalf("page numbers not dense: got %d want %d", no, i)
 		}
@@ -62,8 +80,8 @@ func TestTwoFilesDoNotOverlap(t *testing.T) {
 	bufA := bytes.Repeat([]byte{0xAA}, storage.PageSize)
 	bufB := bytes.Repeat([]byte{0xBB}, storage.PageSize)
 	for i := 0; i < 2*ExtentPages; i++ {
-		a.AllocPage()
-		b.AllocPage()
+		mustAllocPage(t, a)
+		mustAllocPage(t, b)
 		a.WritePage(uint64(i), bufA)
 		b.WritePage(uint64(i), bufB)
 	}
@@ -79,8 +97,8 @@ func TestTwoFilesDoNotOverlap(t *testing.T) {
 func TestAllocRunAlignedAndSequential(t *testing.T) {
 	m := newMgr()
 	f := m.Create("idx", ClassIndex)
-	f.AllocPage() // leave the file mid-extent
-	start := f.AllocRun(100)
+	mustAllocPage(t, f) // leave the file mid-extent
+	start := mustAllocRun(t, f, 100)
 	if start%ExtentPages != 0 {
 		t.Fatalf("run start %d not extent-aligned", start)
 	}
@@ -100,7 +118,7 @@ func TestAllocRunAlignedAndSequential(t *testing.T) {
 func TestFreeRunRecyclesExtents(t *testing.T) {
 	m := newMgr()
 	f := m.Create("idx", ClassIndex)
-	start := f.AllocRun(ExtentPages * 3)
+	start := mustAllocRun(t, f, ExtentPages*3)
 	if m.FreeExtents() != 0 {
 		t.Fatal("free list should start empty")
 	}
@@ -111,7 +129,7 @@ func TestFreeRunRecyclesExtents(t *testing.T) {
 	before := m.AllocatedBytes()
 	g := m.Create("other", ClassTable)
 	for i := 0; i < ExtentPages*3; i++ {
-		g.AllocPage()
+		mustAllocPage(t, g)
 	}
 	if m.AllocatedBytes() != before {
 		t.Fatal("regular allocation did not reuse freed extents")
@@ -121,7 +139,7 @@ func TestFreeRunRecyclesExtents(t *testing.T) {
 func TestAccessFreedRunReturnsTypedError(t *testing.T) {
 	m := newMgr()
 	f := m.Create("idx", ClassIndex)
-	start := f.AllocRun(ExtentPages)
+	start := mustAllocRun(t, f, ExtentPages)
 	f.FreeRun(start, ExtentPages)
 	buf := make([]byte, storage.PageSize)
 	if err := f.ReadPage(start, buf); !errors.Is(err, storage.ErrFreedPage) {
@@ -140,7 +158,7 @@ func TestClassifierScopesFaultsByFileClass(t *testing.T) {
 	m := newMgr()
 	tbl := m.Create("t", ClassTable)
 	idx := m.Create("i", ClassIndex)
-	tno, ino := tbl.AllocPage(), idx.AllocPage()
+	tno, ino := mustAllocPage(t, tbl), mustAllocPage(t, idx)
 	buf := make([]byte, storage.PageSize)
 	m.Device().ArmFault(ssd.FaultRule{Kind: ssd.FaultWriteErr, Class: int(ClassIndex), Sticky: true})
 	if err := tbl.WritePage(tno, buf); err != nil {
@@ -150,7 +168,7 @@ func TestClassifierScopesFaultsByFileClass(t *testing.T) {
 		t.Fatalf("index write should hit the index-scoped fault, got %v", err)
 	}
 	// Freed extents lose their class attribution.
-	run := idx.AllocRun(ExtentPages)
+	run := mustAllocRun(t, idx, ExtentPages)
 	idx.FreeRun(run, ExtentPages)
 	m.Device().DisarmAllFaults()
 }
@@ -158,9 +176,139 @@ func TestClassifierScopesFaultsByFileClass(t *testing.T) {
 func TestPageIDComposition(t *testing.T) {
 	m := newMgr()
 	f := m.Create("x", ClassMeta)
-	no := f.AllocPage()
+	no := mustAllocPage(t, f)
 	pid := f.PageID(no)
 	if pid.File() != f.ID() || pid.PageNo() != no {
 		t.Fatalf("PageID decomposition wrong: %v", pid)
+	}
+}
+
+func TestLiveBytesAllocFreeAllocNoDoubleCount(t *testing.T) {
+	m := newMgr()
+	f := m.Create("idx", ClassIndex)
+	start := mustAllocRun(t, f, ExtentPages*4)
+	if got, want := m.LiveBytes(), int64(4*ExtentBytes); got != want {
+		t.Fatalf("live after alloc: got %d want %d", got, want)
+	}
+	f.FreeRun(start, ExtentPages*4)
+	if got := m.LiveBytes(); got != 0 {
+		t.Fatalf("live after free: got %d want 0", got)
+	}
+	hw := m.HighWaterBytes()
+	// Reuse the freed extents: live must be counted once, the high-water
+	// mark must not move.
+	g := m.Create("t", ClassTable)
+	for i := 0; i < ExtentPages*4; i++ {
+		mustAllocPage(t, g)
+	}
+	if got, want := m.LiveBytes(), int64(4*ExtentBytes); got != want {
+		t.Fatalf("live after reuse: got %d want %d (double-counted?)", got, want)
+	}
+	if m.HighWaterBytes() != hw {
+		t.Fatalf("high-water moved on reuse: %d -> %d", hw, m.HighWaterBytes())
+	}
+	if m.AllocatedBytes() != m.HighWaterBytes() {
+		t.Fatal("AllocatedBytes must alias HighWaterBytes")
+	}
+}
+
+func TestCapacityBudgetReturnsErrNoSpace(t *testing.T) {
+	m := newMgr()
+	m.SetCapacity(2 * ExtentBytes)
+	f := m.Create("t", ClassTable)
+	for i := 0; i < 2*ExtentPages; i++ {
+		mustAllocPage(t, f)
+	}
+	if _, err := f.AllocPage(); !errors.Is(err, storage.ErrNoSpace) {
+		t.Fatalf("alloc past capacity: got %v, want ErrNoSpace", err)
+	}
+	before := f.NumPages()
+	// Freeing space clears the condition.
+	g := m.Create("idx", ClassIndex)
+	if _, err := g.AllocRun(ExtentPages); !errors.Is(err, storage.ErrNoSpace) {
+		t.Fatalf("run past capacity: got %v, want ErrNoSpace", err)
+	}
+	if f.NumPages() != before {
+		t.Fatal("failed alloc changed file size")
+	}
+	m.SetCapacity(0)
+	mustAllocPage(t, f)
+}
+
+func TestAllocRunRollbackOnMidRunFailure(t *testing.T) {
+	m := newMgr()
+	m.SetCapacity(3 * ExtentBytes)
+	f := m.Create("idx", ClassIndex)
+	mustAllocRun(t, f, ExtentPages) // one extent live
+	pages := f.NumPages()
+	// A 3-extent run cannot fit in the remaining 2-extent budget; the
+	// whole run must roll back.
+	if _, err := f.AllocRun(3 * ExtentPages); !errors.Is(err, storage.ErrNoSpace) {
+		t.Fatalf("mid-run capacity failure: got %v, want ErrNoSpace", err)
+	}
+	if f.NumPages() != pages {
+		t.Fatalf("failed run changed file size: %d -> %d", pages, f.NumPages())
+	}
+	if got, want := m.LiveBytes(), int64(ExtentBytes); got != want {
+		t.Fatalf("failed run leaked live bytes: got %d want %d", got, want)
+	}
+	// The rolled-back extents are reusable.
+	start := mustAllocRun(t, f, 2*ExtentPages)
+	buf := make([]byte, storage.PageSize)
+	if err := f.WritePage(start, buf); err != nil {
+		t.Fatalf("write after rollback: %v", err)
+	}
+}
+
+func TestInjectedNoSpaceFault(t *testing.T) {
+	m := newMgr()
+	f := m.Create("t", ClassTable)
+	mustAllocPage(t, f)
+	// The next extent allocation (the file's second extent) hits ENOSPC.
+	m.Device().ArmFault(ssd.FaultRule{Kind: ssd.FaultNoSpace, Class: ssd.AnyClass, Ops: []uint64{1}})
+	for i := 1; i < ExtentPages; i++ {
+		mustAllocPage(t, f) // same extent: no allocation, no fault
+	}
+	if _, err := f.AllocPage(); !errors.Is(err, storage.ErrNoSpace) {
+		t.Fatalf("injected ENOSPC: got %v, want ErrNoSpace", err)
+	}
+	// The schedule is exhausted; the retry succeeds and accounting held.
+	mustAllocPage(t, f)
+	if got, want := m.LiveBytes(), int64(2*ExtentBytes); got != want {
+		t.Fatalf("live after injected fault: got %d want %d", got, want)
+	}
+	if c := m.Device().FaultCounters(); c.Injected[ssd.FaultNoSpace] != 1 {
+		t.Fatalf("no-space fault counter: got %d want 1", c.Injected[ssd.FaultNoSpace])
+	}
+}
+
+func TestSpaceNotifierFiresOutsideLocks(t *testing.T) {
+	m := newMgr()
+	var calls int
+	var last int64
+	m.SetSpaceNotifier(func(live int64) {
+		// Re-entering the manager must be safe (no locks held).
+		_ = m.LiveBytes()
+		_ = m.HighWaterBytes()
+		calls++
+		last = live
+	})
+	f := m.Create("t", ClassTable)
+	mustAllocPage(t, f)
+	if calls != 1 || last != ExtentBytes {
+		t.Fatalf("after alloc: calls=%d last=%d", calls, last)
+	}
+	start := mustAllocRun(t, f, ExtentPages)
+	if calls != 2 {
+		t.Fatalf("after run: calls=%d", calls)
+	}
+	f.FreeRun(start, ExtentPages)
+	if calls != 3 || last != ExtentBytes {
+		t.Fatalf("after free: calls=%d last=%d", calls, last)
+	}
+	m.SetSpaceNotifier(nil)
+	mustAllocPage(t, f)
+	if calls != 3 {
+		t.Fatal("notifier fired after removal")
 	}
 }

@@ -32,9 +32,15 @@ const (
 	// range (persistent bit rot). The read itself succeeds and returns the
 	// corrupted data; only a checksum can tell.
 	FaultBitFlip
+	// FaultNoSpace fails an extent ALLOCATION (not a data-path I/O) with an
+	// error wrapping storage.ErrNoSpace — deterministic ENOSPC, as if the
+	// device's usable capacity shrank under the space manager. Scoping and
+	// op-count schedules work exactly like the I/O fault kinds; the
+	// matching operation sequence is the sequence of extent allocations.
+	FaultNoSpace
 
 	// NumFaultKinds is the number of fault kinds (for counter arrays).
-	NumFaultKinds = 4
+	NumFaultKinds = 5
 )
 
 func (k FaultKind) String() string {
@@ -47,6 +53,8 @@ func (k FaultKind) String() string {
 		return "torn-write"
 	case FaultBitFlip:
 		return "bit-flip"
+	case FaultNoSpace:
+		return "no-space"
 	}
 	return fmt.Sprintf("FaultKind(%d)", uint8(k))
 }
@@ -90,10 +98,14 @@ type FaultRule struct {
 }
 
 func (r *FaultRule) appliesTo(op Op) bool {
-	if op == OpRead {
+	switch op {
+	case OpRead:
 		return r.Kind == FaultReadErr || r.Kind == FaultBitFlip
+	case OpWrite:
+		return r.Kind == FaultWriteErr || r.Kind == FaultTornWrite
+	default: // OpAlloc
+		return r.Kind == FaultNoSpace
 	}
-	return r.Kind == FaultWriteErr || r.Kind == FaultTornWrite
 }
 
 // FaultCounters counts injected faults per kind since the last reset.
@@ -111,9 +123,10 @@ func (c FaultCounters) Total() int64 {
 }
 
 func (c FaultCounters) String() string {
-	return fmt.Sprintf("read-err=%d write-err=%d torn-write=%d bit-flip=%d",
+	return fmt.Sprintf("read-err=%d write-err=%d torn-write=%d bit-flip=%d no-space=%d",
 		c.Injected[FaultReadErr], c.Injected[FaultWriteErr],
-		c.Injected[FaultTornWrite], c.Injected[FaultBitFlip])
+		c.Injected[FaultTornWrite], c.Injected[FaultBitFlip],
+		c.Injected[FaultNoSpace])
 }
 
 // armedFault is a FaultRule plus its private match counter.
@@ -255,5 +268,23 @@ func (d *Device) flipBit(f *armedFault, off int64, n int) {
 }
 
 func faultErr(kind FaultKind, off int64, n int) error {
-	return fmt.Errorf("ssd: injected %v at off=%d len=%d: %w", kind, off, n, storage.ErrIOFault)
+	base := storage.ErrIOFault
+	if kind == FaultNoSpace {
+		base = storage.ErrNoSpace
+	}
+	return fmt.Errorf("ssd: injected %v at off=%d len=%d: %w", kind, off, n, base)
+}
+
+// CheckAlloc consults the armed fault rules for an extent allocation at
+// byte offset off of n bytes. The space manager calls it before committing
+// an allocation; an armed FaultNoSpace rule whose schedule is due fails the
+// allocation with an error wrapping storage.ErrNoSpace. Allocations charge
+// no latency (they move no data) and are not traced.
+func (d *Device) CheckAlloc(off int64, n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f := d.matchFault(OpAlloc, off, n); f != nil {
+		return faultErr(f.rule.Kind, off, n)
+	}
+	return nil
 }

@@ -79,17 +79,24 @@ func latency(lat8, lat64 time.Duration, n int) time.Duration {
 // Op identifies the direction of a traced I/O.
 type Op uint8
 
-// I/O directions.
+// I/O directions. OpAlloc is not a data-path I/O: it labels extent
+// allocations for fault-rule scoping (FaultNoSpace) and never appears in
+// traces.
 const (
 	OpRead Op = iota
 	OpWrite
+	OpAlloc
 )
 
 func (o Op) String() string {
-	if o == OpRead {
+	switch o {
+	case OpRead:
 		return "R"
+	case OpWrite:
+		return "W"
+	default:
+		return "A"
 	}
-	return "W"
 }
 
 // TraceEntry records a single device I/O for write-pattern analysis

@@ -25,4 +25,13 @@ var (
 	// stale reference (e.g. an index entry pointing into a reclaimed
 	// partition) rather than a media problem.
 	ErrFreedPage = errors.New("storage: access to freed or unallocated page")
+
+	// ErrNoSpace marks an extent allocation the device capacity budget
+	// cannot satisfy (or an injected ENOSPC fault). It is neither transient
+	// like ErrIOFault — retrying without reclaiming space fails the same
+	// way — nor permanent like ErrCorruptPage: space reclamation (garbage
+	// collection, partition merges, WAL truncation) can clear it. The
+	// engine responds by degrading to read-only until reclamation brings
+	// usage back under its soft watermark.
+	ErrNoSpace = errors.New("storage: device capacity exhausted")
 )

@@ -6,6 +6,7 @@
 package txn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -63,6 +64,18 @@ type Tx struct {
 	Snap Snapshot
 	mgr  *Manager
 	done bool
+	ctx  context.Context
+}
+
+// Context returns the context the transaction was begun with (never nil).
+// Operations issued through the transaction consult it at their blocking
+// points — write stalls, I/O retries — so a deadline or cancellation on the
+// caller's context bounds how long any single operation can block.
+func (t *Tx) Context() context.Context {
+	if t.ctx == nil {
+		return context.Background()
+	}
+	return t.ctx
 }
 
 // Commit-log chunking: statuses live in fixed 4096-entry chunks of atomic
@@ -122,8 +135,20 @@ func (m *Manager) ensureChunkLocked(id TxID) {
 }
 
 // Begin starts a transaction, assigning it the next id and a snapshot of
-// the currently active set.
+// the currently active set. The transaction carries context.Background();
+// use BeginCtx to attach a cancellable context.
 func (m *Manager) Begin() *Tx {
+	return m.BeginCtx(context.Background())
+}
+
+// BeginCtx starts a transaction carrying ctx (see Tx.Context). A nil ctx
+// is treated as context.Background(). The context does NOT abort the
+// transaction by itself — it only unblocks operations waiting inside it;
+// the caller still owns the Commit/Abort decision.
+func (m *Manager) BeginCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := TxID(m.next.Load())
@@ -140,7 +165,7 @@ func (m *Manager) Begin() *Tx {
 			snap.Xmin = snap.Active[0]
 		}
 	}
-	tx := &Tx{ID: id, Snap: snap, mgr: m}
+	tx := &Tx{ID: id, Snap: snap, mgr: m, ctx: ctx}
 	m.active[id] = tx
 	m.recomputeHorizonLocked()
 	return tx

@@ -34,7 +34,12 @@ var ErrWALCorrupt = errors.New("wal: corrupt record mid-log")
 // Op is a log record type.
 type Op uint8
 
-// Log record types.
+// Log record types. The Ckpt* records frame a checkpoint snapshot at the
+// head of a log generation: CkptBegin opens it (TxID carries the checkpoint
+// sequence number), one CkptRow per committed visible row (Table + Row set,
+// Key holds the primary key), and CkptEnd closes it with the row count in
+// TxID — replay verifies the count so a torn snapshot can never be mistaken
+// for a complete one.
 const (
 	OpBegin Op = iota + 1
 	OpCommit
@@ -42,6 +47,9 @@ const (
 	OpInsert
 	OpUpdate
 	OpDelete
+	OpCkptBegin
+	OpCkptRow
+	OpCkptEnd
 )
 
 func (o Op) String() string {
@@ -58,6 +66,12 @@ func (o Op) String() string {
 		return "update"
 	case OpDelete:
 		return "delete"
+	case OpCkptBegin:
+		return "ckpt-begin"
+	case OpCkptRow:
+		return "ckpt-row"
+	case OpCkptEnd:
+		return "ckpt-end"
 	default:
 		return "?"
 	}
@@ -107,7 +121,7 @@ func decode(src []byte) (rec Record, n int, ok bool) {
 		return Record{}, 0, false
 	}
 	rec.Op = Op(body[0])
-	if rec.Op < OpBegin || rec.Op > OpDelete {
+	if rec.Op < OpBegin || rec.Op > OpCkptEnd {
 		return Record{}, 0, false
 	}
 	i := 1
@@ -164,18 +178,26 @@ func (w *Writer) Written() int64 {
 // a bounded number of times; if a write still fails, the unflushed suffix
 // stays buffered and the error (wrapping the device fault) is returned —
 // a later Flush resumes at exactly the failed page, reusing its page
-// number, so no unreadable gap pages are ever left in the log.
+// number, so no unreadable gap pages are ever left in the log. A page
+// allocation failure (device at capacity) likewise leaves the suffix
+// buffered; a later Flush — after reclamation — retries the allocation.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if len(w.pending) == 0 {
 		return nil
 	}
-	stream := append(w.tail, w.pending...)
 	if !w.haveTail {
-		w.tailPage = w.file.AllocPage()
+		// Allocate before cutting tail/pending so a failure leaves the
+		// writer state exactly as it was.
+		no, err := w.file.AllocPage()
+		if err != nil {
+			return fmt.Errorf("wal: flush: %w", err)
+		}
+		w.tailPage = no
 		w.haveTail = true
 	}
+	stream := append(w.tail, w.pending...)
 	w.tail, w.pending = nil, nil
 	for len(stream) > storage.PageSize {
 		if err := w.writePageRetry(w.tailPage, stream[:storage.PageSize]); err != nil {
@@ -183,7 +205,15 @@ func (w *Writer) Flush() error {
 			return fmt.Errorf("wal: flush: %w", err)
 		}
 		stream = append([]byte(nil), stream[storage.PageSize:]...)
-		w.tailPage = w.file.AllocPage()
+		no, err := w.file.AllocPage()
+		if err != nil {
+			// The filled page was written; the rest stays buffered and the
+			// next Flush allocates a fresh tail page for it.
+			w.pending = stream
+			w.haveTail = false
+			return fmt.Errorf("wal: flush: %w", err)
+		}
+		w.tailPage = no
 	}
 	page := make([]byte, storage.PageSize)
 	copy(page, stream)
