@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check check-nightly check-faults check-exhaust bench bench-full examples cover
+.PHONY: all build vet test race check check-nightly check-faults check-exhaust bench bench-commit bench-full examples cover
 
 all: build vet test
 
@@ -40,6 +40,15 @@ check-exhaust:
 # One testing.B benchmark per paper figure (quick scale).
 bench:
 	go test -bench=. -benchmem
+
+# Commit-pipeline benchmarks: the group-commit experiment table, the
+# write-hot-path alloc benchmarks, and the allocs/op regression gate
+# (TestHotPathAllocGate fails the build on a regression). Output lands in
+# bench-commit.txt for publishing as a build artifact.
+bench-commit:
+	go test ./internal/bench/ -run TestHotPathAllocGate -count 1
+	go test -bench BenchmarkCommit_GroupCommit -benchtime 1x -run xxx . | tee bench-commit.txt
+	go test -bench BenchmarkAlloc -benchmem -benchtime 2000x -run xxx ./internal/bench/ | tee -a bench-commit.txt
 
 # Regenerate every figure at full scale (minutes).
 bench-full:

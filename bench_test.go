@@ -129,6 +129,14 @@ func BenchmarkFig15b_PartitionsOverTime(b *testing.B) {
 	b.ReportMetric(cell(b, res, last, 2), "partitions")
 }
 
+func BenchmarkCommit_GroupCommit(b *testing.B) {
+	res := runExperimentHelper(b, "commit")
+	// Rows: off×{1,8,64} then on×{1,8,64}; headline is the 64-committer pair.
+	b.ReportMetric(cell(b, res, 2, 2), "off_commits/s@64")
+	b.ReportMetric(cell(b, res, 5, 2), "on_commits/s@64")
+	b.ReportMetric(cell(b, res, 5, 4), "on_flushes/commit@64")
+}
+
 // parallelHarness builds the shared read-path scaling fixture once per
 // benchmark (outside the timed region) and starts the background writer.
 func parallelHarness(b *testing.B) (*bench.ParallelHarness, func() int) {

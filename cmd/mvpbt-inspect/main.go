@@ -15,18 +15,20 @@ import (
 
 func main() {
 	var (
-		tuples  = flag.Int("tuples", 200, "number of tuples")
-		updates = flag.Int("updates", 5, "updates per tuple")
-		pbuf    = flag.Int("pbuf", 32<<10, "partition buffer bytes")
-		key      = flag.String("key", "key-000", "key whose index records to dump")
-		bgMaint  = flag.Bool("maint", false, "run eviction/merge/GC on the background maintenance service")
-		capacity = flag.Int64("capacity", 64<<20, "device capacity budget in bytes (0 = unbounded)")
+		tuples      = flag.Int("tuples", 200, "number of tuples")
+		updates     = flag.Int("updates", 5, "updates per tuple")
+		pbuf        = flag.Int("pbuf", 32<<10, "partition buffer bytes")
+		key         = flag.String("key", "key-000", "key whose index records to dump")
+		bgMaint     = flag.Bool("maint", false, "run eviction/merge/GC on the background maintenance service")
+		capacity    = flag.Int64("capacity", 64<<20, "device capacity budget in bytes (0 = unbounded)")
+		groupCommit = flag.Bool("group-commit", false, "route commits through the WAL group-commit batcher")
 	)
 	flag.Parse()
 
 	eng := db.NewEngine(db.Config{
 		BufferPages: 1024, PartitionBufferBytes: *pbuf, BackgroundMaint: *bgMaint,
 		EnableWAL: true, DeviceCapacityBytes: *capacity,
+		GroupCommit: db.GroupCommitConfig{Enabled: *groupCommit},
 	})
 	defer eng.Close()
 	tbl, err := eng.NewTable("demo", db.HeapSIAS, db.IndexDef{
@@ -123,6 +125,17 @@ func main() {
 	fmt.Printf("faults injected: [%v]\n", eng.Dev.FaultCounters())
 	fmt.Printf("error path: checksum_failures=%d read_retries=%d write_retries=%d read_failures=%d write_failures=%d\n",
 		io.ChecksumFailures, io.ReadRetries, io.WriteRetries, io.ReadFailures, io.WriteFailures)
+
+	// Commit pipeline: flushes vs commits shows the lazy-begin/read-only
+	// elision and (with -group-commit) the batcher's amortization.
+	ws := eng.WALStatsSnapshot()
+	fmt.Printf("\n== commit pipeline ==\n")
+	fmt.Printf("wal: flushes=%d commits=%d read-only-commits=%d flushes/commit=%.2f\n",
+		ws.Flushes, ws.Commits, ws.ReadOnlyCommits, ws.FlushesPerCommit())
+	if *groupCommit {
+		fmt.Printf("group commit: batches=%d commits=%d max-batched=%d\n",
+			ws.Group.Batches, ws.Group.Commits, ws.Group.MaxBatched)
+	}
 
 	// Space governance: the capacity budget, the governor's counters, and
 	// the effect of a WAL checkpoint on log size (all transactions are done

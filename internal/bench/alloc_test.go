@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"mvpbt/internal/db"
+)
+
+// Write-hot-path allocation tracking. The benchmarks report allocs/op for
+// the paths the commit pipeline optimised (run with -benchmem); the gate
+// test pins the steady-state counts so a regression fails `go test`. The
+// historical baselines and the current counts are recorded in
+// EXPERIMENTS.md ("commit" experiment).
+
+func newAllocKV(b *testing.B, wal bool) (*db.Engine, *db.MVPBTKV) {
+	b.Helper()
+	e := db.NewEngine(db.Config{EnableWAL: wal})
+	kv, err := db.NewMVPBTKV(e, "alloc", db.MVPBTKVOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		if err := kv.Put([]byte(fmt.Sprintf("user%08d", i)), []byte("value-payload-0123456789")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, kv
+}
+
+func BenchmarkAllocBeginCommit(b *testing.B) {
+	e := db.NewEngine(db.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.Begin()
+		e.Commit(tx)
+	}
+}
+
+func BenchmarkAllocKVGet(b *testing.B) {
+	_, kv := newAllocKV(b, false)
+	key := []byte("user00000042")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := kv.Get(key); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkAllocKVPut(b *testing.B) {
+	_, kv := newAllocKV(b, false)
+	key := []byte("user00000042")
+	val := []byte("value-payload-0123456789")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kv.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocKVPutWAL is the KV put with logging enabled. Since lazy
+// begin records, the KV engine (which logs no row operations) leaves the
+// WAL entirely untouched, so this matches BenchmarkAllocKVPut; it is kept
+// to guard exactly that property.
+func BenchmarkAllocKVPutWAL(b *testing.B) {
+	_, kv := newAllocKV(b, true)
+	key := []byte("user00000042")
+	val := []byte("value-payload-0123456789")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kv.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocTableCommitWAL is the full logged write path: table insert
+// (begin record + row record through the reused encode scratch) plus a
+// durable commit (commit record + flush through the reused page/stream
+// buffers).
+func BenchmarkAllocTableCommitWAL(b *testing.B) {
+	e, tbl := newAllocTable(b)
+	row := make([]byte, commitRowLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(row, uint64(i)+1)
+		tx := e.Begin()
+		if _, _, err := tbl.Insert(tx, row); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.CommitDurable(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newAllocTable(tb testing.TB) (*db.Engine, *db.Table) {
+	tb.Helper()
+	e := db.NewEngine(db.Config{EnableWAL: true})
+	tbl, err := e.NewTable("alloc", db.HeapSIAS, db.IndexDef{
+		Name: "pk", Kind: db.IdxMVPBT, Unique: true,
+		Extract: func(row []byte) []byte { return row[:commitKeyLen] },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e, tbl
+}
+
+// TestHotPathAllocGate pins steady-state allocs/op for the write hot path.
+// The limits carry a little slack over the measured values (0 / 1 / 3; see
+// EXPERIMENTS.md) so incidental work — a tall skiplist tower, an amortized
+// partition-buffer eviction — does not flake the gate, while a genuine +1
+// allocation regression still trips it.
+func TestHotPathAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurements under -short")
+	}
+	const runs = 2000
+
+	e := db.NewEngine(db.Config{})
+	got := testing.AllocsPerRun(runs, func() {
+		tx := e.Begin()
+		e.Commit(tx)
+	})
+	if got > 0.25 {
+		t.Errorf("Begin+Commit: %.2f allocs/op, want 0", got)
+	}
+
+	_, kv := newAllocKVT(t, false)
+	key := []byte("user00000042")
+	val := []byte("value-payload-0123456789")
+	got = testing.AllocsPerRun(runs, func() {
+		if _, ok, err := kv.Get(key); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	})
+	if got > 1.5 {
+		t.Errorf("KV Get: %.2f allocs/op, want <=1 (the returned value copy)", got)
+	}
+	got = testing.AllocsPerRun(runs, func() {
+		if err := kv.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 3.5 {
+		t.Errorf("KV Put: %.2f allocs/op, want <=3 (version record, key+value copy, skiplist node)", got)
+	}
+
+	_, kvw := newAllocKVT(t, true)
+	got = testing.AllocsPerRun(runs, func() {
+		if err := kvw.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 3.5 {
+		t.Errorf("KV Put with WAL: %.2f allocs/op, want <=3 (lazy begins: the KV engine must not touch the log)", got)
+	}
+}
+
+func newAllocKVT(t *testing.T, wal bool) (*db.Engine, *db.MVPBTKV) {
+	t.Helper()
+	e := db.NewEngine(db.Config{EnableWAL: wal})
+	kv, err := db.NewMVPBTKV(e, "alloc", db.MVPBTKVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		if err := kv.Put([]byte(fmt.Sprintf("user%08d", i)), []byte("value-payload-0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e, kv
+}

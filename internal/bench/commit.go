@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpbt/internal/db"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "commit",
+		Title: "Commit pipeline: WAL group commit off vs on (closed-loop committers)",
+		Run:   runCommit,
+	})
+}
+
+// The commit experiment measures the durable-commit pipeline in isolation:
+// closed-loop committer goroutines each run begin → one small insert →
+// CommitDurable against a WAL-logged table, with group commit off and on.
+// Without group commit every committer flushes the log itself; with it a
+// batch leader flushes once for many committers (DESIGN.md §11), which is
+// where the throughput multiple comes from.
+const (
+	commitKeyLen = 16
+	commitRowLen = 64
+	// commitMaxDelay is the leader's batching window when group commit is
+	// on: long enough for concurrent committers to pile into the batch,
+	// short enough that single-client latency stays in the tens of µs.
+	commitMaxDelay = 50 * time.Microsecond
+)
+
+// newCommitEngine builds a WAL-enabled engine with one SIAS table indexed
+// by a unique MV-PBT primary key (the minimal shape whose row operations
+// actually hit the log).
+func newCommitEngine(s Scale, group bool) (*db.Engine, *db.Table, error) {
+	cfg := engineConfig(s.pick(4096, 16384), 4<<20)
+	cfg.EnableWAL = true
+	if group {
+		cfg.GroupCommit = db.GroupCommitConfig{Enabled: true, MaxDelay: commitMaxDelay}
+	}
+	e := db.NewEngine(cfg)
+	tbl, err := e.NewTable("commits", db.HeapSIAS, db.IndexDef{
+		Name:   "pk",
+		Kind:   db.IdxMVPBT,
+		Unique: true,
+		Extract: func(row []byte) []byte {
+			return row[:commitKeyLen]
+		},
+	})
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	return e, tbl, nil
+}
+
+// commitMetrics is one cell of the commit experiment table.
+type commitMetrics struct {
+	rate     float64       // commits/s in composite time
+	p99      time.Duration // wall-clock p99 of begin→insert→commit
+	fpc      float64       // log flushes per durable commit
+	avgBatch float64       // mean commits acknowledged per leader flush
+	maxBatch int64         // largest batch one flush acknowledged
+	allocs   float64       // heap allocations per commit (process-wide)
+}
+
+// commitRun drives `clients` closed-loop committers for ~total commits on
+// a fresh engine and collects the cell's metrics. Throughput uses
+// composite time (wall + simulated device time: the flush I/O is virtual);
+// per-commit latency is wall clock, so the group-commit batching window
+// shows up honestly as added latency.
+func commitRun(s Scale, group bool, clients, total int) (commitMetrics, error) {
+	e, tbl, err := newCommitEngine(s, group)
+	if err != nil {
+		return commitMetrics{}, err
+	}
+	defer e.Close()
+
+	per := total / clients
+	total = per * clients
+	lats := make([][]time.Duration, clients)
+	var (
+		seq      atomic.Uint64
+		firstErr atomic.Pointer[error]
+	)
+
+	before := e.WALStatsSnapshot()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	el, err := measure(e.Clock, func() error {
+		var wg sync.WaitGroup
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				l := make([]time.Duration, 0, per)
+				row := make([]byte, commitRowLen)
+				for i := 0; i < per; i++ {
+					binary.BigEndian.PutUint64(row, seq.Add(1))
+					st := time.Now()
+					tx := e.Begin()
+					if _, _, err := tbl.Insert(tx, row); err != nil {
+						e.Abort(tx)
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					if err := e.CommitDurable(tx); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					l = append(l, time.Since(st))
+				}
+				lats[g] = l
+			}(g)
+		}
+		wg.Wait()
+		if p := firstErr.Load(); p != nil {
+			return *p
+		}
+		return nil
+	})
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return commitMetrics{}, err
+	}
+	after := e.WALStatsSnapshot()
+
+	all := make([]time.Duration, 0, total)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	m := commitMetrics{
+		rate:   perSecond(total, el),
+		p99:    all[len(all)*99/100],
+		fpc:    float64(after.Flushes-before.Flushes) / float64(total),
+		allocs: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+	}
+	if batches := after.Group.Batches - before.Group.Batches; batches > 0 {
+		m.avgBatch = float64(after.Group.Commits-before.Group.Commits) / float64(batches)
+		m.maxBatch = after.Group.MaxBatched
+	} else {
+		m.avgBatch = 1
+		m.maxBatch = 1
+	}
+	return m, nil
+}
+
+// runCommit produces the commit-pipeline table: group commit {off, on} ×
+// {1, 8, 64} committers.
+func runCommit(s Scale) (*Result, error) {
+	res := &Result{
+		ID:    "commit",
+		Title: "Durable commit pipeline: group commit off vs on, closed-loop committers",
+		Header: []string{"group", "clients", "commits/s", "p99_us",
+			"flushes/commit", "avg_batch", "max_batch", "allocs/commit"},
+	}
+	total := s.pick(4096, 65536)
+	rates := map[bool]map[int]float64{false: {}, true: {}}
+	for _, group := range []bool{false, true} {
+		for _, clients := range []int{1, 8, 64} {
+			m, err := commitRun(s, group, clients, total)
+			if err != nil {
+				return nil, err
+			}
+			rates[group][clients] = m.rate
+			mode := "off"
+			if group {
+				mode = "on"
+			}
+			res.Add(mode, fi(int64(clients)),
+				f1(m.rate), f1(float64(m.p99.Nanoseconds())/1e3),
+				f2(m.fpc), f1(m.avgBatch), fi(m.maxBatch), f1(m.allocs))
+		}
+	}
+	res.Note("throughput in composite time (wall + simulated device I/O); p99 latency is wall clock and includes the %v batching window", commitMaxDelay)
+	res.Note("group commit speedup at 64 committers: %.1fx", rates[true][64]/rates[false][64])
+	res.Note("allocs/commit is the process-wide heap allocation delta over the run divided by commits")
+	return res, nil
+}

@@ -193,9 +193,13 @@ func (x *exhauster) build(hk db.HeapKind) error {
 		BufferPages:          2048,
 		PartitionBufferBytes: 1 << 22,
 		EnableWAL:            true,
-		DeviceCapacityBytes:  x.cfg.CapacityBytes,
-		SpaceSoftBytes:       x.cfg.SoftBytes,
-		SpaceHardBytes:       x.cfg.HardBytes,
+		// Commits run through the group-commit batcher (deterministic
+		// batches of one: the exhauster is single-threaded, MaxDelay 0) so
+		// exhaustion testing covers the production commit pipeline.
+		GroupCommit:         db.GroupCommitConfig{Enabled: true},
+		DeviceCapacityBytes: x.cfg.CapacityBytes,
+		SpaceSoftBytes:      x.cfg.SoftBytes,
+		SpaceHardBytes:      x.cfg.HardBytes,
 	})
 	tbl, err := x.eng.NewTable("t", hk, db.IndexDef{
 		Name: "pk", Kind: db.IdxMVPBT, RefMode: db.RefPhysical, Unique: true,

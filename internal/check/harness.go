@@ -186,8 +186,14 @@ func (h *harness) buildEngine() error {
 		BufferPages:          2048,
 		PartitionBufferBytes: 96 << 10,
 		EnableWAL:            true,
-		BackgroundMaint:      h.cfg.Background,
-		MaintWorkers:         2,
+		// Route every commit through the group-commit batcher so the
+		// campaign exercises the production pipeline. The harness is
+		// single-threaded, so each commit is a deterministic batch of one
+		// (MaxDelay 0); multi-member batches are driven explicitly by
+		// OpTornBatch via CommitBatchDurable.
+		GroupCommit:     db.GroupCommitConfig{Enabled: true},
+		BackgroundMaint: h.cfg.Background,
+		MaintWorkers:    2,
 	})
 	pbRef := db.RefPhysical
 	if h.cfg.Heap == db.HeapSIAS {
@@ -234,8 +240,9 @@ func (h *harness) freshTx() (*txn.Tx, func()) {
 	tx := h.eng.Begin()
 	h.ora.Begin(tx)
 	return tx, func() {
+		id := tx.ID // capture before Commit: the handle is pooled
 		h.eng.Commit(tx)
-		h.ora.Commit(tx.ID)
+		h.ora.Commit(id)
 	}
 }
 
@@ -361,16 +368,18 @@ func (h *harness) step(i int, op Op) *Violation {
 		if c.tx == nil {
 			return nil
 		}
+		id := c.tx.ID // capture before Commit: the handle is pooled
 		h.eng.Commit(c.tx)
-		h.ora.Commit(c.tx.ID)
+		h.ora.Commit(id)
 		return h.commitMirror(i, op, c)
 	case OpAbort:
 		c := h.clients[op.Client]
 		if c.tx == nil {
 			return nil
 		}
+		id := c.tx.ID
 		h.eng.Abort(c.tx)
-		h.ora.Abort(c.tx.ID)
+		h.ora.Abort(id)
 		c.reset()
 	case OpVacuum:
 		if _, err := h.tbl.Vacuum(); err != nil {
@@ -438,6 +447,8 @@ func (h *harness) step(i int, op Op) *Violation {
 		})
 	case OpTornCommit:
 		return h.tornCommit(i, op)
+	case OpTornBatch:
+		return h.tornBatch(i, op)
 	}
 	return nil
 }
@@ -489,34 +500,102 @@ func (h *harness) tornCommit(i int, op Op) *Violation {
 		Ops:         []uint64{1, 2, 3},
 		TornSectors: op.Key % (storage.PageSize / ssd.SectorSize),
 	})
+	txid := c.tx.ID // capture before CommitDurable: the handle is pooled
 	err := h.eng.CommitDurable(c.tx)
 	h.eng.Dev.DisarmFault(id)
 	if err == nil {
-		// The flush dodged the fault; a plain successful commit.
-		h.ora.Commit(c.tx.ID)
+		// The flush dodged the fault (or the transaction was read-only and
+		// never touched the log); a plain successful commit.
+		h.ora.Commit(txid)
 		return h.commitMirror(i, op, c)
 	}
 	if !errors.Is(err, storage.ErrIOFault) {
 		return h.violE(i, op.String(), err, "torn commit flush: %v", err)
 	}
-	committed := false
-	r := wal.NewReaderFromBytes(h.eng.LogImage())
-	for {
-		rec, ok := r.Next()
-		if !ok {
-			break
-		}
-		if rec.Op == wal.OpCommit && rec.TxID == uint64(c.tx.ID) {
-			committed = true
-		}
-	}
-	if committed {
-		h.ora.Commit(c.tx.ID)
+	if logCommitted(h.eng.LogImage(), txid) {
+		h.ora.Commit(txid)
 	} else {
-		h.ora.Abort(c.tx.ID)
+		h.ora.Abort(txid)
 	}
 	h.res.FaultRecoveries++
 	return h.crash(i)
+}
+
+// tornBatch drives a batched group commit through a torn WAL flush: every
+// client's open transaction joins one CommitBatchDurable, whose single
+// flush tears, leaving EVERY logged member of the batch in doubt at once.
+// Commit records were appended in batch order, so the tear typically
+// persists a prefix of the batch: each member is resolved independently
+// against the durable bytes — exactly the question recovery will answer —
+// the verdicts are applied to the oracle, and the run crash-restarts.
+// Lockstep after recovery asserts that a torn batched flush can cost
+// unacknowledged transactions, but never consistency.
+func (h *harness) tornBatch(i int, op Op) *Violation {
+	var (
+		txs   []*txn.Tx
+		cls   []*client
+		txids []txn.TxID
+	)
+	for _, c := range h.clients {
+		if c.tx != nil {
+			txs = append(txs, c.tx)
+			cls = append(cls, c)
+			txids = append(txids, c.tx.ID)
+		}
+	}
+	if len(txs) == 0 {
+		return nil
+	}
+	id := h.eng.Dev.ArmFault(ssd.FaultRule{
+		Kind: ssd.FaultTornWrite, Class: int(sfile.ClassMeta),
+		Ops:         []uint64{1, 2, 3},
+		TornSectors: op.Key % (storage.PageSize / ssd.SectorSize),
+	})
+	err := h.eng.CommitBatchDurable(txs)
+	h.eng.Dev.DisarmFault(id)
+	if err == nil {
+		// The flush dodged the fault (e.g. every member read-only): a plain
+		// successful batch commit, already applied in memory.
+		for j, c := range cls {
+			h.ora.Commit(txids[j])
+			if v := h.commitMirror(i, op, c); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+	if !errors.Is(err, storage.ErrIOFault) {
+		return h.violE(i, op.String(), err, "torn batch flush: %v", err)
+	}
+	img := h.eng.LogImage()
+	for j, c := range cls {
+		if logCommitted(img, txids[j]) {
+			h.ora.Commit(txids[j])
+			if v := h.commitMirror(i, op, c); v != nil {
+				return v
+			}
+		} else {
+			h.ora.Abort(txids[j])
+			c.reset()
+		}
+	}
+	h.res.FaultRecoveries++
+	return h.crash(i)
+}
+
+// logCommitted reports whether the readable prefix of a durable log image
+// contains txid's commit record — the exact question recovery will answer.
+func logCommitted(image []byte, txid txn.TxID) bool {
+	r := wal.NewReaderFromBytes(image)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			return false
+		}
+		if rec.Op == wal.OpCommit && rec.TxID == uint64(txid) {
+			return true
+		}
+	}
 }
 
 // writeAt applies an update (newRow != nil) or delete (nil) at key for

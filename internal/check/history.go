@@ -39,6 +39,8 @@ const (
 	OpFaultFlip  // arm a one-shot bit-flip (media rot) on a table/index read
 	OpTornCommit // commit through a torn WAL write, resolve the in-doubt
 	// transaction from the durable bytes, then crash-restart
+	OpTornBatch // batch-commit EVERY client's open transaction under one
+	// torn flush, resolve each member independently, then crash-restart
 	nOpKinds
 )
 
@@ -46,7 +48,7 @@ var opNames = [nOpKinds]string{
 	"insert", "update", "updatekey", "delete", "lookup", "scan", "count",
 	"commit", "abort", "vacuum", "evict", "merge", "pause", "resume",
 	"barrier", "crash", "fault-read", "fault-write", "fault-flip",
-	"torn-commit",
+	"torn-commit", "torn-batch",
 }
 
 func (k OpKind) String() string {
@@ -77,7 +79,7 @@ func (op Op) String() string {
 		return fmt.Sprintf("c%d %s [k%d,k%d) ix%d", op.Client, op.Kind, op.Key, op.Key2, op.Ix)
 	case OpCommit, OpAbort, OpTornCommit:
 		return fmt.Sprintf("c%d %s", op.Client, op.Kind)
-	case OpFaultRead, OpFaultWrite, OpFaultFlip:
+	case OpFaultRead, OpFaultWrite, OpFaultFlip, OpTornBatch:
 		return fmt.Sprintf("%s k%d", op.Kind, op.Key)
 	default:
 		return op.Kind.String()
@@ -158,9 +160,9 @@ func Generate(cfg GenConfig) []Op {
 		span := 1 + r.Intn(cfg.Keys/4+1)
 		op := Op{Client: c, Key: key, Ix: r.Intn(4)}
 		if cfg.Faults {
-			// ~7% of ops arm a fault; the extra draw happens only in fault
+			// ~8% of ops arm a fault; the extra draw happens only in fault
 			// mode, so non-fault histories are unchanged.
-			if fr := r.Intn(100); fr < 7 {
+			if fr := r.Intn(100); fr < 8 {
 				switch {
 				case fr < 2:
 					op.Kind = OpFaultRead
@@ -168,8 +170,10 @@ func Generate(cfg GenConfig) []Op {
 					op.Kind = OpFaultWrite
 				case fr < 6:
 					op.Kind = OpFaultFlip
-				default:
+				case fr < 7:
 					op.Kind = OpTornCommit
+				default:
+					op.Kind = OpTornBatch
 				}
 				ops = append(ops, op)
 				continue

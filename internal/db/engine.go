@@ -41,6 +41,10 @@ type Config struct {
 	// internal/wal). Off by default: the paper's experiments run without
 	// durability, like the paper's prototype.
 	EnableWAL bool
+	// GroupCommit batches concurrent durable commits into shared log
+	// flushes (see GroupCommitConfig and DESIGN.md §11). Only meaningful
+	// with EnableWAL; disabled by default, preserving per-commit flushes.
+	GroupCommit GroupCommitConfig
 	// BackgroundMaint runs partition eviction, merges, garbage sweeps and
 	// LSM flush/compaction on a background maintenance service instead of
 	// inline on the writer. Off by default: the synchronous mode is the
@@ -116,6 +120,13 @@ type Engine struct {
 	ckptStats    CheckpointStats
 	ckptErrs     atomic.Int64
 
+	// gc is the group-commit batcher (nil unless Config.GroupCommit.Enabled
+	// with EnableWAL). walCommits/walROCommits count durable commits that
+	// appended a commit record vs read-only commits elided entirely.
+	gc           *groupCommitter
+	walCommits   atomic.Int64
+	walROCommits atomic.Int64
+
 	// Checkpoint crash hooks (tests only): called with walMu held at the
 	// three interesting instants — new generation durable but superblock
 	// not yet written; superblock written but old generation not yet freed;
@@ -162,6 +173,9 @@ func NewEngine(cfg Config) *Engine {
 		e.walFile = e.FM.Create("wal", sfile.ClassMeta)
 		e.wal = wal.NewWriter(e.walFile)
 		e.walMeta = e.FM.Create("walmeta", sfile.ClassMeta)
+		if cfg.GroupCommit.Enabled {
+			e.gc = newGroupCommitter(e, cfg.GroupCommit)
+		}
 	}
 	if cfg.DeviceCapacityBytes > 0 {
 		e.FM.SetCapacity(cfg.DeviceCapacityBytes)
@@ -226,6 +240,12 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	var first error
+	if e.gc != nil {
+		// Fence the commit pipeline first: already-enqueued committers are
+		// drained (their leaders flush as usual), later arrivals fail with
+		// ErrClosed instead of racing the final flush below.
+		e.gc.close()
+	}
 	if e.Maint != nil {
 		if err := e.Maint.Close(); err != nil && first == nil {
 			first = err
@@ -259,13 +279,10 @@ func (e *Engine) Begin() *txn.Tx {
 // cancellation bounds how long any single call can block. The context does
 // not abort the transaction by itself; the caller still Commits or Aborts.
 func (e *Engine) BeginCtx(ctx context.Context) *txn.Tx {
-	tx := e.Mgr.BeginCtx(ctx)
-	if e.wal != nil {
-		e.walMu.RLock()
-		e.wal.Append(&wal.Record{Op: wal.OpBegin, TxID: uint64(tx.ID)})
-		e.walMu.RUnlock()
-	}
-	return tx
+	// The transaction's OpBegin record is emitted LAZILY, together with its
+	// first row operation (Table.logOp): a read-only transaction therefore
+	// never touches the log — no begin record, no commit record, no flush.
+	return e.Mgr.BeginCtx(ctx)
 }
 
 // Commit commits tx. With logging enabled the commit record and all of the
@@ -286,15 +303,29 @@ func (e *Engine) Commit(tx *txn.Tx) {
 // recovery may legitimately resurface the transaction as committed. The
 // caller decides between retrying the flush (the log writer resumes at the
 // failed page) and crashing.
+//
+// A read-only transaction (no logged row operations) commits without
+// touching the log at all. With Config.GroupCommit the flush is performed
+// by a batch leader on behalf of many committers (see DESIGN.md §11); a
+// commit arriving after Close has fenced the batcher fails with ErrClosed.
 func (e *Engine) CommitDurable(tx *txn.Tx) error {
-	if e.wal != nil {
-		e.walMu.RLock()
-		e.wal.Append(&wal.Record{Op: wal.OpCommit, TxID: uint64(tx.ID)})
-		err := e.wal.Flush()
-		e.walMu.RUnlock()
-		if err != nil {
-			return err
+	if e.wal != nil && tx.WALLogged() {
+		if e.gc != nil {
+			if err := e.gc.commit(tx); err != nil {
+				return err
+			}
+		} else {
+			e.walMu.RLock()
+			e.wal.Append(&wal.Record{Op: wal.OpCommit, TxID: uint64(tx.ID)})
+			err := e.wal.Flush()
+			e.walMu.RUnlock()
+			if err != nil {
+				return err
+			}
 		}
+		e.walCommits.Add(1)
+	} else if e.wal != nil {
+		e.walROCommits.Add(1)
 	}
 	e.Mgr.Commit(tx)
 	e.maybeAutoCheckpoint()
@@ -302,9 +333,9 @@ func (e *Engine) CommitDurable(tx *txn.Tx) error {
 	return nil
 }
 
-// Abort aborts tx.
+// Abort aborts tx. A transaction that never logged needs no abort record.
 func (e *Engine) Abort(tx *txn.Tx) {
-	if e.wal != nil {
+	if e.wal != nil && tx.WALLogged() {
 		e.walMu.RLock()
 		e.wal.Append(&wal.Record{Op: wal.OpAbort, TxID: uint64(tx.ID)})
 		e.walMu.RUnlock()

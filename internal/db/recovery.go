@@ -14,12 +14,19 @@ import (
 // order through the normal table interfaces into a freshly built engine,
 // reconstructing heaps, indexes and indirection state.
 
-// logOp appends a row-operation record when logging is enabled.
+// logOp appends a row-operation record when logging is enabled. The
+// transaction's OpBegin record is emitted lazily here, immediately before
+// its first row record (under the same walMu hold, so no other record can
+// interleave between them): replay requires begin-before-first-op, and
+// read-only transactions never reach this point, leaving the log untouched.
 func (t *Table) logOp(tx *txn.Tx, op wal.Op, key, row []byte) {
 	if t.eng.wal == nil {
 		return
 	}
 	t.eng.walMu.RLock()
+	if tx.FirstWALOp() {
+		t.eng.wal.Append(&wal.Record{Op: wal.OpBegin, TxID: uint64(tx.ID)})
+	}
 	t.eng.wal.Append(&wal.Record{Op: op, TxID: uint64(tx.ID), Table: t.name, Key: key, Row: row})
 	t.eng.walMu.RUnlock()
 }

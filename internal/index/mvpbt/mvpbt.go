@@ -267,7 +267,17 @@ func (t *Tree) Stats() Stats {
 // ---- Modification operations (§4.2): all writes go to PN only.
 
 func (t *Tree) pnPut(tx *txn.Tx, key []byte, rec *Record) error {
-	kc := append([]byte(nil), key...)
+	// The record owns copies of the caller's key and inline value; both
+	// live until the partition is evicted, so they are carved from ONE
+	// allocation rather than two (callers pass Val uncopied).
+	buf := make([]byte, len(key)+len(rec.Val))
+	kc := buf[:len(key):len(key)]
+	copy(kc, key)
+	if len(rec.Val) > 0 {
+		vc := buf[len(key):]
+		copy(vc, rec.Val)
+		rec.Val = vc
+	}
 	t.mu.Lock()
 	v := t.view.Load()
 	k := pnKey{key: kc, ts: rec.TS, seq: t.pnSeq}
@@ -298,7 +308,7 @@ func (t *Tree) InsertRegular(tx *txn.Tx, key []byte, ref index.Ref) error {
 // InsertRegularVal is InsertRegular with an inline payload — MV-PBT as a
 // clustered multi-version store (the WiredTiger integration of §5).
 func (t *Tree) InsertRegularVal(tx *txn.Tx, key []byte, ref index.Ref, val []byte) error {
-	return t.pnPut(tx, key, &Record{Type: Regular, TS: tx.ID, Ref: ref, Val: append([]byte(nil), val...)})
+	return t.pnPut(tx, key, &Record{Type: Regular, TS: tx.ID, Ref: ref, Val: val})
 }
 
 // InsertReplacement implements index.VersionAware.
@@ -308,7 +318,7 @@ func (t *Tree) InsertReplacement(tx *txn.Tx, key []byte, newRef index.Ref, oldRI
 
 // InsertReplacementVal is InsertReplacement with an inline payload.
 func (t *Tree) InsertReplacementVal(tx *txn.Tx, key []byte, newRef index.Ref, oldRID storage.RecordID, val []byte) error {
-	return t.pnPut(tx, key, &Record{Type: Replacement, TS: tx.ID, Ref: newRef, OldRID: oldRID, Val: append([]byte(nil), val...)})
+	return t.pnPut(tx, key, &Record{Type: Replacement, TS: tx.ID, Ref: newRef, OldRID: oldRID, Val: val})
 }
 
 // InsertKeyUpdate implements index.VersionAware: an anti-record under the
@@ -408,8 +418,30 @@ func (v *visCheck) atKey(key []byte) {
 	}
 }
 
+// visPool recycles visCheck scratch (struct, anti-matter map, key buffer)
+// across lookups and scans: the per-read allocation cost of the visibility
+// check drops to zero in steady state.
+var visPool = sync.Pool{
+	New: func() any { return &visCheck{anti: make(map[storage.RecordID]txn.TxID)} },
+}
+
 func (t *Tree) newVisCheck(tx *txn.Tx) *visCheck {
-	return &visCheck{t: tx, tree: t, horizon: t.mgr.Horizon(), anti: make(map[storage.RecordID]txn.TxID)}
+	v := visPool.Get().(*visCheck)
+	v.t, v.tree, v.horizon = tx, t, t.mgr.Horizon()
+	v.haveKey = false
+	v.key = v.key[:0]
+	if len(v.anti) > 0 {
+		clear(v.anti)
+	}
+	return v
+}
+
+// release returns v to the pool. The transaction and tree references are
+// dropped: Tx handles are themselves pooled by the txn manager and must
+// not be retained past the read that borrowed them.
+func (v *visCheck) release() {
+	v.t, v.tree = nil, nil
+	visPool.Put(v)
 }
 
 // check classifies one record. inPN enables cooperative GC phase-1 marking
@@ -488,6 +520,7 @@ func (t *Tree) Lookup(tx *txn.Tx, key []byte, fn func(index.Entry) bool) error {
 		return t.uniqueLookup(tx, v, key, fn)
 	}
 	vis := t.newVisCheck(tx)
+	defer vis.release()
 	stop := false
 	emit := func(rec *Record) bool {
 		if !fn(index.Entry{Key: key, Ref: rec.Ref, Val: rec.Val}) {
@@ -640,6 +673,7 @@ func (t *Tree) Scan(tx *txn.Tx, lo, hi []byte, fn func(index.Entry) bool) error 
 		return t.uniqueScan(tx, v, lo, hi, fn)
 	}
 	vis := t.newVisCheck(tx)
+	defer vis.release()
 	srcs, err := t.scanSources(tx, v, lo, hi)
 	if err != nil {
 		return err

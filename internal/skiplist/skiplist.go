@@ -33,14 +33,26 @@ type List[K any, V any] struct {
 	size  func(k K, v V) int
 }
 
+// inlineLevels is the tower height stored inside the node itself. With the
+// 1/4 level promotion probability, ~99.6% of nodes fit (P[lvl>4] = 4^-4),
+// so the common-case insert is one allocation: node and tower together.
+const inlineLevels = 4
+
 type node[K any, V any] struct {
-	key  K
-	val  V
-	next []atomic.Pointer[node[K, V]]
+	key    K
+	val    V
+	next   []atomic.Pointer[node[K, V]] // aliases inline for lvl <= inlineLevels
+	inline [inlineLevels]atomic.Pointer[node[K, V]]
 }
 
 func newNode[K any, V any](k K, v V, lvl int) *node[K, V] {
-	return &node[K, V]{key: k, val: v, next: make([]atomic.Pointer[node[K, V]], lvl)}
+	n := &node[K, V]{key: k, val: v}
+	if lvl <= inlineLevels {
+		n.next = n.inline[:lvl:inlineLevels]
+	} else {
+		n.next = make([]atomic.Pointer[node[K, V]], lvl)
+	}
+	return n
 }
 
 // New returns an empty list ordered by cmp. size, if non-nil, is used to

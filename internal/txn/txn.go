@@ -59,13 +59,44 @@ func (s *Snapshot) contains(id TxID) bool {
 }
 
 // Tx is a running (or finished) transaction handle.
+//
+// Handles are POOLED: Commit/Abort returns the handle to the manager's
+// free list and a later Begin may reuse it, rewriting every field. The
+// rules that make this safe: a handle is owned by one goroutine at a
+// time, nothing may retain a *Tx (or a sub-slice of its snapshot's
+// Active set) past Commit/Abort, and consumers that need transaction
+// identity durably store the TxID value, never the pointer. All in-tree
+// consumers follow this (heaps and indexes store TxIDs; the differential
+// oracle copies the snapshot at Begin).
 type Tx struct {
 	ID   TxID
 	Snap Snapshot
 	mgr  *Manager
 	done bool
 	ctx  context.Context
+
+	// walLogged tracks whether the engine has emitted this transaction's
+	// WAL begin record (begin records are written lazily with the first
+	// row operation, so read-only transactions never touch the log). Owned
+	// by the transaction's goroutine, reset on reuse.
+	walLogged bool
 }
+
+// FirstWALOp reports whether this is the first logged operation of the
+// transaction, marking it logged as a side effect. The engine calls it to
+// decide whether a begin record must precede the row record being appended.
+func (t *Tx) FirstWALOp() bool {
+	if t.walLogged {
+		return false
+	}
+	t.walLogged = true
+	return true
+}
+
+// WALLogged reports whether the transaction has appended anything to the
+// WAL (i.e. a begin record exists). Read-only transactions never log, so
+// their commit needs neither a commit record nor a flush.
+func (t *Tx) WALLogged() bool { return t.walLogged }
 
 // Context returns the context the transaction was begun with (never nil).
 // Operations issued through the transaction consult it at their blocking
@@ -100,6 +131,11 @@ type Manager struct {
 	next   atomic.Uint64 // next TxID to assign
 	active map[TxID]*Tx
 	chunks atomic.Pointer[[]*statusChunk]
+
+	// txPool recycles Tx handles (and, via their Snap.Active capacity, the
+	// per-begin active-set slices) so the Begin/Commit hot path allocates
+	// nothing in steady state. See the pooling contract on Tx.
+	txPool sync.Pool
 
 	// horizon caches the GC cutoff (min Xmin over active snapshots, or
 	// next if none). It only changes when the active set changes, so
@@ -149,14 +185,17 @@ func (m *Manager) BeginCtx(ctx context.Context) *Tx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tx, _ := m.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := TxID(m.next.Load())
 	m.ensureChunkLocked(id)
 	m.next.Store(uint64(id) + 1)
-	snap := Snapshot{Xmin: id, Xmax: id}
+	snap := Snapshot{Xmin: id, Xmax: id, Active: tx.Snap.Active[:0]}
 	if len(m.active) > 0 {
-		snap.Active = make([]TxID, 0, len(m.active))
 		for a := range m.active {
 			snap.Active = append(snap.Active, a)
 		}
@@ -165,7 +204,7 @@ func (m *Manager) BeginCtx(ctx context.Context) *Tx {
 			snap.Xmin = snap.Active[0]
 		}
 	}
-	tx := &Tx{ID: id, Snap: snap, mgr: m, ctx: ctx}
+	*tx = Tx{ID: id, Snap: snap, mgr: m, ctx: ctx}
 	m.active[id] = tx
 	m.recomputeHorizonLocked()
 	return tx
@@ -183,14 +222,20 @@ func (m *Manager) Abort(tx *Tx) {
 
 func (m *Manager) finish(tx *Tx, st Status) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if tx.done {
+		m.mu.Unlock()
 		panic(fmt.Sprintf("txn: double finish of %d", tx.ID))
 	}
 	tx.done = true
 	m.statusEntry(tx.ID).Store(uint32(st))
 	delete(m.active, tx.ID)
 	m.recomputeHorizonLocked()
+	m.mu.Unlock()
+	// Recycle the handle. The pooling contract (see Tx) lets a later Begin
+	// rewrite it; callers that read tx.ID immediately after Commit in the
+	// same goroutine are still safe only if no other goroutine Begins in
+	// between, so in-tree callers capture the id before finishing.
+	m.txPool.Put(tx)
 }
 
 func (m *Manager) recomputeHorizonLocked() {

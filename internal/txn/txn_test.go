@@ -58,12 +58,13 @@ func TestLaterTxInvisible(t *testing.T) {
 func TestAbortedInvisible(t *testing.T) {
 	m := NewManager()
 	w := m.Begin()
+	id := w.ID // capture before Abort: handles are pooled and reused
 	m.Abort(w)
 	r := m.Begin()
-	if r.Sees(w.ID) {
+	if r.Sees(id) {
 		t.Fatal("aborted tx visible")
 	}
-	if m.StatusOf(w.ID) != Aborted {
+	if m.StatusOf(id) != Aborted {
 		t.Fatal("status not aborted")
 	}
 }

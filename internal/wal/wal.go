@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/storage"
@@ -86,14 +87,22 @@ type Record struct {
 	Row   []byte // new row payload (insert/update)
 }
 
+// encodeBody renders a record body into scratch (reused across calls by the
+// Writer so the hot append path allocates nothing once the buffer has grown).
+func encodeBody(scratch []byte, r *Record) []byte {
+	body := append(scratch[:0], byte(r.Op))
+	body = util.PutUvarint(body, r.TxID)
+	body = util.PutUvarint(body, uint64(len(r.Table)))
+	body = append(body, r.Table...)
+	body = util.PutBytes(body, r.Key)
+	body = util.PutBytes(body, r.Row)
+	return body
+}
+
 // encode renders a record with a leading length and trailing checksum:
 // [len varint][body][fnv64(body) 8B].
 func encode(dst []byte, r *Record) []byte {
-	body := []byte{byte(r.Op)}
-	body = util.PutUvarint(body, r.TxID)
-	body = util.PutBytes(body, []byte(r.Table))
-	body = util.PutBytes(body, r.Key)
-	body = util.PutBytes(body, r.Row)
+	body := encodeBody(nil, r)
 	dst = util.PutUvarint(dst, uint64(len(body)))
 	dst = append(dst, body...)
 	return util.EncodeUint64(dst, checksum(body))
@@ -151,6 +160,16 @@ type Writer struct {
 	tailPage uint64
 	haveTail bool
 	written  int64 // total logical bytes appended
+
+	// Reused scratch (all owned by w, guarded by mu): enc is the record-body
+	// encode buffer, page the device write buffer, stream the flush staging
+	// buffer. They grow once and make steady-state Append/Flush allocation
+	// free.
+	enc    []byte
+	page   []byte
+	stream []byte
+
+	flushes atomic.Int64 // successful Flush calls that reached the device
 }
 
 // NewWriter creates a writer logging to file.
@@ -162,8 +181,11 @@ func NewWriter(file *sfile.File) *Writer {
 func (w *Writer) Append(r *Record) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.enc = encodeBody(w.enc, r)
 	before := len(w.pending)
-	w.pending = encode(w.pending, r)
+	w.pending = util.PutUvarint(w.pending, uint64(len(w.enc)))
+	w.pending = append(w.pending, w.enc...)
+	w.pending = util.EncodeUint64(w.pending, checksum(w.enc))
 	w.written += int64(len(w.pending) - before)
 }
 
@@ -173,6 +195,10 @@ func (w *Writer) Written() int64 {
 	defer w.mu.Unlock()
 	return w.written
 }
+
+// Flushes returns the number of Flush calls that performed device writes
+// and succeeded (flushes of an empty buffer are not counted).
+func (w *Writer) Flushes() int64 { return w.flushes.Load() }
 
 // Flush forces buffered records to the device. Each page write is retried
 // a bounded number of times; if a write still fails, the unflushed suffix
@@ -197,31 +223,43 @@ func (w *Writer) Flush() error {
 		w.tailPage = no
 		w.haveTail = true
 	}
-	stream := append(w.tail, w.pending...)
-	w.tail, w.pending = nil, nil
+	// Stage tail+pending in the reusable stream buffer; on failure the
+	// unwritten remainder is copied back into pending (the buffers are
+	// distinct, so the copy is safe), exactly as before.
+	stream := append(w.stream[:0], w.tail...)
+	stream = append(stream, w.pending...)
+	w.stream = stream[:0]
+	w.tail, w.pending = w.tail[:0], w.pending[:0]
 	for len(stream) > storage.PageSize {
 		if err := w.writePageRetry(w.tailPage, stream[:storage.PageSize]); err != nil {
-			w.pending = stream
+			w.pending = append(w.pending[:0], stream...)
+			w.tail = w.tail[:0]
 			return fmt.Errorf("wal: flush: %w", err)
 		}
-		stream = append([]byte(nil), stream[storage.PageSize:]...)
+		stream = stream[storage.PageSize:]
 		no, err := w.file.AllocPage()
 		if err != nil {
 			// The filled page was written; the rest stays buffered and the
 			// next Flush allocates a fresh tail page for it.
-			w.pending = stream
+			w.pending = append(w.pending[:0], stream...)
+			w.tail = w.tail[:0]
 			w.haveTail = false
 			return fmt.Errorf("wal: flush: %w", err)
 		}
 		w.tailPage = no
 	}
-	page := make([]byte, storage.PageSize)
-	copy(page, stream)
-	if err := w.writePageRetry(w.tailPage, page); err != nil {
-		w.pending = stream
+	if w.page == nil {
+		w.page = make([]byte, storage.PageSize)
+	}
+	copy(w.page, stream)
+	clear(w.page[len(stream):])
+	if err := w.writePageRetry(w.tailPage, w.page); err != nil {
+		w.pending = append(w.pending[:0], stream...)
+		w.tail = w.tail[:0]
 		return fmt.Errorf("wal: flush: %w", err)
 	}
-	w.tail = stream
+	w.tail = append(w.tail[:0], stream...)
+	w.flushes.Add(1)
 	return nil
 }
 

@@ -325,3 +325,32 @@ func TestFlushRetriesTransientFaultAndResumes(t *testing.T) {
 		t.Fatalf("failed flush left gap pages: %d pages", n)
 	}
 }
+
+// TestFlushesCounter: the counter feeds the flushes/commit metric, so it
+// must count exactly the successful flushes that wrote the device — not
+// empty no-ops, not failed attempts.
+func TestFlushesCounter(t *testing.T) {
+	dev := ssd.New(simclock.New(), ssd.IntelP3600)
+	f := sfile.NewManager(dev).Create("wal", sfile.ClassMeta)
+	w := NewWriter(f)
+	if err := w.Flush(); err != nil || w.Flushes() != 0 {
+		t.Fatalf("empty flush: err=%v flushes=%d, want 0", err, w.Flushes())
+	}
+	w.Append(&Record{Op: OpBegin, TxID: 1})
+	w.Append(&Record{Op: OpCommit, TxID: 1})
+	if err := w.Flush(); err != nil || w.Flushes() != 1 {
+		t.Fatalf("first flush: err=%v flushes=%d, want 1", err, w.Flushes())
+	}
+	if err := w.Flush(); err != nil || w.Flushes() != 1 {
+		t.Fatalf("empty re-flush counted: err=%v flushes=%d, want still 1", err, w.Flushes())
+	}
+	id := dev.ArmFault(ssd.FaultRule{Kind: ssd.FaultWriteErr, Class: ssd.AnyClass, Sticky: true})
+	w.Append(&Record{Op: OpBegin, TxID: 2})
+	if err := w.Flush(); err == nil || w.Flushes() != 1 {
+		t.Fatalf("failed flush counted: err=%v flushes=%d, want still 1", err, w.Flushes())
+	}
+	dev.DisarmFault(id)
+	if err := w.Flush(); err != nil || w.Flushes() != 2 {
+		t.Fatalf("resumed flush: err=%v flushes=%d, want 2", err, w.Flushes())
+	}
+}
