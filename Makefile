@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race check check-nightly check-faults check-exhaust bench bench-commit bench-full examples cover
+.PHONY: all build vet test race race-net check check-nightly check-faults check-exhaust bench bench-commit bench-net bench-full smoke-server examples cover
 
 all: build vet test
 
@@ -16,6 +16,12 @@ test:
 race:
 	go vet ./...
 	go test -race ./...
+
+# Race pass over the sharding/network subsystem only (fast CI step): the
+# shard router's snapshot barrier and the server's session management are
+# the most concurrency-sensitive code in the tree.
+race-net:
+	go test -race ./internal/shard/ ./internal/server/...
 
 # Differential correctness harness: short smoke (CI) and nightly-length.
 check:
@@ -49,6 +55,17 @@ bench-commit:
 	go test ./internal/bench/ -run TestHotPathAllocGate -count 1
 	go test -bench BenchmarkCommit_GroupCommit -benchtime 1x -run xxx . | tee bench-commit.txt
 	go test -bench BenchmarkAlloc -benchmem -benchtime 2000x -run xxx ./internal/bench/ | tee -a bench-commit.txt
+
+# Sharded network front-end experiment: clients x shards scaling curve and
+# p99 under overload with admission control on/off. Output lands in
+# bench-net.txt for publishing as a build artifact.
+bench-net:
+	go run ./cmd/mvpbt-bench -run net | tee bench-net.txt
+
+# mvpbt-server end-to-end smoke: start, run client ops over TCP via
+# shardclient, drain, verify clean shutdown. Exits non-zero on failure.
+smoke-server:
+	go run ./cmd/mvpbt-server -smoke
 
 # Regenerate every figure at full scale (minutes).
 bench-full:

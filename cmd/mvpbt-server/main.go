@@ -1,0 +1,217 @@
+// Command mvpbt-server serves a sharded MV-PBT deployment over TCP: N
+// independent engines behind a shard.Router, fronted by the wire protocol
+// with per-tenant admission control and graceful drain on SIGINT/SIGTERM
+// (DESIGN.md §12).
+//
+// The storage under it is the repo's simulated device, so the server is a
+// protocol/concurrency testbed rather than a persistent database: state
+// lives for the process lifetime.
+//
+// -smoke runs the full lifecycle in-process — start, run client
+// operations through shardclient, drain, verify clean shutdown — and
+// exits non-zero on any failure; CI uses it as the server's end-to-end
+// gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/server"
+	"mvpbt/internal/server/shardclient"
+	"mvpbt/internal/shard"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7878", "TCP listen address")
+		shards       = flag.Int("shards", 4, "number of independent engine shards")
+		capacity     = flag.Int64("capacity", 256<<20, "per-shard device capacity budget in bytes (0 = unbounded)")
+		pbuf         = flag.Int("pbuf", 256<<10, "per-shard partition buffer bytes")
+		groupCommit  = flag.Bool("group-commit", true, "route commits through the WAL group-commit batcher")
+		admission    = flag.String("admission", "reject", "admission policy under overload: reject | queue")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "how long queued sessions wait for admission")
+		maxSessions  = flag.Int("max-sessions", 256, "global concurrent session cap")
+		maxPerTenant = flag.Int("max-per-tenant", 64, "per-tenant concurrent session cap")
+		drainWait    = flag.Duration("drain-wait", 10*time.Second, "how long shutdown waits for sessions to finish")
+		smoke        = flag.Bool("smoke", false, "run the in-process smoke test and exit")
+	)
+	flag.Parse()
+
+	pol := server.AdmitReject
+	switch *admission {
+	case "reject":
+	case "queue":
+		pol = server.AdmitQueue
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -admission %q (want reject or queue)\n", *admission)
+		os.Exit(2)
+	}
+
+	r, err := shard.New(shard.Config{
+		Shards: *shards,
+		Engine: db.Config{
+			BufferPages:          1024,
+			PartitionBufferBytes: *pbuf,
+			EnableWAL:            true,
+			DeviceCapacityBytes:  *capacity,
+			GroupCommit:          db.GroupCommitConfig{Enabled: *groupCommit},
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "router: %v\n", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+
+	cfg := server.Config{
+		Addr:                 *addr,
+		MaxSessions:          *maxSessions,
+		MaxSessionsPerTenant: *maxPerTenant,
+		Admission:            pol,
+		QueueTimeout:         *queueTimeout,
+	}
+	if *smoke {
+		cfg.Addr = "127.0.0.1:0"
+		if err := runSmoke(r, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "SMOKE FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("SMOKE OK")
+		return
+	}
+
+	srv := server.New(r, cfg)
+	bound, err := srv.Listen()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mvpbt-server: %d shards on %s (admission=%s)\n", *shards, bound, *admission)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("mvpbt-server: %v, draining (up to %v)\n", s, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		}
+		<-serveDone
+	case err := <-serveDone:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	m := srv.Metrics()
+	fmt.Printf("mvpbt-server: done (admitted=%d rejected=%d queued=%d drained=%d)\n",
+		m.Admitted, m.Rejected, m.Queued, m.Drained)
+}
+
+// runSmoke exercises the whole stack end to end: serve, run a client
+// workload (autocommit, cross-shard transaction, scan, stats), drain with
+// a session still connected, and verify the shutdown is clean and the
+// drained commit durable.
+func runSmoke(r *shard.Router, cfg server.Config) error {
+	srv := server.New(r, cfg)
+	bound, err := srv.Listen()
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	c, err := shardclient.Dial(bound.String(), "smoke")
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer c.Close()
+
+	// Autocommit write/read/delete across shards.
+	for i := 0; i < 64; i++ {
+		if err := c.Set(0, []byte(fmt.Sprintf("smoke-%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			return fmt.Errorf("set %d: %w", i, err)
+		}
+	}
+	if v, ok, err := c.Get(0, []byte("smoke-001")); err != nil || !ok || string(v) != "v1" {
+		return fmt.Errorf("get: %q %v %v", v, ok, err)
+	}
+	if err := c.Del(0, []byte("smoke-000")); err != nil {
+		return fmt.Errorf("del: %w", err)
+	}
+
+	// Cross-shard transaction committed during drain.
+	tx, err := c.Begin()
+	if err != nil {
+		return fmt.Errorf("begin: %w", err)
+	}
+	if err := c.Set(tx, []byte("pair-a"), []byte("pv")); err != nil {
+		return fmt.Errorf("tx set: %w", err)
+	}
+	if err := c.Set(tx, []byte("pair-b"), []byte("pv")); err != nil {
+		return fmt.Errorf("tx set: %w", err)
+	}
+
+	// Scan in global order.
+	kvs, err := c.Scan(0, []byte("smoke-"), 100)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	if len(kvs) != 63 {
+		return fmt.Errorf("scan returned %d pairs, want 63", len(kvs))
+	}
+	for i := 1; i < len(kvs); i++ {
+		if string(kvs[i-1].Key) >= string(kvs[i].Key) {
+			return fmt.Errorf("scan out of order at %d", i)
+		}
+	}
+	if st, err := c.Stats(); err != nil || st == "" {
+		return fmt.Errorf("stats: %q %v", st, err)
+	}
+
+	// Drain while the transaction is open: the in-flight commit must
+	// succeed, new sessions must be refused, and Serve must return nil.
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drainDone <- srv.Drain(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := shardclient.DialTimeout(bound.String(), "late", 200*time.Millisecond); err == nil {
+		return fmt.Errorf("new session admitted during drain")
+	}
+	if err := c.Commit(tx); err != nil {
+		return fmt.Errorf("commit during drain: %w", err)
+	}
+	c.Close()
+	if err := <-drainDone; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveDone; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// The drained commit is durable in the router.
+	for _, k := range []string{"pair-a", "pair-b"} {
+		if v, ok, err := r.Get([]byte(k)); err != nil || !ok || string(v) != "pv" {
+			return fmt.Errorf("drained commit lost for %s: %q %v %v", k, v, ok, err)
+		}
+	}
+	m := srv.Metrics()
+	if m.Admitted != 1 {
+		return fmt.Errorf("metrics %+v, want exactly 1 admitted session", m)
+	}
+	return nil
+}

@@ -76,7 +76,7 @@ func cellOf(res *Result, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "fig8", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig13", "fig14a", "fig14b", "fig14c", "fig14d", "fig15a", "fig15b",
-		"extra-wa", "extra-merge", "parallel", "maint", "commit"}
+		"extra-wa", "extra-merge", "parallel", "maint", "commit", "net"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -318,6 +318,26 @@ func TestMaintShape(t *testing.T) {
 			return fmt.Errorf("background p99 %fus did not beat sync %fus", bgP99, syncP99)
 		case bgOps <= syncOps:
 			return fmt.Errorf("background throughput %f did not beat sync %f", bgOps, syncOps)
+		}
+		return nil
+	})
+}
+
+func TestNetShape(t *testing.T) {
+	checkShape(t, "net", func(res *Result) error {
+		// Scale phase rows 0..8 are shards {1,2,4} x clients {1,8,32};
+		// rows 9..10 are the overload phase (admission off, then on).
+		rate1x32, rate4x32 := cellOf(res, 2, 4), cellOf(res, 8, 4)
+		if rate4x32 < 2.5*rate1x32 {
+			return fmt.Errorf("4 shards at 32 clients only %.2fx over 1 shard (%f vs %f ops/s), want >=2.5x",
+				rate4x32/rate1x32, rate4x32, rate1x32)
+		}
+		offP99, onP99 := cellOf(res, 9, 5), cellOf(res, 10, 5)
+		if onP99 >= offP99 {
+			return fmt.Errorf("admission control did not improve p99 under overload: on=%.1fus off=%.1fus", onP99, offP99)
+		}
+		if queued := cellOf(res, 10, 6); queued == 0 {
+			return fmt.Errorf("admission-on run never queued a session")
 		}
 		return nil
 	})

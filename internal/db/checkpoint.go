@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"mvpbt/internal/page"
@@ -175,8 +176,15 @@ func (e *Engine) Checkpoint() error {
 		names = append(names, name)
 		byName[name] = t
 	}
+	kvNames := make([]string, 0, len(e.kvs))
+	kvByName := make(map[string]*MVPBTKV, len(e.kvs))
+	for name, kv := range e.kvs {
+		kvNames = append(kvNames, name)
+		kvByName[name] = kv
+	}
 	e.tablesMu.Unlock()
 	sort.Strings(names)
+	sort.Strings(kvNames)
 	var rows uint64
 	for _, name := range names {
 		t := byName[name]
@@ -188,6 +196,20 @@ func (e *Engine) Checkpoint() error {
 		if err != nil {
 			abandon()
 			return fmt.Errorf("db: checkpoint: snapshotting %q: %w", name, err)
+		}
+	}
+	// Durable KV stores stream their visible pairs into the same snapshot,
+	// keyed by the store's name (replay routes CkptRow records to the store).
+	for _, name := range kvNames {
+		kv := kvByName[name]
+		err := kv.ScanTx(tx, nil, math.MaxInt, func(k, v []byte) bool {
+			newW.Append(&wal.Record{Op: wal.OpCkptRow, TxID: seq, Table: name, Key: k, Row: v})
+			rows++
+			return true
+		})
+		if err != nil {
+			abandon()
+			return fmt.Errorf("db: checkpoint: snapshotting KV %q: %w", name, err)
 		}
 	}
 	newW.Append(&wal.Record{Op: wal.OpCkptEnd, TxID: rows})

@@ -12,6 +12,7 @@ package db
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,16 @@ import (
 )
 
 // Config sizes an Engine.
+//
+// COPY CONTRACT: Config is a pure value type — every field is a scalar or
+// a struct of scalars, so an assignment is a deep copy and one Config can
+// safely template many engines (the shard router instantiates one Engine
+// per shard from a single Config value). Keep it that way: a slice,
+// map, pointer or func field added here would silently alias state across
+// engines sharing the template. If such a field ever becomes necessary it
+// must be deep-copied in withDefaults, and TestConfigIsPureValue
+// (config_test.go) must learn about it — the test fails the build on any
+// reference-typed field it does not recognise.
 type Config struct {
 	// BufferPages is the shared DB buffer size in 8 KiB pages
 	// (default 4096 = 32 MiB).
@@ -139,6 +150,7 @@ type Engine struct {
 
 	tablesMu sync.Mutex
 	tables   map[string]*Table
+	kvs      map[string]*MVPBTKV // durable KV stores (WAL-logged, checkpointed)
 
 	// Space governor state (see governor.go).
 	readOnly       atomic.Bool
@@ -168,6 +180,7 @@ func NewEngine(cfg Config) *Engine {
 		PBuf:   part.NewPartitionBuffer(cfg.PartitionBufferBytes),
 		cfg:    cfg,
 		tables: map[string]*Table{},
+		kvs:    map[string]*MVPBTKV{},
 	}
 	if cfg.EnableWAL {
 		e.walFile = e.FM.Create("wal", sfile.ClassMeta)
@@ -219,6 +232,22 @@ func (e *Engine) wireMaint(name string, t *mvpbt.Tree) {
 			})
 		},
 	)
+}
+
+// registerKV records a durable KV store for WAL recovery and checkpoint
+// snapshots. Names share a namespace with tables: a WAL row record's Table
+// field must resolve to exactly one replay target.
+func (e *Engine) registerKV(kv *MVPBTKV) error {
+	e.tablesMu.Lock()
+	defer e.tablesMu.Unlock()
+	if _, dup := e.kvs[kv.name]; dup {
+		return fmt.Errorf("db: duplicate durable KV %q", kv.name)
+	}
+	if _, dup := e.tables[kv.name]; dup {
+		return fmt.Errorf("db: durable KV %q collides with a table of that name", kv.name)
+	}
+	e.kvs[kv.name] = kv
+	return nil
 }
 
 // AddCloser registers fn to run during Close, after maintenance drains.

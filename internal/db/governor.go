@@ -63,6 +63,27 @@ func (e *Engine) SpaceInfo() SpaceStats {
 // ReadOnly reports whether the engine is degraded to read-only.
 func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
 
+// ForceReadOnly manually degrades (on=true) or restores (on=false) the
+// engine, through the same state machine the space governor drives: writes
+// fail fast with ErrReadOnly while reads, scans, commits and aborts keep
+// working. An administrative/testing seam — the shard router uses it to
+// exercise degraded-shard behaviour deterministically. On an engine with
+// capacity watermarks configured the governor may independently re-evaluate
+// the state on the next space event (a forced degradation below the soft
+// watermark heals on the next allocation); on an unbounded engine the
+// forced state sticks until the next ForceReadOnly call.
+func (e *Engine) ForceReadOnly(on bool) {
+	if on {
+		if e.readOnly.CompareAndSwap(false, true) {
+			e.roEntries.Add(1)
+		}
+		return
+	}
+	if e.readOnly.CompareAndSwap(true, false) {
+		e.roExits.Add(1)
+	}
+}
+
 // onSpace is the sfile space notifier: classify live bytes against the
 // watermarks and react. Called after every extent alloc/free with no sfile
 // locks held, and possibly from many goroutines at once.
@@ -164,8 +185,20 @@ func (e *Engine) reclaimSpace() error {
 	for _, t := range e.tables {
 		tables = append(tables, t)
 	}
+	kvs := make([]*MVPBTKV, 0, len(e.kvs))
+	for _, kv := range e.kvs {
+		kvs = append(kvs, kv)
+	}
 	e.tablesMu.Unlock()
 	var first error
+	for _, kv := range kvs {
+		kv.tree.SweepPN()
+		if kv.tree.NeedsMerge() {
+			if err := kv.tree.MergePartitions(); err != nil && first == nil {
+				first = fmt.Errorf("db: reclaim: merging KV %s: %w", kv.name, err)
+			}
+		}
+	}
 	for _, t := range tables {
 		for _, ix := range t.indexes {
 			if ix.mv == nil {

@@ -1,6 +1,7 @@
 package db
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"mvpbt/internal/index"
@@ -10,6 +11,8 @@ import (
 	"mvpbt/internal/maint"
 	"mvpbt/internal/sfile"
 	"mvpbt/internal/storage"
+	"mvpbt/internal/txn"
+	"mvpbt/internal/wal"
 )
 
 // KV is the key-value engine contract used by the YCSB comparison of
@@ -164,9 +167,11 @@ func (l *LSMKV) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error 
 
 // MVPBTKV is the MV-PBT-based KV engine. Safe for concurrent use.
 type MVPBTKV struct {
-	e    *Engine
-	tree *mvpbt.Tree
-	rid  atomic.Uint64
+	e       *Engine
+	tree    *mvpbt.Tree
+	name    string
+	durable bool
+	rid     atomic.Uint64
 }
 
 // MVPBTKVOptions tunes the engine.
@@ -174,16 +179,49 @@ type MVPBTKVOptions struct {
 	BloomBits     int
 	DisableGC     bool
 	MaxPartitions int
+	// Durable logs every Put/Delete to the engine's WAL (requires
+	// Config.EnableWAL), so KV commits go through the engine's durable
+	// commit pipeline — per-commit flushes or group commit — exactly like
+	// table row operations, and RecoverAll can replay the store. Engine
+	// checkpoints stream the KV's visible pairs into the snapshot
+	// generation alongside table rows. Off by default, preserving the
+	// historical volatile behaviour of the YCSB comparison engines.
+	Durable bool
 }
 
 // NewMVPBTKV creates a clustered MV-PBT KV engine on the engine's storage.
+// With Durable set, name must be unique among the engine's durable KV
+// stores and tables (it keys WAL records and checkpoint snapshots).
 func NewMVPBTKV(e *Engine, name string, opts MVPBTKVOptions) (*MVPBTKV, error) {
 	t := mvpbt.New(e.Pool, e.FM.Create(name, sfile.ClassIndex), e.PBuf, e.Mgr, mvpbt.Options{
 		Name: name, Unique: true, BloomBits: opts.BloomBits,
 		DisableGC: opts.DisableGC, MaxPartitions: opts.MaxPartitions,
 	})
 	e.wireMaint(name, t)
-	return &MVPBTKV{e: e, tree: t}, nil
+	kv := &MVPBTKV{e: e, tree: t, name: name, durable: opts.Durable}
+	if opts.Durable {
+		if e.wal == nil {
+			return nil, fmt.Errorf("db: durable KV %q requires Config.EnableWAL", name)
+		}
+		if err := e.registerKV(kv); err != nil {
+			return nil, err
+		}
+	}
+	return kv, nil
+}
+
+// logKV appends a row-operation record for a durable KV store, emitting the
+// transaction's lazy begin record first (same protocol as Table.logOp).
+func (m *MVPBTKV) logKV(tx *txn.Tx, op wal.Op, key, val []byte) {
+	if !m.durable || m.e.wal == nil {
+		return
+	}
+	m.e.walMu.RLock()
+	if tx.FirstWALOp() {
+		m.e.wal.Append(&wal.Record{Op: wal.OpBegin, TxID: uint64(tx.ID)})
+	}
+	m.e.wal.Append(&wal.Record{Op: op, TxID: uint64(tx.ID), Table: m.name, Key: key, Row: val})
+	m.e.walMu.RUnlock()
 }
 
 // Tree exposes the underlying MV-PBT (statistics, partition counts).
@@ -201,15 +239,26 @@ func (m *MVPBTKV) nextRef() index.Ref {
 // reference unnecessary; this is the LSM-like write path of §5: "Updates
 // in MV-PBT hit PN".
 func (m *MVPBTKV) Put(key, val []byte) error {
+	tx := m.e.Begin()
+	if err := m.PutTx(tx, key, val); err != nil {
+		m.e.Abort(tx)
+		return err
+	}
+	m.e.Commit(tx)
+	return nil
+}
+
+// PutTx is Put inside a caller-owned transaction: the upsert becomes
+// visible to others only when the caller commits tx. The multi-shard
+// router uses this to group writes to one shard under a single commit.
+func (m *MVPBTKV) PutTx(tx *txn.Tx, key, val []byte) error {
 	if err := m.e.writeGate(); err != nil {
 		return err
 	}
-	tx := m.e.Begin()
 	if err := m.tree.InsertRegularVal(tx, key, m.nextRef(), val); err != nil {
-		m.e.Abort(tx)
 		return m.e.noteWriteErr(err)
 	}
-	m.e.Commit(tx)
+	m.logKV(tx, wal.OpInsert, key, val)
 	return nil
 }
 
@@ -217,6 +266,11 @@ func (m *MVPBTKV) Put(key, val []byte) error {
 func (m *MVPBTKV) Get(key []byte) ([]byte, bool, error) {
 	tx := m.e.Begin()
 	defer m.e.Commit(tx)
+	return m.GetTx(tx, key)
+}
+
+// GetTx is Get at the snapshot of a caller-owned transaction.
+func (m *MVPBTKV) GetTx(tx *txn.Tx, key []byte) ([]byte, bool, error) {
 	var out []byte
 	found := false
 	err := m.tree.Lookup(tx, key, func(e index.Entry) bool {
@@ -230,15 +284,24 @@ func (m *MVPBTKV) Get(key []byte) ([]byte, bool, error) {
 // Delete implements KV: a blind tombstone (no predecessor reference
 // needed under unique-index visibility).
 func (m *MVPBTKV) Delete(key []byte) error {
+	tx := m.e.Begin()
+	if err := m.DeleteTx(tx, key); err != nil {
+		m.e.Abort(tx)
+		return err
+	}
+	m.e.Commit(tx)
+	return nil
+}
+
+// DeleteTx is Delete inside a caller-owned transaction.
+func (m *MVPBTKV) DeleteTx(tx *txn.Tx, key []byte) error {
 	if err := m.e.writeGate(); err != nil {
 		return err
 	}
-	tx := m.e.Begin()
 	if err := m.tree.InsertTombstone(tx, key, storage.RecordID{}); err != nil {
-		m.e.Abort(tx)
 		return m.e.noteWriteErr(err)
 	}
-	m.e.Commit(tx)
+	m.logKV(tx, wal.OpDelete, key, nil)
 	return nil
 }
 
@@ -246,6 +309,11 @@ func (m *MVPBTKV) Delete(key []byte) error {
 func (m *MVPBTKV) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
 	tx := m.e.Begin()
 	defer m.e.Commit(tx)
+	return m.ScanTx(tx, lo, limit, fn)
+}
+
+// ScanTx is Scan at the snapshot of a caller-owned transaction.
+func (m *MVPBTKV) ScanTx(tx *txn.Tx, lo []byte, limit int, fn func(key, val []byte) bool) error {
 	n := 0
 	return m.tree.Scan(tx, lo, nil, func(e index.Entry) bool {
 		if n >= limit {

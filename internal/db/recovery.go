@@ -45,6 +45,15 @@ func (t *Table) pkKey(row []byte) []byte {
 // the schema, the log holds the data. Only transactions with a commit
 // record are applied, in log order; everything else is discarded.
 func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int, err error) {
+	return e.RecoverAll(logImage, tables, nil)
+}
+
+// RecoverAll is Recover extended with durable KV stores: a row or
+// checkpoint record whose Table field names an entry in kvs replays
+// through that store (OpInsert/CkptRow → PutTx, OpDelete → DeleteTx)
+// instead of a table. The shard router's per-shard engines recover their
+// KV keyspace through this entry point.
+func (e *Engine) RecoverAll(logImage []byte, tables map[string]*Table, kvs map[string]*MVPBTKV) (applied int, err error) {
 	if e.wal == nil {
 		return 0, fmt.Errorf("db: Recover on an engine without EnableWAL")
 	}
@@ -113,6 +122,12 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 			if tx == nil {
 				continue // uncommitted: skip
 			}
+			if kv := kvs[rec.Table]; kv != nil {
+				if err := kv.replay(tx, rec); err != nil {
+					return applied, fmt.Errorf("db: replaying %v: %w", rec, err)
+				}
+				continue
+			}
 			tbl := tables[rec.Table]
 			if tbl == nil {
 				return applied, fmt.Errorf("db: log references unknown table %q", rec.Table)
@@ -128,6 +143,13 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 		case wal.OpCkptRow:
 			if ckptTx == nil {
 				return applied, fmt.Errorf("db: checkpoint row outside a snapshot: %w", wal.ErrWALCorrupt)
+			}
+			if kv := kvs[rec.Table]; kv != nil {
+				if err := kv.PutTx(ckptTx, rec.Key, rec.Row); err != nil {
+					return applied, fmt.Errorf("db: replaying %v: %w", rec, err)
+				}
+				ckptRows++
+				continue
 			}
 			tbl := tables[rec.Table]
 			if tbl == nil {
@@ -163,6 +185,19 @@ func (e *Engine) Recover(logImage []byte, tables map[string]*Table) (applied int
 		e.Abort(tx)
 	}
 	return applied, corruptErr
+}
+
+// replay applies one logged KV operation inside tx through the normal
+// store interfaces (re-logging, like table replay: the recovered engine
+// carries a fresh self-contained log).
+func (m *MVPBTKV) replay(tx *txn.Tx, rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpInsert, wal.OpUpdate:
+		return m.PutTx(tx, rec.Key, rec.Row)
+	case wal.OpDelete:
+		return m.DeleteTx(tx, rec.Key)
+	}
+	return fmt.Errorf("unexpected KV op %v", rec.Op)
 }
 
 // replay applies one logged row operation inside tx through the normal

@@ -1,0 +1,503 @@
+// Package server fronts a shard.Router with the wire protocol over TCP:
+// connection and session management, per-session transaction tables,
+// graceful drain on shutdown, and per-tenant admission control wired to
+// the shards' space-governor watermarks (DESIGN.md §12).
+//
+// Concurrency model: one goroutine per connection, processing requests
+// serially (the protocol has no request pipelining), so a session's
+// transaction table needs no lock of its own. All cross-session state —
+// the session registry, tenant counts, drain flag — lives behind one
+// server mutex taken only at session boundaries and drain, never per
+// request.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/server/wire"
+	"mvpbt/internal/shard"
+)
+
+// AdmissionPolicy selects what happens to a new session that arrives while
+// the server is overloaded (a shard past its soft space watermark) or at a
+// session cap.
+type AdmissionPolicy int
+
+const (
+	// AdmitReject refuses the session immediately with StatusAdmission.
+	// The client decides whether to back off and retry.
+	AdmitReject AdmissionPolicy = iota
+	// AdmitQueue holds the HELLO until load clears or QueueTimeout
+	// expires, then refuses. Bounds in-server concurrency at the cost of
+	// connection-open latency.
+	AdmitQueue
+)
+
+// Config tunes the server. The zero value serves on a random port with
+// reject-on-overload admission.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// MaxSessions caps concurrently admitted sessions (default 256).
+	MaxSessions int
+	// MaxSessionsPerTenant caps sessions per tenant name (default 64).
+	MaxSessionsPerTenant int
+	// MaxTxPerSession caps a session's open transaction table (default 64).
+	MaxTxPerSession int
+	// Admission picks reject-vs-queue behavior under overload.
+	Admission AdmissionPolicy
+	// QueueTimeout bounds how long AdmitQueue holds a HELLO (default 2s).
+	QueueTimeout time.Duration
+	// Overloaded overrides the overload probe; nil means the router's
+	// PastSoftWatermark (any shard past its soft space watermark). Tests
+	// and benchmarks inject synthetic overload here.
+	Overloaded func() bool
+	// DrainGrace is how long Drain lets admitted sessions keep issuing
+	// requests before their connections are deadlined out (default 1s).
+	// A Drain context with an earlier deadline shortens it.
+	DrainGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxSessionsPerTenant <= 0 {
+		c.MaxSessionsPerTenant = 64
+	}
+	if c.MaxTxPerSession <= 0 {
+		c.MaxTxPerSession = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	return c
+}
+
+// Metrics counts session-level admission outcomes.
+type Metrics struct {
+	Admitted uint64 // sessions admitted (including after queueing)
+	Rejected uint64 // sessions refused with StatusAdmission
+	Queued   uint64 // sessions that waited in the admission queue
+	Drained  uint64 // sessions refused with StatusDraining
+}
+
+// Server serves the wire protocol for one shard.Router.
+type Server struct {
+	r   *shard.Router
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	tenants  map[string]int
+	draining bool
+
+	wg sync.WaitGroup
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+	queued   atomic.Uint64
+	drained  atomic.Uint64
+}
+
+// New builds a server over r. Call Listen then Serve.
+func New(r *shard.Router, cfg Config) *Server {
+	return &Server{
+		r:        r,
+		cfg:      cfg.withDefaults(),
+		sessions: map[*session]struct{}{},
+		tenants:  map[string]int{},
+	}
+}
+
+// Listen binds the configured address and returns it (useful with :0).
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until the listener closes (Drain). It returns
+// nil on a drain-initiated close.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Metrics returns a snapshot of the admission counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Admitted: s.admitted.Load(),
+		Rejected: s.rejected.Load(),
+		Queued:   s.queued.Load(),
+		Drained:  s.drained.Load(),
+	}
+}
+
+// Drain gracefully shuts the server down: stop accepting, let admitted
+// sessions keep working for the drain grace (or until ctx's deadline if
+// sooner), then deadline their connections out. Open transactions of
+// sessions that do not finish in time are aborted. Returns nil once every
+// session has exited.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	grace := s.cfg.DrainGrace
+	if dl, ok := ctx.Deadline(); ok {
+		if until := time.Until(dl); until < grace {
+			grace = until
+		}
+	}
+	deadline := time.Now().Add(grace)
+	for sess := range s.sessions {
+		sess.conn.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	if !already && ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// session is one admitted connection: its tenant accounting slot and its
+// private transaction table. Owned by the connection goroutine.
+type session struct {
+	conn   net.Conn
+	tenant string
+	txs    map[uint32]*shard.Tx
+	nextTx uint32
+}
+
+// handleConn speaks the protocol on one connection: HELLO + admission,
+// then a serial request loop. Always releases the session slot and aborts
+// leftover transactions on the way out.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// First frame must be HELLO; it carries the tenant name admission
+	// accounts against.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	op, payload, err := wire.ReadFrame(br)
+	if err != nil || op != wire.OpHello {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	tenant := string(payload)
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	sess := &session{conn: conn, tenant: tenant, txs: map[uint32]*shard.Tx{}}
+	status := s.admit(sess)
+	if status != wire.StatusOK {
+		wire.WriteFrame(bw, byte(status))
+		bw.Flush()
+		return
+	}
+	defer s.release(sess)
+	if err := wire.WriteFrame(bw, wire.StatusOK, wire.U32(uint32(s.cfg.MaxTxPerSession))); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		op, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return // disconnect, drain deadline, or malformed frame
+		}
+		if err := s.dispatch(sess, bw, op, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// admit applies admission control to a new session and, on success,
+// registers it. Queue mode polls: load changes are driven by other
+// sessions finishing and by the governors' background accounting, neither
+// of which has a wakeup hook, so a short poll keeps this simple.
+func (s *Server) admit(sess *session) int {
+	deadline := time.Now().Add(s.cfg.QueueTimeout)
+	waited := false
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.drained.Add(1)
+			return wire.StatusDraining
+		}
+		overloaded := false
+		if s.cfg.Overloaded != nil {
+			overloaded = s.cfg.Overloaded()
+		} else {
+			overloaded = s.r.PastSoftWatermark()
+		}
+		ok := !overloaded &&
+			len(s.sessions) < s.cfg.MaxSessions &&
+			s.tenants[sess.tenant] < s.cfg.MaxSessionsPerTenant
+		if ok {
+			s.sessions[sess] = struct{}{}
+			s.tenants[sess.tenant]++
+			s.mu.Unlock()
+			s.admitted.Add(1)
+			if waited {
+				s.queued.Add(1)
+			}
+			return wire.StatusOK
+		}
+		s.mu.Unlock()
+		if s.cfg.Admission != AdmitQueue || time.Now().After(deadline) {
+			s.rejected.Add(1)
+			return wire.StatusAdmission
+		}
+		waited = true
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// release returns the session's slot and aborts any transactions it left
+// open.
+func (s *Server) release(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.tenants[sess.tenant]--
+	if s.tenants[sess.tenant] <= 0 {
+		delete(s.tenants, sess.tenant)
+	}
+	s.mu.Unlock()
+	for id, tx := range sess.txs {
+		tx.Abort()
+		delete(sess.txs, id)
+	}
+}
+
+// fail writes an error response, mapping a degraded shard to the typed
+// StatusReadOnly | u32 shard | text form.
+func fail(bw *bufio.Writer, err error) error {
+	var se *shard.ShardError
+	if errors.As(err, &se) && errors.Is(err, db.ErrReadOnly) {
+		return wire.WriteFrame(bw, wire.StatusReadOnly, wire.U32(uint32(se.Shard)), []byte(err.Error()))
+	}
+	return wire.WriteFrame(bw, wire.StatusErr, []byte(err.Error()))
+}
+
+// dispatch handles one request frame. A returned error kills the
+// connection (protocol-level damage); per-operation failures go back to
+// the client as status frames.
+func (s *Server) dispatch(sess *session, bw *bufio.Writer, op byte, payload []byte) error {
+	// txFor resolves the leading transaction id: nil Tx means autocommit.
+	txFor := func(p []byte) (uint32, *shard.Tx, []byte, bool) {
+		id, rest, err := wire.TakeU32(p)
+		if err != nil {
+			return 0, nil, nil, false
+		}
+		if id == 0 {
+			return 0, nil, rest, true
+		}
+		tx, ok := sess.txs[id]
+		if !ok {
+			return id, nil, rest, false
+		}
+		return id, tx, rest, true
+	}
+
+	switch op {
+	case wire.OpGet:
+		id, tx, key, ok := txFor(payload)
+		if !ok {
+			return wire.WriteFrame(bw, wire.StatusNoTx, []byte(fmt.Sprintf("no transaction %d", id)))
+		}
+		var v []byte
+		var found bool
+		var err error
+		if tx == nil {
+			v, found, err = s.r.Get(key)
+		} else {
+			v, found, err = tx.Get(key)
+		}
+		if err != nil {
+			return fail(bw, err)
+		}
+		f := []byte{0}
+		if found {
+			f[0] = 1
+		}
+		return wire.WriteFrame(bw, wire.StatusOK, f, v)
+
+	case wire.OpSet:
+		id, tx, rest, ok := txFor(payload)
+		if !ok {
+			return wire.WriteFrame(bw, wire.StatusNoTx, []byte(fmt.Sprintf("no transaction %d", id)))
+		}
+		klen, rest, err := wire.TakeU32(rest)
+		if err != nil || int(klen) > len(rest) {
+			return wire.WriteFrame(bw, wire.StatusErr, []byte("malformed SET"))
+		}
+		key, val := rest[:klen], rest[klen:]
+		if tx == nil {
+			err = s.r.Put(key, val)
+		} else {
+			err = tx.Put(key, val)
+		}
+		if err != nil {
+			return fail(bw, err)
+		}
+		return wire.WriteFrame(bw, wire.StatusOK)
+
+	case wire.OpDel:
+		id, tx, key, ok := txFor(payload)
+		if !ok {
+			return wire.WriteFrame(bw, wire.StatusNoTx, []byte(fmt.Sprintf("no transaction %d", id)))
+		}
+		var err error
+		if tx == nil {
+			err = s.r.Delete(key)
+		} else {
+			err = tx.Delete(key)
+		}
+		if err != nil {
+			return fail(bw, err)
+		}
+		return wire.WriteFrame(bw, wire.StatusOK)
+
+	case wire.OpScan:
+		id, tx, rest, ok := txFor(payload)
+		if !ok {
+			return wire.WriteFrame(bw, wire.StatusNoTx, []byte(fmt.Sprintf("no transaction %d", id)))
+		}
+		limit, lo, err := wire.TakeU32(rest)
+		if err != nil {
+			return wire.WriteFrame(bw, wire.StatusErr, []byte("malformed SCAN"))
+		}
+		var n uint32
+		var body []byte
+		collect := func(k, v []byte) bool {
+			body = append(body, wire.U32(uint32(len(k)))...)
+			body = append(body, k...)
+			body = append(body, wire.U32(uint32(len(v)))...)
+			body = append(body, v...)
+			n++
+			return len(body) < wire.MaxFrame-64
+		}
+		if tx == nil {
+			err = s.r.Scan(lo, int(limit), collect)
+		} else {
+			err = tx.Scan(lo, int(limit), collect)
+		}
+		if err != nil {
+			return fail(bw, err)
+		}
+		return wire.WriteFrame(bw, wire.StatusOK, wire.U32(n), body)
+
+	case wire.OpBegin:
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return wire.WriteFrame(bw, wire.StatusDraining, []byte("server draining"))
+		}
+		if len(sess.txs) >= s.cfg.MaxTxPerSession {
+			return wire.WriteFrame(bw, wire.StatusNoTx, []byte("transaction table full"))
+		}
+		tx, err := s.r.Begin()
+		if err != nil {
+			return fail(bw, err)
+		}
+		sess.nextTx++
+		sess.txs[sess.nextTx] = tx
+		return wire.WriteFrame(bw, wire.StatusOK, wire.U32(sess.nextTx))
+
+	case wire.OpCommit, wire.OpAbort:
+		id, rest, err := wire.TakeU32(payload)
+		_ = rest
+		if err != nil || id == 0 {
+			return wire.WriteFrame(bw, wire.StatusErr, []byte("malformed COMMIT/ABORT"))
+		}
+		tx, ok := sess.txs[id]
+		if !ok {
+			return wire.WriteFrame(bw, wire.StatusNoTx, []byte(fmt.Sprintf("no transaction %d", id)))
+		}
+		delete(sess.txs, id)
+		if op == wire.OpAbort {
+			tx.Abort()
+			return wire.WriteFrame(bw, wire.StatusOK)
+		}
+		if err := tx.Commit(); err != nil {
+			return fail(bw, err)
+		}
+		return wire.WriteFrame(bw, wire.StatusOK)
+
+	case wire.OpStats:
+		var sb strings.Builder
+		for _, st := range s.r.Stats() {
+			fmt.Fprintf(&sb, "shard %d (%s): live=%d soft=%d hard=%d readonly=%v wal{flushes=%d commits=%d batches=%d} dev{%s}\n",
+				st.Shard, st.Dir, st.Space.Live, st.Space.Soft, st.Space.Hard, st.Space.ReadOnly,
+				st.WAL.Flushes, st.WAL.Commits, st.WAL.Group.Batches, st.Device)
+		}
+		return wire.WriteFrame(bw, wire.StatusOK, []byte(sb.String()))
+
+	default:
+		return wire.WriteFrame(bw, wire.StatusErr, []byte(fmt.Sprintf("unknown opcode %d", op)))
+	}
+}

@@ -1,0 +1,391 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/server"
+	"mvpbt/internal/server/shardclient"
+	"mvpbt/internal/shard"
+)
+
+// startServer builds a router with n shards and serves it on a random
+// port, returning the address for clients.
+func startServer(t *testing.T, n int, cfg server.Config) (*shard.Router, *server.Server, string) {
+	t.Helper()
+	r, err := shard.New(shard.Config{
+		Shards: n,
+		Engine: db.Config{
+			BufferPages:          256,
+			PartitionBufferBytes: 64 << 10,
+			EnableWAL:            true,
+			GroupCommit:          db.GroupCommitConfig{Enabled: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(r, cfg)
+	addr, err := srv.Listen()
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		r.Close()
+	})
+	return r, srv, addr.String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, _, addr := startServer(t, 2, server.Config{})
+	c, err := shardclient.Dial(addr, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Autocommit writes and reads.
+	for i := 0; i < 50; i++ {
+		if err := c.Set(0, []byte(fmt.Sprintf("k-%03d", i)), []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := c.Get(0, []byte("k-007"))
+	if err != nil || !ok || string(v) != "v-7" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := c.Get(0, []byte("missing")); ok {
+		t.Fatal("phantom key")
+	}
+	if err := c.Del(0, []byte("k-000")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(0, []byte("k-000")); ok {
+		t.Fatal("deleted key visible")
+	}
+
+	// Scan in global order across shards.
+	kvs, err := c.Scan(0, []byte("k-"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 49 {
+		t.Fatalf("scan got %d pairs, want 49", len(kvs))
+	}
+	for i := 1; i < len(kvs); i++ {
+		if string(kvs[i-1].Key) >= string(kvs[i].Key) {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, kvs[i-1].Key, kvs[i].Key)
+		}
+	}
+
+	// Transactional cross-shard write: invisible to a second session until
+	// commit, then visible.
+	c2, err := shardclient.Dial(addr, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(tx, []byte("pair-a"), []byte("pv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(tx, []byte("pair-b"), []byte("pv")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get(tx, []byte("pair-a")); !ok || string(v) != "pv" {
+		t.Fatalf("tx does not read its own write: %q %v", v, ok)
+	}
+	if _, ok, _ := c2.Get(0, []byte("pair-a")); ok {
+		t.Fatal("uncommitted write visible to other session")
+	}
+	if err := c.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	va, oka, _ := c2.Get(0, []byte("pair-a"))
+	vb, okb, _ := c2.Get(0, []byte("pair-b"))
+	if !oka || !okb || string(va) != "pv" || string(vb) != "pv" {
+		t.Fatalf("committed pair not visible: %q/%v %q/%v", va, oka, vb, okb)
+	}
+
+	// Abort discards.
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set(tx2, []byte("gone"), []byte("x"))
+	if err := c.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(0, []byte("gone")); ok {
+		t.Fatal("aborted write visible")
+	}
+
+	// Unknown transaction ids are typed.
+	if err := c.Commit(999); !errors.Is(err, shardclient.ErrNoTx) {
+		t.Fatalf("commit of unknown tx: %v, want ErrNoTx", err)
+	}
+
+	// Stats text mentions every shard.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == "" {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestServerReadOnlyShardStatus(t *testing.T) {
+	r, _, addr := startServer(t, 2, server.Config{})
+	c, err := shardclient.Dial(addr, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a key on shard 1, degrade shard 1, and watch the typed status
+	// come back over the wire.
+	var key []byte
+	for i := 0; ; i++ {
+		key = []byte(fmt.Sprintf("ro-%04d", i))
+		if r.ShardOf(key) == 1 {
+			break
+		}
+	}
+	r.Shard(1).Engine.ForceReadOnly(true)
+	defer r.Shard(1).Engine.ForceReadOnly(false)
+
+	err = c.Set(0, key, []byte("x"))
+	var roe *shardclient.ReadOnlyError
+	if !errors.As(err, &roe) {
+		t.Fatalf("set on degraded shard: %v, want *ReadOnlyError", err)
+	}
+	if roe.Shard != 1 {
+		t.Fatalf("ReadOnlyError names shard %d, want 1", roe.Shard)
+	}
+	// The session survives the error.
+	if err := c.Set(0, []byte("other-shard-key-0"), []byte("y")); err != nil && r.ShardOf([]byte("other-shard-key-0")) == 0 {
+		t.Fatalf("healthy shard write failed: %v", err)
+	}
+}
+
+func TestServerAdmissionReject(t *testing.T) {
+	var overloaded atomic.Bool
+	_, srv, addr := startServer(t, 1, server.Config{
+		Admission:  server.AdmitReject,
+		Overloaded: func() bool { return overloaded.Load() },
+	})
+
+	overloaded.Store(true)
+	if _, err := shardclient.Dial(addr, "t"); !errors.Is(err, shardclient.ErrAdmission) {
+		t.Fatalf("dial under overload: %v, want ErrAdmission", err)
+	}
+	overloaded.Store(false)
+	c, err := shardclient.Dial(addr, "t")
+	if err != nil {
+		t.Fatalf("dial after overload cleared: %v", err)
+	}
+	c.Close()
+	m := srv.Metrics()
+	if m.Rejected != 1 || m.Admitted != 1 {
+		t.Fatalf("metrics %+v, want 1 rejected / 1 admitted", m)
+	}
+}
+
+func TestServerAdmissionQueue(t *testing.T) {
+	var overloaded atomic.Bool
+	_, srv, addr := startServer(t, 1, server.Config{
+		Admission:    server.AdmitQueue,
+		QueueTimeout: 5 * time.Second,
+		Overloaded:   func() bool { return overloaded.Load() },
+	})
+
+	overloaded.Store(true)
+	// Clear the overload while the HELLO is queued: the session must be
+	// admitted, not rejected.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		overloaded.Store(false)
+	}()
+	c, err := shardclient.Dial(addr, "t")
+	if err != nil {
+		t.Fatalf("queued dial: %v", err)
+	}
+	if err := c.Set(0, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if m := srv.Metrics(); m.Queued != 1 || m.Admitted != 1 {
+		t.Fatalf("metrics %+v, want 1 queued / 1 admitted", m)
+	}
+}
+
+func TestServerAdmissionQueueTimeout(t *testing.T) {
+	_, _, addr := startServer(t, 1, server.Config{
+		Admission:    server.AdmitQueue,
+		QueueTimeout: 50 * time.Millisecond,
+		Overloaded:   func() bool { return true },
+	})
+	start := time.Now()
+	if _, err := shardclient.Dial(addr, "t"); !errors.Is(err, shardclient.ErrAdmission) {
+		t.Fatalf("dial under permanent overload: %v, want ErrAdmission", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("queue rejected before its timeout")
+	}
+}
+
+func TestServerPerTenantCap(t *testing.T) {
+	_, _, addr := startServer(t, 1, server.Config{
+		MaxSessionsPerTenant: 1,
+	})
+	c1, err := shardclient.Dial(addr, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	// Same tenant: over its cap.
+	if _, err := shardclient.Dial(addr, "acme"); !errors.Is(err, shardclient.ErrAdmission) {
+		t.Fatalf("second acme session: %v, want ErrAdmission", err)
+	}
+	// Different tenant: admitted.
+	c2, err := shardclient.Dial(addr, "globex")
+	if err != nil {
+		t.Fatalf("other tenant refused: %v", err)
+	}
+	c2.Close()
+	// Releasing acme's slot re-admits acme.
+	c1.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c3, err := shardclient.Dial(addr, "acme")
+		if err == nil {
+			c3.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acme never re-admitted: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	r, err := shard.New(shard.Config{
+		Shards: 2,
+		Engine: db.Config{
+			BufferPages:          256,
+			PartitionBufferBytes: 64 << 10,
+			EnableWAL:            true,
+			GroupCommit:          db.GroupCommitConfig{Enabled: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := server.New(r, server.Config{DrainGrace: 500 * time.Millisecond})
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	c, err := shardclient.Dial(addr.String(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(tx, []byte("drain-a"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(tx, []byte("drain-b"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drainDone <- srv.Drain(ctx)
+	}()
+	// Give Drain a moment to close the listener.
+	time.Sleep(20 * time.Millisecond)
+
+	// New connections are refused during drain (listener closed).
+	if _, err := shardclient.DialTimeout(addr.String(), "t2", 200*time.Millisecond); err == nil {
+		t.Fatal("new session admitted during drain")
+	}
+	// The admitted session finishes its in-flight transaction.
+	if err := c.Commit(tx); err != nil {
+		t.Fatalf("in-flight commit during drain: %v", err)
+	}
+	// New transactions are refused.
+	if _, err := c.Begin(); !errors.Is(err, shardclient.ErrDraining) {
+		t.Fatalf("begin during drain: %v, want ErrDraining", err)
+	}
+	c.Close()
+
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve after drain: %v", err)
+	}
+	// The drained commit is durable: the data survives in the router.
+	if v, ok, _ := r.Get([]byte("drain-a")); !ok || string(v) != "v" {
+		t.Fatalf("drained commit lost: %q %v", v, ok)
+	}
+	if v, ok, _ := r.Get([]byte("drain-b")); !ok || string(v) != "v" {
+		t.Fatalf("drained commit lost: %q %v", v, ok)
+	}
+}
+
+func TestWireFrameLimits(t *testing.T) {
+	_, _, addr := startServer(t, 1, server.Config{})
+	c, err := shardclient.Dial(addr, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A multi-KB value (large for this engine's leaf pages) round-trips
+	// through the length-prefixed framing intact.
+	big := make([]byte, 2<<10)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := c.Set(0, []byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get(0, []byte("big"))
+	if err != nil || !ok || len(v) != len(big) {
+		t.Fatalf("big value round-trip: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+	for i := range v {
+		if v[i] != big[i] {
+			t.Fatalf("big value corrupted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package shardclient is the Go client for mvpbt-server's wire protocol.
+// A Client owns one TCP connection and issues requests serially (the
+// protocol has no pipelining); use one Client per goroutine.
+package shardclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"mvpbt/internal/server/wire"
+)
+
+// Typed errors for the protocol's status codes.
+var (
+	// ErrAdmission: the server's admission control refused the session
+	// (overload or session caps). Back off and retry.
+	ErrAdmission = errors.New("shardclient: session refused by admission control")
+	// ErrDraining: the server is shutting down.
+	ErrDraining = errors.New("shardclient: server draining")
+	// ErrNoTx: the named transaction does not exist (or the session's
+	// transaction table is full).
+	ErrNoTx = errors.New("shardclient: no such transaction")
+)
+
+// ReadOnlyError reports an operation refused because its owning shard is
+// degraded read-only.
+type ReadOnlyError struct {
+	Shard int
+	Msg   string
+}
+
+func (e *ReadOnlyError) Error() string {
+	return fmt.Sprintf("shardclient: shard %d read-only: %s", e.Shard, e.Msg)
+}
+
+// KV is one scan result pair.
+type KV struct {
+	Key []byte
+	Val []byte
+}
+
+// Client is one protocol session. Not safe for concurrent use.
+type Client struct {
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	maxTx uint32
+}
+
+// Dial connects, performs the HELLO handshake as tenant, and returns an
+// admitted session. Admission refusals surface as ErrAdmission or
+// ErrDraining.
+func Dial(addr, tenant string) (*Client, error) {
+	return DialTimeout(addr, tenant, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect + handshake deadline.
+func DialTimeout(addr, tenant string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	conn.SetDeadline(time.Now().Add(timeout))
+	status, payload, err := c.call(wire.OpHello, []byte(tenant))
+	conn.SetDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if status != wire.StatusOK {
+		conn.Close()
+		return nil, statusErr(status, payload)
+	}
+	if mt, _, err := wire.TakeU32(payload); err == nil {
+		c.maxTx = mt
+	}
+	return c, nil
+}
+
+// Close tears the session down. Open transactions are aborted server-side.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// MaxOpenTx is the server's per-session open-transaction cap.
+func (c *Client) MaxOpenTx() int { return int(c.maxTx) }
+
+// call sends one frame and reads the response.
+func (c *Client) call(op byte, segs ...[]byte) (status byte, payload []byte, err error) {
+	if err := wire.WriteFrame(c.bw, op, segs...); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return wire.ReadFrame(c.br)
+}
+
+// statusErr maps a non-OK status frame to a typed error.
+func statusErr(status byte, payload []byte) error {
+	switch status {
+	case wire.StatusAdmission:
+		return ErrAdmission
+	case wire.StatusDraining:
+		return ErrDraining
+	case wire.StatusNoTx:
+		return fmt.Errorf("%w: %s", ErrNoTx, payload)
+	case wire.StatusReadOnly:
+		shardNo, rest, err := wire.TakeU32(payload)
+		if err != nil {
+			return &ReadOnlyError{Shard: -1, Msg: string(payload)}
+		}
+		return &ReadOnlyError{Shard: int(shardNo), Msg: string(rest)}
+	default:
+		return fmt.Errorf("shardclient: server error: %s", payload)
+	}
+}
+
+// Get reads key. tx 0 is an autocommit read of the newest committed
+// version; tx > 0 reads at that transaction's cross-shard snapshot.
+func (c *Client) Get(tx uint32, key []byte) ([]byte, bool, error) {
+	status, payload, err := c.call(wire.OpGet, wire.U32(tx), key)
+	if err != nil {
+		return nil, false, err
+	}
+	if status != wire.StatusOK {
+		return nil, false, statusErr(status, payload)
+	}
+	if len(payload) < 1 {
+		return nil, false, fmt.Errorf("shardclient: short GET response")
+	}
+	if payload[0] == 0 {
+		return nil, false, nil
+	}
+	return payload[1:], true, nil
+}
+
+// Set upserts key=val under tx (0 = autocommit through the owning shard's
+// durable path).
+func (c *Client) Set(tx uint32, key, val []byte) error {
+	status, payload, err := c.call(wire.OpSet, wire.U32(tx), wire.U32(uint32(len(key))), key, val)
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return statusErr(status, payload)
+	}
+	return nil
+}
+
+// Del tombstones key under tx (0 = autocommit).
+func (c *Client) Del(tx uint32, key []byte) error {
+	status, payload, err := c.call(wire.OpDel, wire.U32(tx), key)
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return statusErr(status, payload)
+	}
+	return nil
+}
+
+// Scan returns up to limit pairs with key >= lo in global key order, at
+// tx's snapshot (tx 0 takes a fresh consistent snapshot for the scan).
+func (c *Client) Scan(tx uint32, lo []byte, limit int) ([]KV, error) {
+	status, payload, err := c.call(wire.OpScan, wire.U32(tx), wire.U32(uint32(limit)), lo)
+	if err != nil {
+		return nil, err
+	}
+	if status != wire.StatusOK {
+		return nil, statusErr(status, payload)
+	}
+	n, rest, err := wire.TakeU32(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var klen, vlen uint32
+		if klen, rest, err = wire.TakeU32(rest); err != nil || int(klen) > len(rest) {
+			return nil, fmt.Errorf("shardclient: malformed SCAN response")
+		}
+		k := rest[:klen]
+		rest = rest[klen:]
+		if vlen, rest, err = wire.TakeU32(rest); err != nil || int(vlen) > len(rest) {
+			return nil, fmt.Errorf("shardclient: malformed SCAN response")
+		}
+		v := rest[:vlen]
+		rest = rest[vlen:]
+		out = append(out, KV{Key: k, Val: v})
+	}
+	return out, nil
+}
+
+// Begin opens a cross-shard transaction and returns its session-local id.
+func (c *Client) Begin() (uint32, error) {
+	status, payload, err := c.call(wire.OpBegin)
+	if err != nil {
+		return 0, err
+	}
+	if status != wire.StatusOK {
+		return 0, statusErr(status, payload)
+	}
+	id, _, err := wire.TakeU32(payload)
+	return id, err
+}
+
+// Commit durably commits tx.
+func (c *Client) Commit(tx uint32) error {
+	status, payload, err := c.call(wire.OpCommit, wire.U32(tx))
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return statusErr(status, payload)
+	}
+	return nil
+}
+
+// Abort discards tx.
+func (c *Client) Abort(tx uint32) error {
+	status, payload, err := c.call(wire.OpAbort, wire.U32(tx))
+	if err != nil {
+		return err
+	}
+	if status != wire.StatusOK {
+		return statusErr(status, payload)
+	}
+	return nil
+}
+
+// Stats returns the server's per-shard health text.
+func (c *Client) Stats() (string, error) {
+	status, payload, err := c.call(wire.OpStats)
+	if err != nil {
+		return "", err
+	}
+	if status != wire.StatusOK {
+		return "", statusErr(status, payload)
+	}
+	return string(payload), nil
+}

@@ -1,0 +1,129 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// mvpbt-server and its clients, and the frame codec both sides share
+// (DESIGN.md §12).
+//
+// Every message — request or response — is one frame:
+//
+//	u32 big-endian length | u8 opcode (or status) | payload
+//
+// The length counts the opcode byte plus the payload, so an empty message
+// is length 1. Integers inside payloads are big-endian; byte strings are
+// u32-length-prefixed unless they are the frame's trailing field, in which
+// case they run to the end of the frame (the frame length delimits them).
+//
+// Requests (client → server):
+//
+//	Hello  | tenant…                          → OK | u32 maxTx
+//	Get    | u32 tx | key…                    → OK | u8 found | val…
+//	Set    | u32 tx | u32 klen | key | val…   → OK
+//	Del    | u32 tx | key…                    → OK
+//	Scan   | u32 tx | u32 limit | lo…         → OK | u32 n | n×(u32 klen|key|u32 vlen|val)
+//	Begin  |                                  → OK | u32 tx
+//	Commit | u32 tx                           → OK
+//	Abort  | u32 tx                           → OK
+//	Stats  |                                  → OK | text…
+//
+// tx = 0 means autocommit (the single operation commits through the owning
+// shard's ordinary durable path); tx > 0 names an entry in the session's
+// transaction table created by Begin. The first frame on a connection must
+// be Hello — it carries the tenant name admission control accounts
+// sessions against.
+//
+// Error responses replace OK with a status code; the payload carries the
+// error text, except StatusReadOnly, whose payload is the degraded shard
+// number (u32) followed by the error text.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	OpHello  = 1
+	OpGet    = 2
+	OpSet    = 3
+	OpDel    = 4
+	OpScan   = 5
+	OpBegin  = 6
+	OpCommit = 7
+	OpAbort  = 8
+	OpStats  = 9
+)
+
+// Response status codes.
+const (
+	StatusOK        = 0 // request succeeded
+	StatusErr       = 1 // generic failure; payload is the error text
+	StatusReadOnly  = 2 // owning shard degraded read-only; payload = u32 shard | text
+	StatusAdmission = 3 // session rejected by admission control
+	StatusNoTx      = 4 // unknown transaction id (or transaction table full)
+	StatusDraining  = 5 // server draining: no new sessions or transactions
+)
+
+// MaxFrame bounds a single frame (opcode + payload). Large scans paginate.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned for frames past MaxFrame in either direction.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds 16MiB limit")
+
+// WriteFrame sends one frame: opcode/status byte plus payload segments.
+func WriteFrame(w io.Writer, op byte, segs ...[]byte) error {
+	n := 1
+	for _, s := range segs {
+		n += len(s)
+	}
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if _, err := w.Write(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, returning its opcode/status byte and payload.
+func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// U32 encodes v as a 4-byte big-endian segment.
+func U32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// TakeU32 splits a big-endian u32 off the front of p.
+func TakeU32(p []byte) (uint32, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("wire: truncated frame (need u32, have %d bytes)", len(p))
+	}
+	return binary.BigEndian.Uint32(p[:4]), p[4:], nil
+}

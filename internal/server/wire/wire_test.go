@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpSet, U32(7), []byte("key"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpSet {
+		t.Fatalf("op %d, want %d", op, OpSet)
+	}
+	id, rest, err := TakeU32(payload)
+	if err != nil || id != 7 {
+		t.Fatalf("tx id %d err %v", id, err)
+	}
+	if string(rest) != "keyvalue" {
+		t.Fatalf("payload %q", rest)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpBegin); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 5 {
+		t.Fatalf("empty frame is %d bytes on the wire, want 5", buf.Len())
+	}
+	op, payload, err := ReadFrame(&buf)
+	if err != nil || op != OpBegin || len(payload) != 0 {
+		t.Fatalf("round-trip: op=%d payload=%q err=%v", op, payload, err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpSet, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("oversized frame partially written")
+	}
+	// An oversized length on the read side is rejected before allocation.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestTakeU32Truncated(t *testing.T) {
+	if _, _, err := TakeU32([]byte{1, 2}); err == nil {
+		t.Fatal("truncated u32 accepted")
+	}
+}

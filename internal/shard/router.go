@@ -1,0 +1,259 @@
+// Package shard partitions the keyspace across N fully independent
+// db.Engine instances — each with its own WAL, heap, maintenance service,
+// space governor and simulated device — and fronts them with a Router
+// that hash-routes single-key operations and hands out consistent
+// cross-shard read snapshots (DESIGN.md §12).
+//
+// The design follows the engine-per-core argument of Larson et al.: the
+// single-node engine's write path funnels through per-engine locks and a
+// per-engine log, so the way to more cores (and more users) is more
+// engines, not more locks. MV-PBT's index-only visibility check is what
+// keeps the per-shard read path cheap enough that a thin router on top
+// adds almost nothing.
+//
+// Consistency model. Single-shard operations (the vast majority under
+// hash partitioning) go straight to the owning engine's MVCC and commit
+// through its existing — group-commit-enabled — durable path. Multi-shard
+// reads take a SNAPSHOT VECTOR: one read transaction per shard, all begun
+// under a short exclusive hold of the router's epoch barrier. Multi-shard
+// writes (a Tx that touched several shards) commit all their per-shard
+// transactions under a shared hold of the same barrier. The barrier
+// therefore orders every snapshot acquisition entirely before or entirely
+// after every multi-shard commit group, which is exactly the torn-cut
+// freedom the snapshot test demands: a logical operation that commits
+// K1@shard-A and K2@shard-B is observed by every snapshot as both-or-
+// neither, never one-of-two. Per-shard MVCC makes the single-shard half
+// of the argument: within one engine, Begin and Commit serialize on the
+// transaction manager, so a single-shard commit is atomic with respect to
+// any snapshot's per-shard begin timestamp.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"mvpbt/internal/db"
+)
+
+// Config describes a sharded deployment. The zero value of Engine is a
+// usable default; db.Config's copy contract (pure value type) is what
+// makes one Engine template safe to instantiate N times.
+type Config struct {
+	// Shards is the number of independent engines (default 1).
+	Shards int
+	// Engine templates every shard's db.Config. Each shard gets an
+	// identical, fully independent copy.
+	Engine db.Config
+	// DirPrefix names the per-shard namespaces: shard i lives under
+	// "<DirPrefix><i>" (default "shard-"). On the simulated device this
+	// is the per-shard subdirectory of a real deployment: every file the
+	// shard creates — WAL, heap, index, superblock — is namespaced by it.
+	DirPrefix string
+	// KVOptions tunes each shard's MV-PBT store. Durable is forced on
+	// when the engine template enables the WAL.
+	KVOptions db.MVPBTKVOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.DirPrefix == "" {
+		c.DirPrefix = "shard-"
+	}
+	if c.Engine.EnableWAL {
+		c.KVOptions.Durable = true
+	}
+	return c
+}
+
+// Shard is one partition: an engine plus its clustered MV-PBT KV store.
+type Shard struct {
+	// No is the shard's index in the router (also its hash bucket).
+	No int
+	// Dir is the shard's namespace ("<DirPrefix><No>").
+	Dir string
+	// Engine is the shard's private engine.
+	Engine *db.Engine
+	// KV is the shard's clustered MV-PBT key-value store.
+	KV *db.MVPBTKV
+}
+
+// ShardError is the typed per-key error surface of the router: it names
+// the shard and key an operation failed on, so one degraded shard shows
+// up as per-key failures instead of poisoning the whole router. Unwrap
+// exposes the underlying cause (db.ErrReadOnly, storage.ErrNoSpace, ...)
+// to errors.Is/As.
+type ShardError struct {
+	Shard int
+	Key   []byte
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d: key %q: %v", e.Shard, e.Key, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Router owns the shards and routes operations to them.
+type Router struct {
+	cfg    Config
+	shards []*Shard
+
+	// epoch is the snapshot barrier. Multi-shard COMMIT groups hold it
+	// shared for the duration of their per-shard commits; snapshot
+	// acquisition holds it exclusively for the (cheap, in-memory) begins
+	// across all shards. See the package comment for the argument.
+	epoch sync.RWMutex
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New builds a router with cfg.Shards independent engines.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		eng := db.NewEngine(cfg.Engine)
+		kv, err := db.NewMVPBTKV(eng, fmt.Sprintf("%s%d/kv", cfg.DirPrefix, i), cfg.KVOptions)
+		if err != nil {
+			eng.Close()
+			r.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, &Shard{
+			No:     i,
+			Dir:    fmt.Sprintf("%s%d", cfg.DirPrefix, i),
+			Engine: eng,
+			KV:     kv,
+		})
+	}
+	return r, nil
+}
+
+// Close shuts every shard engine down. Idempotent; returns the first
+// error. Callers finish or abandon open Txs first.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var first error
+	for _, s := range r.shards {
+		if err := s.Engine.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", s.No, err)
+		}
+	}
+	return first
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns shard i.
+func (r *Router) Shard(i int) *Shard { return r.shards[i] }
+
+// ShardOf maps a key to its owning shard (FNV-1a of the key mod N).
+func (r *Router) ShardOf(key []byte) int {
+	h := fnv.New64a()
+	h.Write(key)
+	return int(h.Sum64() % uint64(len(r.shards)))
+}
+
+// wrap converts a shard-local error into a typed per-key ShardError.
+func wrap(shard int, key []byte, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ShardError{Shard: shard, Key: append([]byte(nil), key...), Err: err}
+}
+
+// Get reads the newest committed version of key (single-shard autocommit).
+func (r *Router) Get(key []byte) ([]byte, bool, error) {
+	i := r.ShardOf(key)
+	v, ok, err := r.shards[i].KV.Get(key)
+	return v, ok, wrap(i, key, err)
+}
+
+// Put upserts key (single-shard autocommit through the owning engine's
+// durable commit path). A degraded shard returns a ShardError wrapping
+// db.ErrReadOnly; other shards are unaffected.
+func (r *Router) Put(key, val []byte) error {
+	i := r.ShardOf(key)
+	return wrap(i, key, r.shards[i].KV.Put(key, val))
+}
+
+// Delete tombstones key (single-shard autocommit).
+func (r *Router) Delete(key []byte) error {
+	i := r.ShardOf(key)
+	return wrap(i, key, r.shards[i].KV.Delete(key))
+}
+
+// Scan streams up to limit live pairs with key >= lo in global key order,
+// merging the per-shard streams at one consistent snapshot.
+func (r *Router) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
+	tx, err := r.BeginCtx(context.Background())
+	if err != nil {
+		return err
+	}
+	defer tx.Commit()
+	return tx.Scan(lo, limit, fn)
+}
+
+// Degraded returns the indexes of shards currently degraded to read-only.
+func (r *Router) Degraded() []int {
+	var out []int
+	for _, s := range r.shards {
+		if s.Engine.ReadOnly() {
+			out = append(out, s.No)
+		}
+	}
+	return out
+}
+
+// PastSoftWatermark reports whether any shard's live bytes have crossed
+// its soft space watermark — the overload signal the server's admission
+// control gates new sessions on.
+func (r *Router) PastSoftWatermark() bool {
+	for _, s := range r.shards {
+		sp := s.Engine.SpaceInfo()
+		if sp.Soft > 0 && sp.Live >= sp.Soft {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns one entry per shard.
+func (r *Router) Stats() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = ShardStats{
+			Shard:  s.No,
+			Dir:    s.Dir,
+			Space:  s.Engine.SpaceInfo(),
+			WAL:    s.Engine.WALStatsSnapshot(),
+			Device: s.Engine.Dev.Stats().String(),
+		}
+	}
+	return out
+}
+
+// ShardStats is one shard's externally visible health.
+type ShardStats struct {
+	Shard  int
+	Dir    string
+	Space  db.SpaceStats
+	WAL    db.WALStats
+	Device string
+}
+
+// ErrClosed is returned by operations on a closed router.
+var ErrClosed = errors.New("shard: router closed")

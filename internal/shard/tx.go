@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+
+	"mvpbt/internal/txn"
+)
+
+// Tx is a multi-shard transaction: a vector of per-shard transactions,
+// one per shard, all begun under one exclusive hold of the router's epoch
+// barrier so their begin timestamps form a CONSISTENT CUT — a multi-shard
+// commit group is either entirely inside every element of the vector or
+// entirely outside it (see the package comment for the full argument).
+//
+// Reads observe that cut plus the transaction's own writes (per-shard
+// MVCC self-visibility). Writes are blind upserts applied immediately to
+// the owning shard's transaction and published by Commit: transactions
+// that wrote a single shard commit through that engine's ordinary durable
+// path; transactions that wrote several shards commit them under a shared
+// hold of the epoch barrier.
+//
+// A Tx is owned by one goroutine at a time (the engine pools transaction
+// handles); it must be finished with exactly one Commit or Abort.
+type Tx struct {
+	r     *Router
+	txs   []*txn.Tx // one per shard, indexed by shard number
+	dirty []bool    // shards this transaction wrote
+	done  bool
+}
+
+// BeginCtx starts a multi-shard transaction carrying ctx: the per-shard
+// begins happen under the epoch barrier's exclusive lock — a few atomic
+// operations per shard, no I/O — giving the snapshot vector its
+// consistency. The context is consulted at every per-shard blocking point
+// (write stalls, scans, I/O retries).
+func (r *Router) BeginCtx(ctx context.Context) (*Tx, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.mu.Unlock()
+	t := &Tx{
+		r:     r,
+		txs:   make([]*txn.Tx, len(r.shards)),
+		dirty: make([]bool, len(r.shards)),
+	}
+	r.epoch.Lock()
+	for i, s := range r.shards {
+		t.txs[i] = s.Engine.BeginCtx(ctx)
+	}
+	r.epoch.Unlock()
+	return t, nil
+}
+
+// Begin is BeginCtx with a background context.
+func (r *Router) Begin() (*Tx, error) { return r.BeginCtx(context.Background()) }
+
+// Timestamps returns the snapshot vector: shard i's begin timestamp (its
+// per-shard transaction id). Diagnostic; the ids are only meaningful
+// within their own shard's engine.
+func (t *Tx) Timestamps() []txn.TxID {
+	out := make([]txn.TxID, len(t.txs))
+	for i, tx := range t.txs {
+		out[i] = tx.ID
+	}
+	return out
+}
+
+// Get reads key at the transaction's snapshot (plus its own writes).
+func (t *Tx) Get(key []byte) ([]byte, bool, error) {
+	i := t.r.ShardOf(key)
+	v, ok, err := t.r.shards[i].KV.GetTx(t.txs[i], key)
+	return v, ok, wrap(i, key, err)
+}
+
+// Put upserts key inside the transaction. The write is invisible to other
+// transactions until Commit. A degraded owning shard fails with a
+// ShardError wrapping db.ErrReadOnly; the transaction remains usable —
+// the caller chooses between continuing without that key and aborting.
+func (t *Tx) Put(key, val []byte) error {
+	i := t.r.ShardOf(key)
+	if err := t.r.shards[i].KV.PutTx(t.txs[i], key, val); err != nil {
+		return wrap(i, key, err)
+	}
+	t.dirty[i] = true
+	return nil
+}
+
+// Delete tombstones key inside the transaction.
+func (t *Tx) Delete(key []byte) error {
+	i := t.r.ShardOf(key)
+	if err := t.r.shards[i].KV.DeleteTx(t.txs[i], key); err != nil {
+		return wrap(i, key, err)
+	}
+	t.dirty[i] = true
+	return nil
+}
+
+// scanPair is one collected entry of a per-shard scan.
+type scanPair struct{ k, v []byte }
+
+// Scan streams up to limit live pairs with key >= lo in global key order
+// at the transaction's snapshot. Hash partitioning scatters the key order
+// across shards, so each shard contributes up to limit pairs and the
+// router merges the sorted streams.
+func (t *Tx) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
+	if limit <= 0 {
+		return nil
+	}
+	streams := make([][]scanPair, len(t.txs))
+	for i, s := range t.r.shards {
+		pairs := make([]scanPair, 0, min(limit, 64))
+		err := s.KV.ScanTx(t.txs[i], lo, limit, func(k, v []byte) bool {
+			// Copy out: entry bytes may alias per-page decode buffers.
+			pairs = append(pairs, scanPair{
+				k: append([]byte(nil), k...),
+				v: append([]byte(nil), v...),
+			})
+			return true
+		})
+		if err != nil {
+			return wrap(i, lo, err)
+		}
+		streams[i] = pairs
+	}
+	// K-way merge; keys are unique across shards (each key hashes to
+	// exactly one), so no tie-breaking is needed.
+	idx := make([]int, len(streams))
+	for n := 0; n < limit; n++ {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 || bytes.Compare(s[idx[i]].k, streams[best][idx[best]].k) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		p := streams[best][idx[best]]
+		idx[best]++
+		if !fn(p.k, p.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Commit publishes the transaction's writes and releases its snapshot.
+// Shards the transaction never wrote finish as read-only commits (no log
+// record, no flush). A single written shard commits through its engine's
+// ordinary durable path. Several written shards commit as one group under
+// a shared hold of the epoch barrier, so every snapshot observes the
+// group both-or-neither.
+//
+// There is no cross-shard prepare phase (single-shard writes first, 2PC
+// later): if a shard's durable commit fails mid-group, that shard's
+// outcome is in doubt per the db.CommitDurable contract, shards already
+// committed stay committed, and the remaining written shards are aborted;
+// the first failure is returned as a ShardError.
+func (t *Tx) Commit() error {
+	if t.done {
+		panic("shard: double finish of multi-shard transaction")
+	}
+	t.done = true
+	written := make([]int, 0, len(t.dirty))
+	for i, d := range t.dirty {
+		if d {
+			written = append(written, i)
+		}
+	}
+	// Read-only legs first: they carry no effects, so their order against
+	// the barrier is irrelevant, and finishing them promptly unpins each
+	// shard's GC horizon.
+	for i, tx := range t.txs {
+		if !t.dirty[i] {
+			t.r.shards[i].Engine.Commit(tx)
+		}
+	}
+	if len(written) == 0 {
+		return nil
+	}
+	if len(written) > 1 {
+		t.r.epoch.RLock()
+		defer t.r.epoch.RUnlock()
+	}
+	var firstErr error
+	for _, i := range written {
+		if firstErr != nil {
+			// A prior leg failed: roll the rest back instead of widening
+			// the partial commit.
+			t.r.shards[i].Engine.Abort(t.txs[i])
+			continue
+		}
+		if err := t.r.shards[i].Engine.CommitDurable(t.txs[i]); err != nil {
+			firstErr = &ShardError{Shard: i, Err: err}
+		}
+	}
+	return firstErr
+}
+
+// Abort discards the transaction's writes and releases its snapshot.
+func (t *Tx) Abort() {
+	if t.done {
+		panic("shard: double finish of multi-shard transaction")
+	}
+	t.done = true
+	for i, tx := range t.txs {
+		t.r.shards[i].Engine.Abort(tx)
+	}
+}
