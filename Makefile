@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race race-net check check-nightly check-faults check-exhaust bench bench-commit bench-net bench-full smoke-server examples cover
+.PHONY: all build vet test race race-net race-hostile check check-nightly check-faults check-exhaust check-scenarios bench bench-commit bench-net bench-scenarios bench-full smoke-server examples cover
 
 all: build vet test
 
@@ -23,6 +23,12 @@ race:
 race-net:
 	go test -race ./internal/shard/ ./internal/server/...
 
+# Race pass over the device zoo and the hostile-workload generators: the
+# scenarios are single-threaded by contract, so the detector pins that
+# contract (plus the admission-timeout/starvation server tests above).
+race-hostile:
+	go test -race ./internal/ssd/ ./internal/workload/hostile/
+
 # Differential correctness harness: short smoke (CI) and nightly-length.
 check:
 	go run ./cmd/mvpbt-check -seed 1 -ops 6000 -clients 4 -crashes 2
@@ -43,6 +49,14 @@ check-faults:
 check-exhaust:
 	go run ./cmd/mvpbt-check -exhaust -seed 1 -seeds 4
 
+# Hostile-scenario campaign: every device-zoo spec x every hostile
+# scenario x 2 seeds (32 cells), each cell run twice and its full
+# fingerprint diffed — scenario invariants (p99 bound, sawtooth
+# reclamation, pinned-snapshot correctness, admission oscillation) plus
+# byte-identical replay on every device.
+check-scenarios:
+	go run ./cmd/mvpbt-check -scenarios -seed 1 -seeds 2
+
 # One testing.B benchmark per paper figure (quick scale).
 bench:
 	go test -bench=. -benchmem
@@ -61,6 +75,12 @@ bench-commit:
 # bench-net.txt for publishing as a build artifact.
 bench-net:
 	go run ./cmd/mvpbt-bench -run net | tee bench-net.txt
+
+# Hostile-scenario matrix: device zoo x scenario x heap layout, one
+# state-hash-stamped row per cell. Output lands in scenarios.txt for
+# publishing as a build artifact.
+bench-scenarios:
+	go run ./cmd/mvpbt-bench -run scenarios | tee scenarios.txt
 
 # mvpbt-server end-to-end smoke: start, run client ops over TCP via
 # shardclient, drain, verify clean shutdown. Exits non-zero on failure.

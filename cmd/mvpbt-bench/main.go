@@ -6,6 +6,8 @@
 //	mvpbt-bench -run fig12a
 //	mvpbt-bench -all -scale full
 //	mvpbt-bench -run parallel -cpuprofile cpu.pprof -memprofile mem.pprof
+//	mvpbt-bench -run fig12a -device consumer-tlc
+//	mvpbt-bench -run scenarios
 //
 // Every experiment prints the same rows/series the corresponding figure of
 // the paper reports; EXPERIMENTS.md records paper-vs-measured values. The
@@ -19,9 +21,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"mvpbt/internal/bench"
+	"mvpbt/internal/ssd"
 )
 
 func main() {
@@ -41,10 +45,27 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 		maintWk    = flag.Int("maint-workers", bench.MaintWorkers, "maintenance worker pool size (maint experiment)")
 		maintRate  = flag.Int("maint-rate-mb", bench.MaintRateMBps, "maintenance I/O rate limit in MiB/s, 0 = unthrottled (maint experiment)")
+		device     = flag.String("device", "", "device-zoo name every engine-backed experiment runs on (default: calibrated enterprise NVMe); see -list-devices")
+		listDev    = flag.Bool("list-devices", false, "list the device zoo and exit")
 	)
 	flag.Parse()
 	bench.MaintWorkers = *maintWk
 	bench.MaintRateMBps = *maintRate
+
+	if *listDev {
+		for _, spec := range ssd.Zoo() {
+			fmt.Printf("%-16s mode=%s\n", spec.Name, spec.Mode)
+		}
+		return 0
+	}
+	if *device != "" {
+		spec, ok := ssd.SpecByName(*device)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown device %q (zoo: %s)\n", *device, strings.Join(ssd.ZooNames(), ", "))
+			return 2
+		}
+		bench.Device = spec
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -29,15 +29,25 @@
 // context-deadline bound on writes wedged in a partition-buffer stall:
 //
 //	go run ./cmd/mvpbt-check -exhaust -seed 1 -seeds 2
+//
+// Hostile-scenario campaign (`make check-scenarios`): -scenarios runs the
+// hostile-workload catalogue (hot-key storms, sawtooth load/delete cycles,
+// GC-pinning analytical snapshots, tenant-skewed admission-controlled
+// mixes) across a device-zoo subset chosen with -devices, each cell
+// replayed twice for byte-identical fingerprints:
+//
+//	go run ./cmd/mvpbt-check -scenarios -devices enterprise-nvme,cloud-block
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mvpbt/internal/check"
 	"mvpbt/internal/db"
+	"mvpbt/internal/ssd"
 )
 
 func main() {
@@ -56,9 +66,14 @@ func main() {
 		faults   = flag.Bool("faults", false, "fault-campaign mode: seeded device faults on both heaps, each history replayed twice for determinism")
 		seeds    = flag.Int("seeds", 8, "campaign seed count (seeds -seed..-seed+N-1); only with -faults or -exhaust")
 		exhaust  = flag.Bool("exhaust", false, "exhaustion-campaign mode: fill a capacity-bounded device to read-only, reclaim, resume, recover, replay twice for determinism")
+		scenarios = flag.Bool("scenarios", false, "hostile-scenario campaign: every hostile workload on each -devices device, replayed twice for determinism")
+		devices   = flag.String("devices", "", "comma-separated device-zoo names for -scenarios (empty = whole zoo; see ssd.ZooNames)")
 	)
 	flag.Parse()
 
+	if *scenarios {
+		os.Exit(runScenarios(*seed, *seeds, *devices))
+	}
 	if *exhaust {
 		os.Exit(runExhaust(*seed, *seeds))
 	}
@@ -153,6 +168,48 @@ func runCampaign(seed uint64, n, ops, clients, keys, crashes int) int {
 		return 1
 	}
 	fmt.Println("OK: every fault masked or recovered, all replays deterministic")
+	return 0
+}
+
+// runScenarios drives check.ScenarioCampaign and reports it. Returns the
+// process exit code.
+func runScenarios(seed uint64, n int, deviceCSV string) int {
+	seedList := make([]uint64, n)
+	for i := range seedList {
+		seedList[i] = seed + uint64(i)
+	}
+	var devs []ssd.DeviceSpec
+	names := "whole zoo"
+	if deviceCSV != "" {
+		for _, name := range strings.Split(deviceCSV, ",") {
+			name = strings.TrimSpace(name)
+			spec, ok := ssd.SpecByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown device %q (zoo: %s)\n", name, strings.Join(ssd.ZooNames(), ", "))
+				return 2
+			}
+			devs = append(devs, spec)
+		}
+		names = deviceCSV
+	}
+	fmt.Printf("hostile-scenario campaign: %d seeds (%d..%d) x devices [%s] x all scenarios\n",
+		n, seed, seed+uint64(n)-1, names)
+	res := check.ScenarioCampaign(check.ScenarioConfig{
+		Seeds:   seedList,
+		Devices: devs,
+		Log:     func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if res.Failed() {
+		fmt.Printf("FAIL: %d violations, %d nondeterministic replays\n", res.Violations, res.Mismatches)
+		for _, r := range res.Runs {
+			if r.Violation != nil || r.Mismatch != "" {
+				fmt.Printf("  reproduce: go run ./cmd/mvpbt-check -scenarios -seed %d -seeds 1 -devices %s\n",
+					r.Seed, r.Device)
+			}
+		}
+		return 1
+	}
+	fmt.Printf("OK: %d cells, every scenario invariant held, all replays byte-identical\n", len(res.Runs))
 	return 0
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"mvpbt/internal/db"
 	"mvpbt/internal/simclock"
+	"mvpbt/internal/ssd"
 )
 
 // Scale selects experiment sizing.
@@ -178,7 +179,13 @@ func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func fi(v int64) string   { return fmt.Sprintf("%d", v) }
 
+// Device is the device-zoo spec every engine-backed experiment runs on.
+// The zero value is the calibrated default (the paper's enterprise NVMe);
+// mvpbt-bench -device sets it from a zoo name so any figure can be
+// re-measured on consumer flash, a ZNS part, or throttled cloud storage.
+var Device ssd.DeviceSpec
+
 // engineConfig builds the standard experiment engine sizing.
 func engineConfig(bufferPages, pbufBytes int) db.Config {
-	return db.Config{BufferPages: bufferPages, PartitionBufferBytes: pbufBytes}
+	return db.Config{BufferPages: bufferPages, PartitionBufferBytes: pbufBytes, Device: Device}
 }

@@ -76,7 +76,8 @@ func cellOf(res *Result, row, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig3", "fig8", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig13", "fig14a", "fig14b", "fig14c", "fig14d", "fig15a", "fig15b",
-		"extra-wa", "extra-merge", "parallel", "maint", "commit", "net"}
+		"extra-wa", "extra-merge", "parallel", "maint", "commit", "net",
+		"scenarios"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

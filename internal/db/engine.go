@@ -47,7 +47,14 @@ type Config struct {
 	// (default 4 MiB).
 	PartitionBufferBytes int
 	// Profile is the device latency profile (default ssd.IntelP3600).
+	// Superseded by Device when that is set.
 	Profile ssd.Profile
+	// Device selects a zoo device (ssd.Zoo) by full spec: latency profile
+	// plus mode semantics — ZNS append-only zones, cloud IOPS throttling.
+	// The zero value defers to Profile; a zero Profile inside a non-zero
+	// Device still defaults to ssd.IntelP3600. DeviceSpec is itself a pure
+	// value (scalars and a name string), keeping the copy contract intact.
+	Device ssd.DeviceSpec
 	// EnableWAL turns on logical redo logging with per-commit flushes (see
 	// internal/wal). Off by default: the paper's experiments run without
 	// durability, like the paper's prototype.
@@ -95,6 +102,13 @@ func (c Config) withDefaults() Config {
 	zero := ssd.Profile{}
 	if c.Profile == zero {
 		c.Profile = ssd.IntelP3600
+	}
+	if c.Device == (ssd.DeviceSpec{}) {
+		c.Device = ssd.DeviceSpec{Profile: c.Profile}
+	} else if c.Device.Profile == zero {
+		// A mode-only spec (e.g. constructed from a name lookup that kept
+		// the default profile) still gets the configured latency table.
+		c.Device.Profile = c.Profile
 	}
 	if c.DeviceCapacityBytes > 0 {
 		if c.SpaceSoftBytes <= 0 {
@@ -170,7 +184,7 @@ type Engine struct {
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	clk := simclock.New()
-	dev := ssd.New(clk, cfg.Profile)
+	dev := ssd.NewWithSpec(clk, cfg.Device)
 	e := &Engine{
 		Clock:  clk,
 		Dev:    dev,

@@ -125,6 +125,16 @@ func (e *Engine) enterReadOnly() {
 	}
 }
 
+// ReclaimNow synchronously runs one reclamation pass — the same pass the
+// space governor schedules at watermark crossings: WAL checkpoint and log
+// truncation, MV-PBT garbage collection and partition merges, heap
+// vacuum. An administrative seam, the equivalent of a manual
+// CHECKPOINT+VACUUM maintenance window in a conventional DBMS; the
+// governor's edge-triggered passes remain the automatic path. The
+// checkpoint step silently skips (it does not fail) while transactions
+// are active.
+func (e *Engine) ReclaimNow() error { return e.reclaimSpace() }
+
 // requestReclaim schedules an urgent reclamation pass. With background
 // maintenance it rides the urgent lane (front of queue, no rate limiting,
 // deduplicated while one is already pending). In synchronous mode the

@@ -389,3 +389,115 @@ func TestWireFrameLimits(t *testing.T) {
 		}
 	}
 }
+
+// TestAdmissionTimeoutBounded pins BOTH sides of the queue-timeout
+// contract under sustained overload: a queued session must not be
+// rejected before QueueTimeout, and must receive its typed rejection
+// within QueueTimeout plus a scheduling epsilon — the queue may not hold
+// connections indefinitely once the overload outlasts it. Several
+// concurrent sessions queue at once, so the admit loop's shared state is
+// also exercised under the race detector.
+func TestAdmissionTimeoutBounded(t *testing.T) {
+	const queueTimeout = 100 * time.Millisecond
+	// Generous for loaded CI machines; the admit loop polls every 2ms, so
+	// the intrinsic slack is tiny.
+	const epsilon = 900 * time.Millisecond
+	_, srv, addr := startServer(t, 1, server.Config{
+		Admission:    server.AdmitQueue,
+		QueueTimeout: queueTimeout,
+		Overloaded:   func() bool { return true },
+	})
+	const sessions = 8
+	type outcome struct {
+		err  error
+		took time.Duration
+	}
+	results := make(chan outcome, sessions)
+	for i := 0; i < sessions; i++ {
+		go func() {
+			start := time.Now()
+			_, err := shardclient.Dial(addr, "t")
+			results <- outcome{err: err, took: time.Since(start)}
+		}()
+	}
+	for i := 0; i < sessions; i++ {
+		res := <-results
+		if !errors.Is(res.err, shardclient.ErrAdmission) {
+			t.Fatalf("session %d: %v, want ErrAdmission", i, res.err)
+		}
+		if res.took < queueTimeout {
+			t.Fatalf("session %d rejected after %v, before the %v timeout", i, res.took, queueTimeout)
+		}
+		if res.took > queueTimeout+epsilon {
+			t.Fatalf("session %d held %v, past timeout %v + epsilon %v", i, res.took, queueTimeout, epsilon)
+		}
+	}
+	m := srv.Metrics()
+	if m.Rejected != sessions {
+		t.Fatalf("metrics: %d rejections, want %d", m.Rejected, sessions)
+	}
+}
+
+// TestPerTenantCapNoStarvation: one tenant saturating its per-tenant cap
+// with a burst of concurrent dials must not starve other tenants — the
+// cap is per-tenant isolation, not a global brake. The greedy tenant's
+// overflow gets the typed admission rejection; every other tenant's
+// session is admitted while the greedy sessions stay parked.
+func TestPerTenantCapNoStarvation(t *testing.T) {
+	_, _, addr := startServer(t, 1, server.Config{
+		MaxSessionsPerTenant: 2,
+		MaxSessions:          64,
+	})
+
+	// The greedy tenant fires 10 concurrent dials at a cap of 2.
+	const greedy = 10
+	type res struct {
+		c   *shardclient.Client
+		err error
+	}
+	greedyRes := make(chan res, greedy)
+	for i := 0; i < greedy; i++ {
+		go func() {
+			c, err := shardclient.Dial(addr, "greedy")
+			greedyRes <- res{c, err}
+		}()
+	}
+	var admitted, rejected int
+	for i := 0; i < greedy; i++ {
+		r := <-greedyRes
+		switch {
+		case r.err == nil:
+			admitted++
+			defer r.c.Close()
+		case errors.Is(r.err, shardclient.ErrAdmission):
+			rejected++
+		default:
+			t.Fatalf("greedy dial: %v", r.err)
+		}
+	}
+	if admitted != 2 || rejected != greedy-2 {
+		t.Fatalf("greedy tenant: %d admitted / %d rejected, want 2 / %d", admitted, rejected, greedy-2)
+	}
+
+	// With greedy's slots pinned open, ten OTHER tenants dial concurrently;
+	// every one must be admitted and usable.
+	const others = 10
+	otherRes := make(chan res, others)
+	for i := 0; i < others; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		go func() {
+			c, err := shardclient.Dial(addr, tenant)
+			otherRes <- res{c, err}
+		}()
+	}
+	for i := 0; i < others; i++ {
+		r := <-otherRes
+		if r.err != nil {
+			t.Fatalf("minority tenant starved: %v", r.err)
+		}
+		if err := r.c.Set(0, []byte("k"), []byte("v")); err != nil {
+			t.Fatalf("admitted session unusable: %v", err)
+		}
+		r.c.Close()
+	}
+}

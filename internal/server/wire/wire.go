@@ -70,6 +70,18 @@ const MaxFrame = 16 << 20
 // ErrFrameTooLarge is returned for frames past MaxFrame in either direction.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds 16MiB limit")
 
+// ErrZeroLengthFrame is returned for a declared frame length of zero —
+// every frame carries at least its opcode byte, so a zero length is a
+// corrupt or malicious header, not an empty message.
+var ErrZeroLengthFrame = errors.New("wire: zero-length frame")
+
+// ErrTruncatedFrame is returned when a frame or field ends before its
+// declared length: a payload cut short by the peer closing mid-frame, or
+// a structured field (u32) extending past the frame end. Both sides treat
+// it as a protocol violation and drop the connection; errors.Is
+// distinguishes it from transport-level read failures.
+var ErrTruncatedFrame = errors.New("wire: truncated frame")
+
 // WriteFrame sends one frame: opcode/status byte plus payload segments.
 func WriteFrame(w io.Writer, op byte, segs ...[]byte) error {
 	n := 1
@@ -101,13 +113,18 @@ func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < 1 {
-		return 0, nil, fmt.Errorf("wire: zero-length frame")
+		return 0, nil, ErrZeroLengthFrame
 	}
 	if n > MaxFrame {
-		return 0, nil, ErrFrameTooLarge
+		return 0, nil, fmt.Errorf("%w (declared %d bytes)", ErrFrameTooLarge, n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if got, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			// The header promised n bytes; the stream ended first. A clean
+			// EOF here is still a truncation — the frame had begun.
+			return 0, nil, fmt.Errorf("%w: payload ended at %d of %d declared bytes", ErrTruncatedFrame, got, n)
+		}
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil
@@ -123,7 +140,7 @@ func U32(v uint32) []byte {
 // TakeU32 splits a big-endian u32 off the front of p.
 func TakeU32(p []byte) (uint32, []byte, error) {
 	if len(p) < 4 {
-		return 0, nil, fmt.Errorf("wire: truncated frame (need u32, have %d bytes)", len(p))
+		return 0, nil, fmt.Errorf("%w (need u32, have %d bytes)", ErrTruncatedFrame, len(p))
 	}
 	return binary.BigEndian.Uint32(p[:4]), p[4:], nil
 }

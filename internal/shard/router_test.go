@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mvpbt/internal/db"
+	"mvpbt/internal/util"
 )
 
 func newRouter(t *testing.T, shards int) *Router {
@@ -307,5 +308,102 @@ func TestRouterStats(t *testing.T) {
 	}
 	if st[0].Dir != "shard-0" || st[1].Dir != "shard-1" {
 		t.Fatalf("shard dirs %q %q", st[0].Dir, st[1].Dir)
+	}
+}
+
+// TestScanPropertyVsSingleShardOracle is the k-way-merge property test:
+// for random shard counts and random key sets (with overwrites and
+// deletes), a cross-shard scan must yield a globally sorted,
+// duplicate-free stream identical to the same history played into a
+// single-shard router — the oracle whose "merge" is trivially correct.
+// Everything derives from the seed, so a failure names its repro.
+func TestScanPropertyVsSingleShardOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := util.NewRand(seed)
+			shards := 2 + rng.Intn(6) // 2..7
+			r := newRouter(t, shards)
+			oracle := newRouter(t, 1)
+
+			// Random history: puts (with overwrites, random-length keys and
+			// values) and occasional deletes, applied to both routers.
+			keyspace := 50 + rng.Intn(400)
+			ops := 400 + rng.Intn(800)
+			mkKey := func() []byte {
+				k := make([]byte, 1+rng.Intn(24))
+				rng.Letters(k)
+				// A shared prefix for a fraction of keys exercises merge
+				// runs landing on the same shard stream back to back.
+				if rng.Intn(3) == 0 {
+					return append([]byte("common-"), k...)
+				}
+				return k
+			}
+			keys := make([][]byte, keyspace)
+			for i := range keys {
+				keys[i] = mkKey()
+			}
+			for i := 0; i < ops; i++ {
+				k := keys[rng.Intn(keyspace)]
+				if rng.Intn(5) == 0 {
+					if err := r.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					if err := oracle.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				v := make([]byte, 1+rng.Intn(80))
+				rng.Letters(v)
+				if err := r.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			collect := func(rt *Router, lo []byte, limit int) (ks, vs []string) {
+				err := rt.Scan(lo, limit, func(k, v []byte) bool {
+					ks = append(ks, string(k))
+					vs = append(vs, string(v))
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ks, vs
+			}
+
+			// Full scan plus random windows (random lo, random limit).
+			type window struct {
+				lo    []byte
+				limit int
+			}
+			windows := []window{{nil, 1 << 30}}
+			for i := 0; i < 8; i++ {
+				windows = append(windows, window{keys[rng.Intn(keyspace)], 1 + rng.Intn(keyspace)})
+			}
+			for _, w := range windows {
+				gotK, gotV := collect(r, w.lo, w.limit)
+				wantK, wantV := collect(oracle, w.lo, w.limit)
+				if len(gotK) != len(wantK) {
+					t.Fatalf("shards=%d lo=%q limit=%d: %d keys, oracle %d",
+						shards, w.lo, w.limit, len(gotK), len(wantK))
+				}
+				for i := range gotK {
+					if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+						t.Fatalf("shards=%d lo=%q limit=%d: row %d = (%q,%q), oracle (%q,%q)",
+							shards, w.lo, w.limit, i, gotK[i], gotV[i], wantK[i], wantV[i])
+					}
+					if i > 0 && gotK[i] <= gotK[i-1] {
+						t.Fatalf("shards=%d: stream not strictly sorted at %d: %q after %q",
+							shards, i, gotK[i], gotK[i-1])
+					}
+				}
+			}
+		})
 	}
 }

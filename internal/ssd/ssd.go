@@ -138,12 +138,22 @@ type Device struct {
 	mu        sync.Mutex
 	clock     *simclock.Clock
 	prof      Profile
+	spec      DeviceSpec
 	blocks    map[int64][]byte
 	lastRdEnd int64
 	lastWrEnd int64
 	stats     Stats
 	tracing   bool
 	trace     []TraceEntry
+
+	// Zoned-device state (zoo.go): per-zone write pointers and counters.
+	zoneWP map[int64]int64
+	zns    ZNSStats
+
+	// Throttled-device state (zoo.go): IOPS token bucket.
+	tokens  float64
+	tokenAt time.Duration
+	cloud   CloudStats
 
 	// Fault injection (faults.go). classifier maps a byte offset to the
 	// sfile class of the extent it falls in, for rule scoping.
@@ -153,10 +163,26 @@ type Device struct {
 	classifier  func(off int64) int
 }
 
-// New returns an empty device with the given latency profile, charging I/O
-// time to clock.
+// New returns an empty device with the given latency profile and
+// conventional block semantics, charging I/O time to clock.
 func New(clock *simclock.Clock, prof Profile) *Device {
-	return &Device{clock: clock, prof: prof, blocks: make(map[int64][]byte), lastRdEnd: -1, lastWrEnd: -1}
+	return NewWithSpec(clock, DeviceSpec{Profile: prof})
+}
+
+// NewWithSpec returns an empty device built from a zoo spec (zoo.go),
+// charging I/O time to clock. The zero spec is the default device
+// (enterprise-nvme profile, block mode).
+func NewWithSpec(clock *simclock.Clock, spec DeviceSpec) *Device {
+	spec = spec.withDefaults()
+	d := &Device{clock: clock, prof: spec.Profile, spec: spec,
+		blocks: make(map[int64][]byte), lastRdEnd: -1, lastWrEnd: -1}
+	if spec.Mode == ModeZNS {
+		d.zoneWP = make(map[int64]int64)
+	}
+	if spec.Mode == ModeCloud {
+		d.tokens = float64(spec.BurstOps) // the bucket starts full
+	}
+	return d
 }
 
 // Clock returns the virtual clock the device charges.
@@ -181,6 +207,9 @@ func (d *Device) ReadAt(p []byte, off int64) error {
 	} else {
 		lat = latency(d.prof.ReadRand8, d.prof.ReadRand64, len(p))
 		d.stats.RandReads++
+	}
+	if d.spec.Mode == ModeCloud {
+		lat = d.cloudCharge(lat)
 	}
 	d.stats.Reads++
 	d.stats.BytesRead += int64(len(p))
@@ -223,11 +252,17 @@ func (d *Device) WriteAt(p []byte, off int64) error {
 		lat = latency(d.prof.WriteRand8, d.prof.WriteRand64, len(p))
 		d.stats.RandWrites++
 	}
+	var ioErr error
+	switch d.spec.Mode {
+	case ModeZNS:
+		lat, ioErr = d.znsWrite(off, len(p), lat)
+	case ModeCloud:
+		lat = d.cloudCharge(lat)
+	}
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(p))
 	d.stats.WriteTime += lat
-	var ioErr error
-	if f := d.matchFault(OpWrite, off, len(p)); f != nil {
+	if f := d.matchFault(OpWrite, off, len(p)); ioErr == nil && f != nil {
 		if f.rule.Kind == FaultTornWrite {
 			n := f.rule.TornSectors * SectorSize
 			if n > len(p) {
@@ -260,6 +295,9 @@ func (d *Device) Discard(off, n int64) {
 	last := (off + n) / storeBlock
 	for b := first; b < last; b++ {
 		delete(d.blocks, b)
+	}
+	if d.spec.Mode == ModeZNS {
+		d.znsDiscard(off, n)
 	}
 }
 

@@ -1,0 +1,234 @@
+package ssd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"mvpbt/internal/simclock"
+)
+
+func TestZooRegistry(t *testing.T) {
+	want := []string{"enterprise-nvme", "consumer-tlc", "zns", "cloud-block"}
+	names := ZooNames()
+	if len(names) != len(want) {
+		t.Fatalf("zoo has %d devices, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("zoo[%d] = %q, want %q", i, names[i], n)
+		}
+		spec, ok := SpecByName(n)
+		if !ok || spec.Name != n {
+			t.Fatalf("SpecByName(%q) = %+v, %v", n, spec, ok)
+		}
+	}
+	if _, ok := SpecByName("floppy"); ok {
+		t.Fatal("SpecByName accepted an unknown device")
+	}
+	if EnterpriseNVMe.Profile != IntelP3600 {
+		t.Fatal("enterprise-nvme must keep the paper's P3600 calibration")
+	}
+}
+
+// The zero spec must behave exactly like the historical default device.
+func TestZeroSpecIsDefaultDevice(t *testing.T) {
+	d := NewWithSpec(simclock.New(), DeviceSpec{})
+	if d.Spec().Profile != IntelP3600 {
+		t.Fatalf("zero-spec profile = %+v, want IntelP3600", d.Spec().Profile)
+	}
+	if d.Spec().Mode != ModeBlock {
+		t.Fatalf("zero-spec mode = %v, want block", d.Spec().Mode)
+	}
+}
+
+func TestZNSShimAppendRedirectReset(t *testing.T) {
+	clk := simclock.New()
+	d := NewWithSpec(clk, ZNSAppend)
+	zb := d.Spec().ZoneBytes
+	buf := bytes.Repeat([]byte{0xAB}, 8192)
+
+	// Two appends at the write pointer.
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if err := d.WriteAt(buf, 8192); err != nil {
+		t.Fatalf("append 2: %v", err)
+	}
+	z := d.ZNSCounters()
+	if z.Appends != 2 || z.Redirects != 0 {
+		t.Fatalf("after appends: %+v", z)
+	}
+
+	// An in-place overwrite: absorbed by the shim, counted, and costlier
+	// than the append it replaces (data re-append + mapping block).
+	before := clk.Now()
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("overwrite via shim: %v", err)
+	}
+	redirCost := clk.Now() - before
+	z = d.ZNSCounters()
+	if z.Redirects != 1 || z.RedirectBytes != 8192 {
+		t.Fatalf("after overwrite: %+v", z)
+	}
+	appendCost := latency(ZNSAppend.Profile.WriteSeq8, ZNSAppend.Profile.WriteSeq64, 8192)
+	if redirCost <= appendCost {
+		t.Fatalf("redirect cost %v not above append cost %v", redirCost, appendCost)
+	}
+	// The overwrite must still be readable (the shim remaps, not rejects).
+	got := make([]byte, 8192)
+	if err := d.ReadAt(got, 0); err != nil || !bytes.Equal(got, buf) {
+		t.Fatalf("read after shim overwrite: err=%v equal=%v", err, bytes.Equal(got, buf))
+	}
+
+	// A whole-zone discard rewinds the write pointer: the next write at the
+	// zone base is an append again.
+	d.Discard(0, zb)
+	z = d.ZNSCounters()
+	if z.Resets != 1 {
+		t.Fatalf("after whole-zone discard: %+v", z)
+	}
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	z = d.ZNSCounters()
+	if z.Appends != 3 || z.Redirects != 1 {
+		t.Fatalf("after post-reset append: %+v", z)
+	}
+
+	// A partial-zone discard must NOT reset the pointer.
+	d.Discard(0, zb/2)
+	if z := d.ZNSCounters(); z.Resets != 1 {
+		t.Fatalf("partial discard reset a zone: %+v", z)
+	}
+}
+
+func TestZNSStrictRejectsOverwrite(t *testing.T) {
+	spec := ZNSAppend
+	spec.ZNSStrict = true
+	d := NewWithSpec(simclock.New(), spec)
+	buf := bytes.Repeat([]byte{0x11}, 4096)
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	err := d.WriteAt(bytes.Repeat([]byte{0x22}, 4096), 0)
+	if !errors.Is(err, ErrZoneOverwrite) {
+		t.Fatalf("in-place overwrite: err = %v, want ErrZoneOverwrite", err)
+	}
+	if z := d.ZNSCounters(); z.Rejects != 1 {
+		t.Fatalf("counters after reject: %+v", z)
+	}
+	// The rejected write must not have persisted.
+	got := make([]byte, 4096)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("rejected overwrite mutated the media")
+	}
+	// Writes in different zones are independent appends.
+	if err := d.WriteAt(buf, spec.ZoneBytes); err != nil {
+		t.Fatalf("append in second zone: %v", err)
+	}
+}
+
+func TestCloudThrottleBurstThenStall(t *testing.T) {
+	spec := CloudBlock
+	spec.BaseIOPS = 100
+	spec.BurstOps = 4
+	clk := simclock.New()
+	d := NewWithSpec(clk, spec)
+	buf := make([]byte, 4096)
+
+	// The first BurstOps I/Os ride the full bucket: no stalls.
+	for i := 0; i < 4; i++ {
+		if err := d.WriteAt(buf, int64(i)*4096); err != nil {
+			t.Fatalf("burst write %d: %v", i, err)
+		}
+	}
+	c := d.CloudCounters()
+	if c.Ops != 4 || c.Stalls != 0 {
+		t.Fatalf("after burst: %+v", c)
+	}
+
+	// Beyond the burst the bucket is (nearly) dry: ops stall at ~BaseIOPS
+	// pacing, charged to the virtual clock.
+	before := clk.Now()
+	for i := 4; i < 14; i++ {
+		if err := d.WriteAt(buf, int64(i)*4096); err != nil {
+			t.Fatalf("throttled write %d: %v", i, err)
+		}
+	}
+	c = d.CloudCounters()
+	if c.Stalls == 0 || c.StallTime == 0 {
+		t.Fatalf("sustained overload did not stall: %+v", c)
+	}
+	// 10 ops at 100 IOPS is ~100ms of pacing; allow generous slack below
+	// but demand the order of magnitude.
+	if got := clk.Now() - before; got < 50*time.Millisecond {
+		t.Fatalf("10 throttled ops advanced clock only %v", got)
+	}
+
+	// Determinism: an identical run produces identical counters and clock.
+	clk2 := simclock.New()
+	d2 := NewWithSpec(clk2, spec)
+	for i := 0; i < 14; i++ {
+		if err := d2.WriteAt(buf, int64(i)*4096); err != nil {
+			t.Fatalf("replay write %d: %v", i, err)
+		}
+	}
+	if c2 := d2.CloudCounters(); c2 != c {
+		t.Fatalf("replay diverged: %+v vs %+v", c2, c)
+	}
+	if clk2.Now() != clk.Now() {
+		t.Fatalf("replay clock diverged: %v vs %v", clk2.Now(), clk.Now())
+	}
+}
+
+func TestCloudIdleRefillsBurst(t *testing.T) {
+	spec := CloudBlock
+	spec.BaseIOPS = 100
+	spec.BurstOps = 4
+	clk := simclock.New()
+	d := NewWithSpec(clk, spec)
+	buf := make([]byte, 4096)
+	for i := 0; i < 8; i++ {
+		if err := d.WriteAt(buf, int64(i)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stalls := d.CloudCounters().Stalls
+	if stalls == 0 {
+		t.Fatal("expected stalls before idle period")
+	}
+	// An idle stretch refills the bucket; the next burst is stall-free.
+	clk.Advance(time.Second)
+	for i := 0; i < 4; i++ {
+		if err := d.WriteAt(buf, int64(8+i)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := d.CloudCounters(); c.Stalls != stalls {
+		t.Fatalf("post-idle burst stalled: %+v (had %d stalls)", c, stalls)
+	}
+}
+
+// The zoo must preserve the flash asymmetry story across tiers: the
+// consumer part's sustained random writes are far slower than the
+// enterprise part's, while the cloud device has no seq/rand asymmetry.
+func TestZooProfileShapes(t *testing.T) {
+	if ConsumerTLC.Profile.WriteRand8 <= EnterpriseNVMe.Profile.WriteRand8 {
+		t.Fatal("consumer-tlc random writes should be slower than enterprise-nvme")
+	}
+	if ConsumerTLC.Profile.ReadRand8 <= EnterpriseNVMe.Profile.ReadRand8 {
+		t.Fatal("consumer-tlc random reads should be slower than enterprise-nvme")
+	}
+	if CloudBlock.Profile.ReadSeq8 != CloudBlock.Profile.ReadRand8 ||
+		CloudBlock.Profile.WriteSeq8 != CloudBlock.Profile.WriteRand8 {
+		t.Fatal("cloud-block should have no seq/rand asymmetry")
+	}
+	if ZNSAppend.Profile.WriteSeq8 != ZNSAppend.Profile.WriteRand8 {
+		t.Fatal("zns media never executes a random write; calibration points must match")
+	}
+}
