@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race race-net race-hostile check check-nightly check-faults check-exhaust check-scenarios bench bench-commit bench-net bench-scenarios bench-full smoke-server examples cover
+.PHONY: all build vet test race race-net race-hostile race-chaos check check-nightly check-faults check-exhaust check-scenarios check-chaos bench bench-commit bench-net bench-scenarios bench-full smoke-server examples cover
 
 all: build vet test
 
@@ -29,6 +29,14 @@ race-net:
 race-hostile:
 	go test -race ./internal/ssd/ ./internal/workload/hostile/
 
+# Race pass over the resilience machinery: the shard supervisor's
+# restart-vs-traffic interleavings, the router close drain fence, the
+# chaos injector, and the chaos-campaign smoke.
+race-chaos:
+	go test -race -run 'TestSupervisor|TestRouterCloseDrainFence' ./internal/shard/
+	go test -race ./internal/server/chaos/
+	go test -race -run TestChaosCampaignSmoke ./internal/check/
+
 # Differential correctness harness: short smoke (CI) and nightly-length.
 check:
 	go run ./cmd/mvpbt-check -seed 1 -ops 6000 -clients 4 -crashes 2
@@ -56,6 +64,13 @@ check-exhaust:
 # byte-identical replay on every device.
 check-scenarios:
 	go run ./cmd/mvpbt-check -scenarios -seed 1 -seeds 2
+
+# Network-chaos campaign: 8 seeds x {reset, truncate, stall, mixed}
+# schedules against the real TCP server with a self-healing client, each
+# run replayed twice — zero acked-write loss, every in-doubt commit
+# resolved via its idempotent token, byte-identical fingerprints.
+check-chaos:
+	go run ./cmd/mvpbt-check -chaos -seed 1 -seeds 8
 
 # One testing.B benchmark per paper figure (quick scale).
 bench:

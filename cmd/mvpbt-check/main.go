@@ -37,6 +37,16 @@
 // replayed twice for byte-identical fingerprints:
 //
 //	go run ./cmd/mvpbt-check -scenarios -devices enterprise-nvme,cloud-block
+//
+// Network-chaos campaign (`make check-chaos`): -chaos drives a seeded
+// history through the real TCP server under a deterministic schedule of
+// connection resets, mid-frame truncations and read/write stalls, with a
+// self-healing client (reconnect, idempotent retries, commit tokens).
+// Every run is replayed twice and must produce a byte-identical
+// fingerprint; every acked write must survive to the post-chaos scan and
+// every in-doubt commit must resolve one way:
+//
+//	go run ./cmd/mvpbt-check -chaos -seed 1 -seeds 8
 package main
 
 import (
@@ -52,25 +62,30 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "history seed (printed on failure; reruns are deterministic)")
-		ops      = flag.Int("ops", 10000, "history length — the run-length budget knob")
-		clients  = flag.Int("clients", 4, "logical clients interleaved in the history")
-		keys     = flag.Int("keys", 200, "key-space size")
-		crashes  = flag.Int("crashes", 3, "crash-restart points injected into the history")
-		heapSel  = flag.String("heap", "both", "heap layout: hot, sias or both")
+		seed       = flag.Uint64("seed", 1, "history seed (printed on failure; reruns are deterministic)")
+		ops        = flag.Int("ops", 10000, "history length — the run-length budget knob")
+		clients    = flag.Int("clients", 4, "logical clients interleaved in the history")
+		keys       = flag.Int("keys", 200, "key-space size")
+		crashes    = flag.Int("crashes", 3, "crash-restart points injected into the history")
+		heapSel    = flag.String("heap", "both", "heap layout: hot, sias or both")
 		background = flag.Bool("background", true, "run maintenance on background workers (false = synchronous)")
 		auditEvery = flag.Int("audit-every", 250, "full audit cadence in ops")
-		fault    = flag.Int("inject-fault", 0, "TEST the harness: invert visibility for tx ids divisible by N")
-		noShrink = flag.Bool("no-shrink", false, "skip shrinking on failure")
-		verbose  = flag.Bool("v", false, "progress output")
-		faults   = flag.Bool("faults", false, "fault-campaign mode: seeded device faults on both heaps, each history replayed twice for determinism")
-		seeds    = flag.Int("seeds", 8, "campaign seed count (seeds -seed..-seed+N-1); only with -faults or -exhaust")
-		exhaust  = flag.Bool("exhaust", false, "exhaustion-campaign mode: fill a capacity-bounded device to read-only, reclaim, resume, recover, replay twice for determinism")
-		scenarios = flag.Bool("scenarios", false, "hostile-scenario campaign: every hostile workload on each -devices device, replayed twice for determinism")
-		devices   = flag.String("devices", "", "comma-separated device-zoo names for -scenarios (empty = whole zoo; see ssd.ZooNames)")
+		fault      = flag.Int("inject-fault", 0, "TEST the harness: invert visibility for tx ids divisible by N")
+		noShrink   = flag.Bool("no-shrink", false, "skip shrinking on failure")
+		verbose    = flag.Bool("v", false, "progress output")
+		faults     = flag.Bool("faults", false, "fault-campaign mode: seeded device faults on both heaps, each history replayed twice for determinism")
+		seeds      = flag.Int("seeds", 8, "campaign seed count (seeds -seed..-seed+N-1); only with -faults or -exhaust")
+		exhaust    = flag.Bool("exhaust", false, "exhaustion-campaign mode: fill a capacity-bounded device to read-only, reclaim, resume, recover, replay twice for determinism")
+		scenarios  = flag.Bool("scenarios", false, "hostile-scenario campaign: every hostile workload on each -devices device, replayed twice for determinism")
+		devices    = flag.String("devices", "", "comma-separated device-zoo names for -scenarios (empty = whole zoo; see ssd.ZooNames)")
+		chaosMode  = flag.Bool("chaos", false, "network-chaos campaign: seeded histories through real TCP under injected resets/truncations/stalls with a self-healing client, replayed twice for determinism")
+		chaosKinds = flag.String("chaos-kinds", "", "comma-separated chaos kinds for -chaos (empty = reset,truncate,stall,mixed)")
 	)
 	flag.Parse()
 
+	if *chaosMode {
+		os.Exit(runChaos(*seed, *seeds, *chaosKinds))
+	}
 	if *scenarios {
 		os.Exit(runScenarios(*seed, *seeds, *devices))
 	}
@@ -210,6 +225,47 @@ func runScenarios(seed uint64, n int, deviceCSV string) int {
 		return 1
 	}
 	fmt.Printf("OK: %d cells, every scenario invariant held, all replays byte-identical\n", len(res.Runs))
+	return 0
+}
+
+// runChaos drives check.ChaosCampaign and reports it. Returns the process
+// exit code.
+func runChaos(seed uint64, n int, kindCSV string) int {
+	seedList := make([]uint64, n)
+	for i := range seedList {
+		seedList[i] = seed + uint64(i)
+	}
+	var kinds []string
+	if kindCSV != "" {
+		for _, k := range strings.Split(kindCSV, ",") {
+			kinds = append(kinds, strings.TrimSpace(k))
+		}
+	}
+	kindNames := kinds
+	if kindNames == nil {
+		kindNames = check.ChaosKinds
+	}
+	fmt.Printf("network-chaos campaign: %d seeds (%d..%d) x kinds [%s], each replayed twice\n",
+		n, seed, seed+uint64(n)-1, strings.Join(kindNames, ", "))
+	res := check.ChaosCampaign(check.ChaosConfig{
+		Seeds: seedList,
+		Kinds: kinds,
+		Log:   func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	fmt.Printf("injected: %d cuts, %d truncations, %d stalls across %d runs; %d reconnects, %d commit resolutions\n",
+		res.Cuts, res.Truncs, res.Stalls, len(res.Runs), res.Reconnects, res.Resolves)
+	if res.Failed() {
+		fmt.Printf("FAIL: %d violations (acked-write loss or unresolved commits), %d nondeterministic replays\n",
+			res.Violations, res.Mismatches)
+		for _, r := range res.Runs {
+			if r.Violation != "" || r.Mismatch != "" {
+				fmt.Printf("  reproduce: go run ./cmd/mvpbt-check -chaos -seed %d -seeds 1 -chaos-kinds %s\n",
+					r.Seed, r.Kind)
+			}
+		}
+		return 1
+	}
+	fmt.Println("OK: every acked write survived, every in-doubt commit resolved, all replays byte-identical")
 	return 0
 }
 

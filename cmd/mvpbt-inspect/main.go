@@ -184,6 +184,7 @@ func inspectShards(n, tuples, updates, pbuf int, capacity int64) {
 			DeviceCapacityBytes:  capacity,
 			GroupCommit:          db.GroupCommitConfig{Enabled: true},
 		},
+		Supervise: true,
 	})
 	if err != nil {
 		panic(err)
@@ -244,6 +245,14 @@ func inspectShards(n, tuples, updates, pbuf int, capacity int64) {
 	row("flushes/commit", func(i int) string { return fmt.Sprintf("%.2f", stats[i].WAL.FlushesPerCommit()) })
 	row("group batches", func(i int) string { return fmt.Sprintf("%d", stats[i].WAL.Group.Batches) })
 	row("max batched", func(i int) string { return fmt.Sprintf("%d", stats[i].WAL.Group.MaxBatched) })
+	row("health", func(i int) string { return stats[i].Health.State.String() })
+	row("restarts", func(i int) string { return fmt.Sprintf("%d", stats[i].Health.Restarts) })
+	row("breaker", func(i int) string {
+		if stats[i].Health.BreakerOpen {
+			return fmt.Sprintf("open (%d fails)", stats[i].Health.RestartFailures)
+		}
+		return "closed"
+	})
 
 	fmt.Println("\n== per-shard devices ==")
 	for _, st := range stats {

@@ -40,6 +40,8 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 256, "global concurrent session cap")
 		maxPerTenant = flag.Int("max-per-tenant", 64, "per-tenant concurrent session cap")
 		drainWait    = flag.Duration("drain-wait", 10*time.Second, "how long shutdown waits for sessions to finish")
+		supervise    = flag.Bool("supervise", true, "per-shard health supervision: auto-restart failed shards through WAL recovery")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 = default, <0 = never)")
 		smoke        = flag.Bool("smoke", false, "run the in-process smoke test and exit")
 	)
 	flag.Parse()
@@ -63,6 +65,7 @@ func main() {
 			DeviceCapacityBytes:  *capacity,
 			GroupCommit:          db.GroupCommitConfig{Enabled: *groupCommit},
 		},
+		Supervise: *supervise,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "router: %v\n", err)
@@ -76,6 +79,7 @@ func main() {
 		MaxSessionsPerTenant: *maxPerTenant,
 		Admission:            pol,
 		QueueTimeout:         *queueTimeout,
+		IdleTimeout:          *idleTimeout,
 	}
 	if *smoke {
 		cfg.Addr = "127.0.0.1:0"

@@ -244,7 +244,22 @@ func (m *MVPBTKV) Put(key, val []byte) error {
 		m.e.Abort(tx)
 		return err
 	}
-	m.e.Commit(tx)
+	return m.autocommit(tx)
+}
+
+// autocommit finishes a Put/Delete's implicit transaction through the
+// durable pipeline, surfacing a WAL flush failure as a typed error
+// (wrapping storage.ErrIOFault or ErrClosed) instead of panicking the
+// process: a persistent device fault on one shard must degrade that shard
+// — observable by the supervisor — not take the server down. The handle
+// is aborted so it cannot pin the GC horizon; durability stays in doubt
+// per the CommitDurable contract (restart recovery resolves it from the
+// log).
+func (m *MVPBTKV) autocommit(tx *txn.Tx) error {
+	if err := m.e.CommitDurable(tx); err != nil {
+		m.e.Abort(tx)
+		return fmt.Errorf("db: autocommit: %w", err)
+	}
 	return nil
 }
 
@@ -289,8 +304,7 @@ func (m *MVPBTKV) Delete(key []byte) error {
 		m.e.Abort(tx)
 		return err
 	}
-	m.e.Commit(tx)
-	return nil
+	return m.autocommit(tx)
 }
 
 // DeleteTx is Delete inside a caller-owned transaction.

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// frame builds one wire-shaped frame: u32 length | body.
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// feed pushes stream through a scanner in the given chunk sizes, returning
+// the total delivered byte count and whether/where a cut fired.
+func feed(s *scanner, stream []byte, chunks []int) (delivered int, cutAt int) {
+	cutAt = -1
+	i := 0
+	for _, n := range chunks {
+		if i >= len(stream) {
+			break
+		}
+		if i+n > len(stream) {
+			n = len(stream) - i
+		}
+		keep, cut := s.scan(stream[i : i+n])
+		delivered += keep
+		if cut {
+			return delivered, delivered
+		}
+		i += n
+	}
+	return delivered, cutAt
+}
+
+// TestScannerChunkIndependence is the determinism core: however the kernel
+// chunks the byte stream, the scanner assigns the same frame indices and a
+// rule fires at the same logical point — same delivered-byte count, same
+// cut position.
+func TestScannerChunkIndependence(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 6; i++ {
+		stream = append(stream, frame(bytes.Repeat([]byte{byte(i)}, 3+i*5))...)
+	}
+	chunkings := [][]int{
+		{len(stream)},               // one syscall
+		{1, 1, 1, 2, 3, 5, 8, 1000}, // fibonacci-ish dribble
+		{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7},
+		{2, 1, 4, 1, 1, 9, 3, 1, 1, 1, 200},
+	}
+
+	for _, tc := range []struct {
+		name string
+		rule Rule
+	}{
+		{"cut-frame-3", Rule{Dir: In, Frame: 3, Action: Cut}},
+		{"trunc-frame-2", Rule{Dir: In, Frame: 2, Action: Truncate, TruncBytes: 5}},
+		{"trunc-frame-0", Rule{Dir: In, Frame: 0, Action: Truncate, TruncBytes: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var wantDelivered, wantCut int = -2, -2
+			for ci, chunks := range chunkings {
+				s := &scanner{dir: In, sched: NewSchedule([]Rule{tc.rule})}
+				delivered, cutAt := feed(s, stream, chunks)
+				if wantDelivered == -2 {
+					wantDelivered, wantCut = delivered, cutAt
+					continue
+				}
+				if delivered != wantDelivered || cutAt != wantCut {
+					t.Fatalf("chunking %d: delivered=%d cutAt=%d, chunking 0 gave %d/%d",
+						ci, delivered, cutAt, wantDelivered, wantCut)
+				}
+			}
+			if wantCut < 0 {
+				t.Fatal("rule never fired")
+			}
+		})
+	}
+}
+
+// TestScannerCutPosition pins the exact semantics: a Cut on frame k
+// delivers frames 0..k-1 completely and nothing of frame k; a Truncate
+// delivers exactly TruncBytes of frame k.
+func TestScannerCutPosition(t *testing.T) {
+	f0, f1, f2 := frame([]byte("aaaa")), frame([]byte("bb")), frame([]byte("cccccc"))
+	stream := append(append(append([]byte(nil), f0...), f1...), f2...)
+
+	s := &scanner{dir: In, sched: NewSchedule([]Rule{{Dir: In, Frame: 2, Action: Cut}})}
+	keep, cut := s.scan(stream)
+	if !cut || keep != len(f0)+len(f1) {
+		t.Fatalf("cut: keep=%d cut=%v, want %d,true", keep, cut, len(f0)+len(f1))
+	}
+
+	s = &scanner{dir: In, sched: NewSchedule([]Rule{{Dir: In, Frame: 1, Action: Truncate, TruncBytes: 3}})}
+	keep, cut = s.scan(stream)
+	if !cut || keep != len(f0)+3 {
+		t.Fatalf("truncate: keep=%d cut=%v, want %d,true", keep, cut, len(f0)+3)
+	}
+}
+
+// TestScheduleFireOnce: a rule fires on exactly one frame, and frames keep
+// being counted after Disarm while rules stop firing.
+func TestScheduleFireOnce(t *testing.T) {
+	sched := NewSchedule([]Rule{{Dir: Out, Frame: 1, Action: Stall, StallFor: time.Millisecond}})
+	if r := sched.frameStart(Out); r != nil {
+		t.Fatal("frame 0: unexpected rule")
+	}
+	if r := sched.frameStart(Out); r == nil || r.Action != Stall {
+		t.Fatal("frame 1: rule did not fire")
+	}
+	if r := sched.frameStart(Out); r != nil {
+		t.Fatal("frame 2: rule fired twice")
+	}
+	sched.Disarm()
+	sched.frameStart(Out)
+	st := sched.Stats()
+	if st.FramesOut != 4 || st.Stalls != 1 {
+		t.Fatalf("stats: %+v, want FramesOut=4 Stalls=1", st)
+	}
+	if st.FramesIn != 0 {
+		t.Fatalf("In frames counted on Out traffic: %+v", st)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"mvpbt/internal/db"
 	"mvpbt/internal/server/wire"
 	"mvpbt/internal/shard"
+	"mvpbt/internal/storage"
 )
 
 // AdmissionPolicy selects what happens to a new session that arrives while
@@ -65,6 +66,27 @@ type Config struct {
 	// requests before their connections are deadlined out (default 1s).
 	// A Drain context with an earlier deadline shortens it.
 	DrainGrace time.Duration
+	// IdleTimeout reaps sessions that go this long without sending a
+	// request (default 5m; negative disables). A reaped session's open
+	// transactions are aborted like any disconnect's, so an abandoned
+	// connection can neither pin the GC horizon nor hold admission slots.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (default 30s): a peer that
+	// stops draining its socket cannot wedge the connection goroutine.
+	WriteTimeout time.Duration
+	// CommitTokenTTL bounds how long a committed commit token stays in
+	// the dedup table (default 5m). A retried COMMIT resolving after the
+	// TTL may see StatusNotCommitted for a commit that applied — the
+	// documented staleness bound clients must resolve within.
+	CommitTokenTTL time.Duration
+	// CommitTokenCap bounds the dedup table size (default 65536). At the
+	// cap, expired entries are swept; if none are expired the oldest
+	// entries are evicted (same staleness caveat as the TTL).
+	CommitTokenCap int
+	// WrapListener, if set, wraps the bound listener before Serve uses
+	// it — the seam chaos testing (internal/server/chaos) and, later,
+	// TLS plug into.
+	WrapListener func(net.Listener) net.Listener
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +107,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.CommitTokenTTL <= 0 {
+		c.CommitTokenTTL = 5 * time.Minute
+	}
+	if c.CommitTokenCap <= 0 {
+		c.CommitTokenCap = 1 << 16
 	}
 	return c
 }
@@ -110,6 +144,13 @@ type Server struct {
 
 	wg sync.WaitGroup
 
+	// tokens is the commit-token dedup table: tokens of committed
+	// transactions, recorded BEFORE the commit's OK is written, so a
+	// client that lost the ack can resolve the outcome by token. TTL- and
+	// size-bounded (Config.CommitTokenTTL/Cap).
+	tokMu  sync.Mutex
+	tokens map[uint64]time.Time
+
 	admitted atomic.Uint64
 	rejected atomic.Uint64
 	queued   atomic.Uint64
@@ -123,7 +164,61 @@ func New(r *shard.Router, cfg Config) *Server {
 		cfg:      cfg.withDefaults(),
 		sessions: map[*session]struct{}{},
 		tenants:  map[string]int{},
+		tokens:   map[uint64]time.Time{},
 	}
+}
+
+// SessionCount returns the number of currently admitted sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// recordToken marks a commit token as applied. Called after the commit
+// succeeds and before its OK frame is written: a lost ack therefore always
+// finds its token here. The table is TTL-swept and size-bounded.
+func (s *Server) recordToken(tok uint64) {
+	now := time.Now()
+	s.tokMu.Lock()
+	defer s.tokMu.Unlock()
+	if len(s.tokens) >= s.cfg.CommitTokenCap {
+		for t, at := range s.tokens {
+			if now.Sub(at) > s.cfg.CommitTokenTTL {
+				delete(s.tokens, t)
+			}
+		}
+		// Still at the cap with nothing expired: evict oldest entries —
+		// bounded memory beats completeness, per the documented staleness
+		// caveat.
+		for len(s.tokens) >= s.cfg.CommitTokenCap {
+			var oldT uint64
+			var oldAt time.Time
+			first := true
+			for t, at := range s.tokens {
+				if first || at.Before(oldAt) {
+					oldT, oldAt, first = t, at, false
+				}
+			}
+			delete(s.tokens, oldT)
+		}
+	}
+	s.tokens[tok] = now
+}
+
+// tokenCommitted resolves a commit token, lazily expiring it.
+func (s *Server) tokenCommitted(tok uint64) bool {
+	s.tokMu.Lock()
+	defer s.tokMu.Unlock()
+	at, ok := s.tokens[tok]
+	if !ok {
+		return false
+	}
+	if time.Since(at) > s.cfg.CommitTokenTTL {
+		delete(s.tokens, tok)
+		return false
+	}
+	return true
 }
 
 // Listen binds the configured address and returns it (useful with :0).
@@ -132,10 +227,14 @@ func (s *Server) Listen() (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	addr := ln.Addr()
+	if s.cfg.WrapListener != nil {
+		ln = s.cfg.WrapListener(ln)
+	}
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
-	return ln.Addr(), nil
+	return addr, nil
 }
 
 // Serve accepts connections until the listener closes (Drain). It returns
@@ -191,6 +290,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	deadline := time.Now().Add(grace)
 	for sess := range s.sessions {
+		sess.forcedDL.Store(deadline.UnixNano())
 		sess.conn.SetReadDeadline(deadline)
 	}
 	s.mu.Unlock()
@@ -214,12 +314,36 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // session is one admitted connection: its tenant accounting slot and its
-// private transaction table. Owned by the connection goroutine.
+// private transaction table. Owned by the connection goroutine; forcedDL
+// is the one field another goroutine (Drain) writes.
 type session struct {
 	conn   net.Conn
 	tenant string
 	txs    map[uint32]*shard.Tx
+	// tokens maps open transaction ids to the commit token their Begin
+	// carried (absent for token-less Begins).
+	tokens map[uint32]uint64
 	nextTx uint32
+	// forcedDL is a drain-imposed read deadline (unix nanos; 0 = none).
+	// The request loop clamps its idle deadline to it so a slow session
+	// cannot extend its life past the drain grace.
+	forcedDL atomic.Int64
+}
+
+// readDeadline computes the next request's read deadline from the idle
+// timeout and any drain-forced deadline.
+func (sess *session) readDeadline(idle time.Duration) time.Time {
+	var dl time.Time
+	if idle > 0 {
+		dl = time.Now().Add(idle)
+	}
+	if f := sess.forcedDL.Load(); f != 0 {
+		fdl := time.Unix(0, f)
+		if dl.IsZero() || fdl.Before(dl) {
+			dl = fdl
+		}
+	}
+	return dl
 }
 
 // handleConn speaks the protocol on one connection: HELLO + admission,
@@ -231,43 +355,63 @@ func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 
-	// First frame must be HELLO; it carries the tenant name admission
-	// accounts against.
+	// flush writes the buffered response under the write deadline: a peer
+	// that stops draining its socket gets cut off, not waited on forever.
+	flush := func() error {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		err := bw.Flush()
+		conn.SetWriteDeadline(time.Time{})
+		return err
+	}
+
+	// First frame must be HELLO; it carries the protocol version and the
+	// tenant name admission accounts against.
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	op, payload, err := wire.ReadFrame(br)
 	if err != nil || op != wire.OpHello {
 		return
 	}
+	ver, rest, err := wire.TakeU32(payload)
+	if err != nil {
+		ver = 0 // short/legacy HELLO: version unknown
+	}
+	if ver != wire.ProtoVersion {
+		wire.WriteFrame(bw, wire.StatusVersionMismatch, wire.U32(wire.ProtoVersion),
+			[]byte(fmt.Sprintf("client speaks protocol %d, server speaks %d", ver, wire.ProtoVersion)))
+		flush()
+		return
+	}
 	conn.SetReadDeadline(time.Time{})
-	tenant := string(payload)
+	tenant := string(rest)
 	if tenant == "" {
 		tenant = "default"
 	}
 
-	sess := &session{conn: conn, tenant: tenant, txs: map[uint32]*shard.Tx{}}
+	sess := &session{conn: conn, tenant: tenant, txs: map[uint32]*shard.Tx{}, tokens: map[uint32]uint64{}}
 	status := s.admit(sess)
 	if status != wire.StatusOK {
 		wire.WriteFrame(bw, byte(status))
-		bw.Flush()
+		flush()
 		return
 	}
 	defer s.release(sess)
 	if err := wire.WriteFrame(bw, wire.StatusOK, wire.U32(uint32(s.cfg.MaxTxPerSession))); err != nil {
 		return
 	}
-	if err := bw.Flush(); err != nil {
+	if err := flush(); err != nil {
 		return
 	}
 
 	for {
+		conn.SetReadDeadline(sess.readDeadline(s.cfg.IdleTimeout))
 		op, payload, err := wire.ReadFrame(br)
 		if err != nil {
-			return // disconnect, drain deadline, or malformed frame
+			return // disconnect, idle/drain deadline, or malformed frame
 		}
 		if err := s.dispatch(sess, bw, op, payload); err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
+		if err := flush(); err != nil {
 			return
 		}
 	}
@@ -333,11 +477,20 @@ func (s *Server) release(sess *session) {
 }
 
 // fail writes an error response, mapping a degraded shard to the typed
-// StatusReadOnly | u32 shard | text form.
+// StatusReadOnly | u32 shard | text form and a failed/recovering shard
+// (or one mid fault storm) to the retriable StatusUnavailable | u32 shard
+// | text form.
 func fail(bw *bufio.Writer, err error) error {
 	var se *shard.ShardError
-	if errors.As(err, &se) && errors.Is(err, db.ErrReadOnly) {
-		return wire.WriteFrame(bw, wire.StatusReadOnly, wire.U32(uint32(se.Shard)), []byte(err.Error()))
+	if errors.As(err, &se) {
+		switch {
+		case errors.Is(err, db.ErrReadOnly):
+			return wire.WriteFrame(bw, wire.StatusReadOnly, wire.U32(uint32(se.Shard)), []byte(err.Error()))
+		case errors.Is(err, shard.ErrShardUnavailable),
+			errors.Is(err, storage.ErrIOFault),
+			errors.Is(err, db.ErrClosed):
+			return wire.WriteFrame(bw, wire.StatusUnavailable, wire.U32(uint32(se.Shard)), []byte(err.Error()))
+		}
 	}
 	return wire.WriteFrame(bw, wire.StatusErr, []byte(err.Error()))
 }
@@ -457,6 +610,14 @@ func (s *Server) dispatch(sess *session, bw *bufio.Writer, op byte, payload []by
 		if draining {
 			return wire.WriteFrame(bw, wire.StatusDraining, []byte("server draining"))
 		}
+		var token uint64
+		if len(payload) >= 8 {
+			token, _, _ = wire.TakeU64(payload)
+		}
+		if token != 0 && s.tokenCommitted(token) {
+			return wire.WriteFrame(bw, wire.StatusAlreadyCommitted,
+				[]byte(fmt.Sprintf("commit token %d already applied", token)))
+		}
 		if len(sess.txs) >= s.cfg.MaxTxPerSession {
 			return wire.WriteFrame(bw, wire.StatusNoTx, []byte("transaction table full"))
 		}
@@ -466,25 +627,48 @@ func (s *Server) dispatch(sess *session, bw *bufio.Writer, op byte, payload []by
 		}
 		sess.nextTx++
 		sess.txs[sess.nextTx] = tx
+		if token != 0 {
+			sess.tokens[sess.nextTx] = token
+		}
 		return wire.WriteFrame(bw, wire.StatusOK, wire.U32(sess.nextTx))
 
 	case wire.OpCommit, wire.OpAbort:
 		id, rest, err := wire.TakeU32(payload)
-		_ = rest
-		if err != nil || id == 0 {
+		if err != nil {
 			return wire.WriteFrame(bw, wire.StatusErr, []byte("malformed COMMIT/ABORT"))
+		}
+		if id == 0 {
+			// Token resolution: `Commit | u32 0 | u64 token` asks whether the
+			// token's transaction committed — the lost-ack retry path. The
+			// dedup table answers; nothing is applied either way.
+			token, _, terr := wire.TakeU64(rest)
+			if op != wire.OpCommit || terr != nil || token == 0 {
+				return wire.WriteFrame(bw, wire.StatusErr, []byte("malformed COMMIT/ABORT"))
+			}
+			if s.tokenCommitted(token) {
+				return wire.WriteFrame(bw, wire.StatusOK)
+			}
+			return wire.WriteFrame(bw, wire.StatusNotCommitted,
+				[]byte(fmt.Sprintf("commit token %d not recorded", token)))
 		}
 		tx, ok := sess.txs[id]
 		if !ok {
 			return wire.WriteFrame(bw, wire.StatusNoTx, []byte(fmt.Sprintf("no transaction %d", id)))
 		}
+		token := sess.tokens[id]
 		delete(sess.txs, id)
+		delete(sess.tokens, id)
 		if op == wire.OpAbort {
 			tx.Abort()
 			return wire.WriteFrame(bw, wire.StatusOK)
 		}
 		if err := tx.Commit(); err != nil {
 			return fail(bw, err)
+		}
+		if token != 0 {
+			// Record BEFORE writing the OK: if the connection dies under the
+			// response, the client's token retry must find the commit.
+			s.recordToken(token)
 		}
 		return wire.WriteFrame(bw, wire.StatusOK)
 

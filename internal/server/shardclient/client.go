@@ -23,6 +23,13 @@ var (
 	// ErrNoTx: the named transaction does not exist (or the session's
 	// transaction table is full).
 	ErrNoTx = errors.New("shardclient: no such transaction")
+	// ErrNotCommitted: a commit-token resolution found the token
+	// unrecorded — the commit never applied (or its dedup entry expired
+	// past the server's TTL).
+	ErrNotCommitted = errors.New("shardclient: commit token not recorded")
+	// ErrAlreadyCommitted: a Begin reused a token the server has already
+	// recorded as committed.
+	ErrAlreadyCommitted = errors.New("shardclient: commit token already applied")
 )
 
 // ReadOnlyError reports an operation refused because its owning shard is
@@ -35,6 +42,33 @@ type ReadOnlyError struct {
 func (e *ReadOnlyError) Error() string {
 	return fmt.Sprintf("shardclient: shard %d read-only: %s", e.Shard, e.Msg)
 }
+
+// UnavailableError reports an operation refused because its owning shard
+// is failed or recovering. Retriable: the server's supervisor is
+// restarting the shard, and every other shard keeps serving.
+type UnavailableError struct {
+	Shard int
+	Msg   string
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("shardclient: shard %d unavailable (retriable): %s", e.Shard, e.Msg)
+}
+
+// VersionMismatchError reports a HELLO refused over protocol versions.
+type VersionMismatchError struct {
+	Client, Server uint32
+	Msg            string
+}
+
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("shardclient: protocol version mismatch (client %d, server %d): %s", e.Client, e.Server, e.Msg)
+}
+
+// ServerError is a generic server-side failure (StatusErr).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "shardclient: server error: " + e.Msg }
 
 // KV is one scan result pair.
 type KV struct {
@@ -65,7 +99,7 @@ func DialTimeout(addr, tenant string, timeout time.Duration) (*Client, error) {
 	}
 	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 	conn.SetDeadline(time.Now().Add(timeout))
-	status, payload, err := c.call(wire.OpHello, []byte(tenant))
+	status, payload, err := c.call(wire.OpHello, wire.U32(wire.ProtoVersion), []byte(tenant))
 	conn.SetDeadline(time.Time{})
 	if err != nil {
 		conn.Close()
@@ -113,8 +147,24 @@ func statusErr(status byte, payload []byte) error {
 			return &ReadOnlyError{Shard: -1, Msg: string(payload)}
 		}
 		return &ReadOnlyError{Shard: int(shardNo), Msg: string(rest)}
+	case wire.StatusUnavailable:
+		shardNo, rest, err := wire.TakeU32(payload)
+		if err != nil {
+			return &UnavailableError{Shard: -1, Msg: string(payload)}
+		}
+		return &UnavailableError{Shard: int(shardNo), Msg: string(rest)}
+	case wire.StatusVersionMismatch:
+		srv, rest, err := wire.TakeU32(payload)
+		if err != nil {
+			return &VersionMismatchError{Client: wire.ProtoVersion, Msg: string(payload)}
+		}
+		return &VersionMismatchError{Client: wire.ProtoVersion, Server: srv, Msg: string(rest)}
+	case wire.StatusNotCommitted:
+		return fmt.Errorf("%w: %s", ErrNotCommitted, payload)
+	case wire.StatusAlreadyCommitted:
+		return fmt.Errorf("%w: %s", ErrAlreadyCommitted, payload)
 	default:
-		return fmt.Errorf("shardclient: server error: %s", payload)
+		return &ServerError{Msg: string(payload)}
 	}
 }
 
@@ -207,6 +257,22 @@ func (c *Client) Begin() (uint32, error) {
 	return id, err
 }
 
+// BeginToken is Begin with a client-generated idempotent commit token
+// (nonzero). If the server has already recorded token as committed — a
+// previous attempt's COMMIT applied but its ack was lost — the error is
+// ErrAlreadyCommitted, which the caller should treat as success.
+func (c *Client) BeginToken(token uint64) (uint32, error) {
+	status, payload, err := c.call(wire.OpBegin, wire.U64(token))
+	if err != nil {
+		return 0, err
+	}
+	if status != wire.StatusOK {
+		return 0, statusErr(status, payload)
+	}
+	id, _, err := wire.TakeU32(payload)
+	return id, err
+}
+
 // Commit durably commits tx.
 func (c *Client) Commit(tx uint32) error {
 	status, payload, err := c.call(wire.OpCommit, wire.U32(tx))
@@ -217,6 +283,25 @@ func (c *Client) Commit(tx uint32) error {
 		return statusErr(status, payload)
 	}
 	return nil
+}
+
+// ResolveCommit asks the server whether the commit identified by token
+// applied. Returns (true, nil) if the token is recorded as committed,
+// (false, nil) if not (the transaction was aborted server-side or never
+// committed — within the server's dedup TTL this is authoritative).
+func (c *Client) ResolveCommit(token uint64) (bool, error) {
+	status, payload, err := c.call(wire.OpCommit, wire.U32(0), wire.U64(token))
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case wire.StatusOK:
+		return true, nil
+	case wire.StatusNotCommitted:
+		return false, nil
+	default:
+		return false, statusErr(status, payload)
+	}
 }
 
 // Abort discards tx.

@@ -1,0 +1,414 @@
+// resilient.go: RClient, the self-healing layer over Client — automatic
+// reconnect with capped exponential backoff and seeded jitter, retry of
+// idempotent operations, and exactly-once commits across connection loss
+// via idempotent commit tokens (DESIGN.md §14).
+//
+// Error taxonomy. Every failure an operation can see falls in one of three
+// classes, and the class decides the reaction:
+//
+//   - transport errors (connection reset, timeout, injected chaos cut):
+//     the session is gone — drop the connection, reconnect, and (for
+//     idempotent operations) retry on the fresh session;
+//   - retriable server statuses (StatusUnavailable — the owning shard is
+//     restarting; StatusAdmission — overload): keep or re-establish the
+//     connection per status, back off, retry;
+//   - everything else (ReadOnlyError, ErrNoTx, validation errors): the
+//     server answered; retrying would return the same answer. Fail fast.
+//
+// GET, SCAN and STATS are naturally idempotent and always retried. SET and
+// DEL are state-idempotent blind upserts (applying one twice yields the
+// same state), but a retry can double-apply next to a concurrent writer of
+// the same key; RConfig.RetryWrites opts in (correct whenever the client
+// owns its keys, as the chaos campaign's clients do). Transactions are the
+// hard case: the commit decision must survive the connection dying at any
+// point, including between the server applying COMMIT and the client
+// reading the ack. RTx solves it with a client-generated commit token the
+// server records atomically with the commit — after any mid-commit
+// transport error, ResolveCommit(token) asks the server which side of the
+// decision the transaction landed on.
+package shardclient
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mvpbt/internal/util"
+)
+
+// RConfig tunes an RClient.
+type RConfig struct {
+	Addr   string
+	Tenant string
+	// Seed drives backoff jitter and commit-token generation. Two RClients
+	// with the same seed and the same logical history make identical
+	// decisions — the chaos campaign's determinism hinges on it.
+	Seed uint64
+	// MaxAttempts bounds tries per operation, reconnects included
+	// (default 8).
+	MaxAttempts int
+	// BaseBackoff is the first retry's sleep (default 2ms); doubled per
+	// attempt up to MaxBackoff (default 100ms), plus up to 50% jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DialTimeout bounds each connect + handshake (default 5s).
+	DialTimeout time.Duration
+	// RetryWrites retries Set/Del after transport errors. Safe when the
+	// client owns its keys (blind upserts are state-idempotent); off by
+	// default because a retried Set can re-apply over a concurrent
+	// writer's value.
+	RetryWrites bool
+}
+
+func (c RConfig) withDefaults() RConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 2 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 100 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// RStats counts the client's self-healing activity.
+type RStats struct {
+	Dials      uint64 // successful dials (first + reconnects)
+	Reconnects uint64 // dials after a lost session
+	RetriedOps uint64 // operations re-sent after a failure
+	// Commit-token resolutions after mid-commit transport errors:
+	Resolves          uint64
+	ResolvedCommitted uint64 // resolution: the commit had applied
+	ResolvedLost      uint64 // resolution: the commit had not applied
+}
+
+// ErrTxLost reports a transaction whose connection died before COMMIT was
+// issued: the server aborts the orphaned transaction when it reaps the
+// session, so the transaction deterministically did not apply. The caller
+// may simply re-run it (with a fresh token).
+var ErrTxLost = errors.New("shardclient: transaction lost before commit (not applied)")
+
+// RClient is a self-healing client: one logical session that transparently
+// spans physical connections. Not safe for concurrent use (like Client).
+type RClient struct {
+	cfg   RConfig
+	rng   *util.Rand
+	c     *Client // nil when disconnected
+	stats RStats
+}
+
+// NewRClient returns a disconnected RClient; the first operation dials.
+func NewRClient(cfg RConfig) *RClient {
+	cfg = cfg.withDefaults()
+	return &RClient{cfg: cfg, rng: util.NewRand(cfg.Seed | 1)}
+}
+
+// Stats snapshots the self-healing counters.
+func (r *RClient) Stats() RStats { return r.stats }
+
+// Close drops the current connection, if any.
+func (r *RClient) Close() error {
+	if r.c != nil {
+		err := r.c.Close()
+		r.c = nil
+		return err
+	}
+	return nil
+}
+
+// transport reports whether err is a connection-level failure (as opposed
+// to a server status, which arrived on a healthy connection).
+func transport(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrAdmission) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrNoTx) || errors.Is(err, ErrNotCommitted) ||
+		errors.Is(err, ErrAlreadyCommitted) {
+		return false
+	}
+	var ro *ReadOnlyError
+	var un *UnavailableError
+	var vm *VersionMismatchError
+	var se *ServerError
+	if errors.As(err, &ro) || errors.As(err, &un) || errors.As(err, &vm) || errors.As(err, &se) {
+		return false
+	}
+	return true // net.OpError, io.EOF, deadline, malformed frame, ...
+}
+
+// retriable reports whether err is worth another attempt at all.
+func retriable(err error) bool {
+	if transport(err) {
+		return true
+	}
+	var un *UnavailableError
+	return errors.As(err, &un) || errors.Is(err, ErrAdmission)
+}
+
+// backoff sleeps for attempt's capped-exponential delay with seeded jitter.
+func (r *RClient) backoff(attempt int) {
+	d := r.cfg.BaseBackoff << uint(attempt)
+	if d > r.cfg.MaxBackoff || d <= 0 {
+		d = r.cfg.MaxBackoff
+	}
+	// Up to 50% seeded jitter, so retry storms from many clients decohere
+	// while one seed's delays replay exactly.
+	d += time.Duration(r.rng.Uint64() % uint64(d/2+1))
+	time.Sleep(d)
+}
+
+// ensure returns a live connection, dialing if needed.
+func (r *RClient) ensure() (*Client, error) {
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := DialTimeout(r.cfg.Addr, r.cfg.Tenant, r.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.Dials++
+	if r.stats.Dials > 1 {
+		r.stats.Reconnects++
+	}
+	r.c = c
+	return c, nil
+}
+
+// drop discards the current connection after a transport error.
+func (r *RClient) drop() {
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}
+
+// do runs op with reconnect/retry per the error taxonomy. retryOp says the
+// operation may be re-sent after a transport error (idempotent or
+// state-idempotent ops only).
+func (r *RClient) do(retryOp bool, op func(c *Client) error) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.backoff(attempt - 1)
+		}
+		c, err := r.ensure()
+		if err != nil {
+			lastErr = err
+			if !transport(err) && !errors.Is(err, ErrAdmission) {
+				return err // e.g. version mismatch: reconnecting won't help
+			}
+			continue
+		}
+		err = op(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if transport(err) {
+			r.drop()
+			if !retryOp {
+				return err
+			}
+		} else if !retriable(err) {
+			return err
+		}
+		r.stats.RetriedOps++
+	}
+	return fmt.Errorf("shardclient: gave up after %d attempts: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// Get reads key (idempotent; always retried).
+func (r *RClient) Get(key []byte) (val []byte, ok bool, err error) {
+	err = r.do(true, func(c *Client) error {
+		val, ok, err = c.Get(0, key)
+		return err
+	})
+	return val, ok, err
+}
+
+// Scan reads up to limit pairs with key >= lo (idempotent; always retried).
+func (r *RClient) Scan(lo []byte, limit int) (out []KV, err error) {
+	err = r.do(true, func(c *Client) error {
+		out, err = c.Scan(0, lo, limit)
+		return err
+	})
+	return out, err
+}
+
+// Stats0 fetches the server's stats text (idempotent; always retried).
+func (r *RClient) Stats0() (s string, err error) {
+	err = r.do(true, func(c *Client) error {
+		s, err = c.Stats()
+		return err
+	})
+	return s, err
+}
+
+// Set upserts key (autocommit). Retried across transport errors only when
+// RetryWrites is set.
+func (r *RClient) Set(key, val []byte) error {
+	return r.do(r.cfg.RetryWrites, func(c *Client) error {
+		return c.Set(0, key, val)
+	})
+}
+
+// Del tombstones key (autocommit). Retried like Set.
+func (r *RClient) Del(key []byte) error {
+	return r.do(r.cfg.RetryWrites, func(c *Client) error {
+		return c.Del(0, key)
+	})
+}
+
+// CommitOutcome is how an RTx ended.
+type CommitOutcome int
+
+const (
+	// CommitApplied: the commit applied and was acknowledged directly.
+	CommitApplied CommitOutcome = iota
+	// CommitResolvedApplied: a mid-commit transport error was resolved via
+	// the commit token — the commit HAD applied (the ack was lost).
+	CommitResolvedApplied
+	// CommitNotApplied: the transaction did not apply (lost before commit,
+	// or resolution found the token unrecorded).
+	CommitNotApplied
+)
+
+// RTx is one transaction attempt on an RClient. Unlike reads, a
+// transaction cannot transparently span connections: its server-side state
+// dies with the session. What survives is the commit DECISION, via the
+// token. A transport error before Commit returns ErrTxLost (deterministically
+// not applied — the server aborts orphans); a transport error during Commit
+// triggers token resolution.
+type RTx struct {
+	r     *RClient
+	id    uint32
+	token uint64
+	lost  bool
+}
+
+// BeginTx opens a transaction with a fresh seeded commit token.
+func (r *RClient) BeginTx() (*RTx, error) {
+	token := r.rng.Uint64() | 1 // nonzero
+	tx := &RTx{r: r, token: token}
+	err := r.do(true, func(c *Client) error {
+		id, err := c.BeginToken(token)
+		if err != nil {
+			return err
+		}
+		tx.id = id
+		return nil
+	})
+	if errors.Is(err, ErrAlreadyCommitted) {
+		// Possible only if the caller reuses a seed across committed
+		// histories; surface it rather than silently reopening.
+		return nil, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Token exposes the transaction's commit token (tests, logging).
+func (t *RTx) Token() uint64 { return t.token }
+
+// Set buffers an upsert in the transaction. A transport error marks the
+// transaction lost: the server aborts it with the session, so it is
+// guaranteed not to apply.
+func (t *RTx) Set(key, val []byte) error {
+	if t.lost {
+		return ErrTxLost
+	}
+	if t.r.c == nil {
+		t.lost = true
+		return ErrTxLost
+	}
+	err := t.r.c.Set(t.id, key, val)
+	if transport(err) {
+		t.r.drop()
+		t.lost = true
+		return ErrTxLost
+	}
+	return err
+}
+
+// Get reads key at the transaction's snapshot.
+func (t *RTx) Get(key []byte) ([]byte, bool, error) {
+	if t.lost {
+		return nil, false, ErrTxLost
+	}
+	if t.r.c == nil {
+		t.lost = true
+		return nil, false, ErrTxLost
+	}
+	v, ok, err := t.r.c.Get(t.id, key)
+	if transport(err) {
+		t.r.drop()
+		t.lost = true
+		return nil, false, ErrTxLost
+	}
+	return v, ok, err
+}
+
+// Commit drives the transaction to a definite outcome. On a clean ack the
+// outcome is CommitApplied. On a transport error the decision is unknown —
+// the COMMIT may or may not have reached the server — so Commit reconnects
+// and resolves the token: CommitResolvedApplied if the server recorded it
+// (ack-lost ordering), CommitNotApplied if not (request-lost ordering; the
+// orphaned transaction was aborted). Resolution itself retries across
+// reconnects; only if every attempt fails does Commit return an error with
+// outcome CommitNotApplied and the truth unknown.
+func (t *RTx) Commit() (CommitOutcome, error) {
+	if t.lost {
+		return CommitNotApplied, ErrTxLost
+	}
+	if t.r.c == nil {
+		t.lost = true
+		return CommitNotApplied, ErrTxLost
+	}
+	err := t.r.c.Commit(t.id)
+	if err == nil {
+		return CommitApplied, nil
+	}
+	if !transport(err) {
+		return CommitNotApplied, err
+	}
+	// In doubt: the connection died somewhere inside COMMIT.
+	t.r.drop()
+	t.r.stats.Resolves++
+	var applied bool
+	rerr := t.r.do(true, func(c *Client) error {
+		a, err := c.ResolveCommit(t.token)
+		if err != nil {
+			return err
+		}
+		applied = a
+		return nil
+	})
+	if rerr != nil {
+		return CommitNotApplied, fmt.Errorf("shardclient: commit in doubt, resolution failed: %w", rerr)
+	}
+	if applied {
+		t.r.stats.ResolvedCommitted++
+		return CommitResolvedApplied, nil
+	}
+	t.r.stats.ResolvedLost++
+	return CommitNotApplied, nil
+}
+
+// Abort discards the transaction. Best-effort: if the connection is gone
+// the server has already aborted it.
+func (t *RTx) Abort() {
+	if t.lost || t.r.c == nil {
+		return
+	}
+	if err := t.r.c.Abort(t.id); transport(err) {
+		t.r.drop()
+	}
+}

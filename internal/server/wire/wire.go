@@ -13,25 +13,40 @@
 //
 // Requests (client → server):
 //
-//	Hello  | tenant…                          → OK | u32 maxTx
+//	Hello  | u32 version | tenant…            → OK | u32 maxTx
 //	Get    | u32 tx | key…                    → OK | u8 found | val…
 //	Set    | u32 tx | u32 klen | key | val…   → OK
 //	Del    | u32 tx | key…                    → OK
 //	Scan   | u32 tx | u32 limit | lo…         → OK | u32 n | n×(u32 klen|key|u32 vlen|val)
-//	Begin  |                                  → OK | u32 tx
-//	Commit | u32 tx                           → OK
+//	Begin  | [u64 token]                      → OK | u32 tx
+//	Commit | u32 tx | [u64 token]             → OK
 //	Abort  | u32 tx                           → OK
 //	Stats  |                                  → OK | text…
 //
 // tx = 0 means autocommit (the single operation commits through the owning
 // shard's ordinary durable path); tx > 0 names an entry in the session's
 // transaction table created by Begin. The first frame on a connection must
-// be Hello — it carries the tenant name admission control accounts
-// sessions against.
+// be Hello — it carries the protocol version (ProtoVersion; a mismatch is
+// refused with StatusVersionMismatch naming both versions) and the tenant
+// name admission control accounts sessions against.
+//
+// The optional Begin/Commit token is the idempotent COMMIT protocol for
+// self-healing clients: a client-generated 64-bit commit id carried on
+// Begin is recorded server-side when (and only when) that transaction
+// commits, BEFORE the OK is written — so a COMMIT whose ack was lost to a
+// dead connection can be retried as `Commit | u32 0 | u64 token`, which
+// resolves against the dedup table: OK if the commit was applied (it is
+// NOT applied again), StatusNotCommitted if it never was. A Begin reusing
+// a committed token is refused with StatusAlreadyCommitted. Dedup entries
+// live for the server's configured TTL (bounded table; see DESIGN.md §14):
+// a token older than the TTL may resolve StatusNotCommitted even though
+// the commit applied, so clients resolve promptly or re-read.
 //
 // Error responses replace OK with a status code; the payload carries the
-// error text, except StatusReadOnly, whose payload is the degraded shard
-// number (u32) followed by the error text.
+// error text, except StatusReadOnly and StatusUnavailable, whose payloads
+// are the shard number (u32) followed by the error text, and
+// StatusVersionMismatch, whose payload is the server's version (u32)
+// followed by the error text.
 package wire
 
 import (
@@ -40,6 +55,13 @@ import (
 	"fmt"
 	"io"
 )
+
+// ProtoVersion is the protocol revision both sides must speak. Version 2
+// added the Hello version field itself, commit tokens, and the
+// Unavailable/VersionMismatch/NotCommitted/AlreadyCommitted statuses.
+// (Version 1, the PR 7 protocol, had no version field: its Hello payload
+// began directly with the tenant name.)
+const ProtoVersion = 2
 
 // Request opcodes.
 const (
@@ -62,6 +84,19 @@ const (
 	StatusAdmission = 3 // session rejected by admission control
 	StatusNoTx      = 4 // unknown transaction id (or transaction table full)
 	StatusDraining  = 5 // server draining: no new sessions or transactions
+	// StatusVersionMismatch refuses a Hello whose protocol version is not
+	// the server's; payload = u32 server version | text naming both.
+	StatusVersionMismatch = 6
+	// StatusUnavailable: the owning shard is failed or recovering (the
+	// supervisor is restarting it) — retriable after a short backoff;
+	// payload = u32 shard | text.
+	StatusUnavailable = 7
+	// StatusNotCommitted answers a token-resolution Commit (tx = 0): the
+	// token was never recorded as committed.
+	StatusNotCommitted = 8
+	// StatusAlreadyCommitted refuses a Begin reusing a token the dedup
+	// table has recorded as committed.
+	StatusAlreadyCommitted = 9
 )
 
 // MaxFrame bounds a single frame (opcode + payload). Large scans paginate.
@@ -143,4 +178,19 @@ func TakeU32(p []byte) (uint32, []byte, error) {
 		return 0, nil, fmt.Errorf("%w (need u32, have %d bytes)", ErrTruncatedFrame, len(p))
 	}
 	return binary.BigEndian.Uint32(p[:4]), p[4:], nil
+}
+
+// U64 encodes v as an 8-byte big-endian segment (commit tokens).
+func U64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// TakeU64 splits a big-endian u64 off the front of p.
+func TakeU64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("%w (need u64, have %d bytes)", ErrTruncatedFrame, len(p))
+	}
+	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
 }

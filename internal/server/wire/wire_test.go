@@ -117,3 +117,21 @@ func TestFrameOversizedDeclared(t *testing.T) {
 		t.Fatalf("MaxFrame exactly: %v, want ErrTruncatedFrame (accepted, then cut short)", err)
 	}
 }
+
+func TestU64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xDEADBEEF, 1<<63 | 42, ^uint64(0)} {
+		buf := append(U64(v), []byte("tail")...)
+		got, rest, err := TakeU64(buf)
+		if err != nil || got != v || string(rest) != "tail" {
+			t.Fatalf("TakeU64(U64(%d)) = %d, %q, %v", v, got, rest, err)
+		}
+	}
+}
+
+func TestTakeU64Truncated(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		if _, _, err := TakeU64(make([]byte, n)); !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("TakeU64(%d bytes): %v, want ErrTruncatedFrame", n, err)
+		}
+	}
+}

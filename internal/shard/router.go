@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"mvpbt/internal/db"
 )
@@ -55,6 +56,13 @@ type Config struct {
 	// KVOptions tunes each shard's MV-PBT store. Durable is forced on
 	// when the engine template enables the WAL.
 	KVOptions db.MVPBTKVOptions
+	// Supervise enables the per-shard health state machine and automatic
+	// restart-through-recovery of failed shards (supervisor.go). Off by
+	// default: unsupervised routers surface engine errors raw and never
+	// restart anything.
+	Supervise bool
+	// Supervisor tunes supervision (ignored unless Supervise is set).
+	Supervisor SupervisorConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +111,8 @@ func (e *ShardError) Unwrap() error { return e.Err }
 type Router struct {
 	cfg    Config
 	shards []*Shard
+	health []*shardHealth // per-shard supervision state, indexed by shard
+	sup    *supervisor    // nil unless Config.Supervise
 
 	// epoch is the snapshot barrier. Multi-shard COMMIT groups hold it
 	// shared for the duration of their per-shard commits; snapshot
@@ -110,8 +120,13 @@ type Router struct {
 	// across all shards. See the package comment for the argument.
 	epoch sync.RWMutex
 
-	mu     sync.Mutex
-	closed bool
+	// opGate is the close drain fence: every router operation holds it
+	// shared for the duration of its engine calls, Close holds it
+	// exclusively across shutdown. Paired with the closed flag (checked
+	// under the shared hold) it guarantees no operation ever reaches an
+	// engine that Close has started tearing down.
+	opGate sync.RWMutex
+	closed atomic.Bool
 }
 
 // New builds a router with cfg.Shards independent engines.
@@ -132,19 +147,58 @@ func New(cfg Config) (*Router, error) {
 			Engine: eng,
 			KV:     kv,
 		})
+		r.health = append(r.health, &shardHealth{})
+	}
+	if cfg.Supervise {
+		r.sup = newSupervisor(r, cfg.Supervisor)
 	}
 	return r, nil
 }
 
+// enter admits one router operation through the close fence. Every
+// successful enter must be paired with exit once the operation's engine
+// calls are done.
+func (r *Router) enter() error {
+	r.opGate.RLock()
+	if r.closed.Load() {
+		r.opGate.RUnlock()
+		return ErrRouterClosed
+	}
+	return nil
+}
+
+func (r *Router) exit() { r.opGate.RUnlock() }
+
+// acquire takes shard i's health gate shared and checks availability. The
+// returned release must be called after the engine call completes; it is
+// nil when err is non-nil.
+func (r *Router) acquire(i int) (func(), error) {
+	h := r.health[i]
+	h.gate.RLock()
+	if h.unavailable() {
+		h.gate.RUnlock()
+		return nil, ErrShardUnavailable
+	}
+	return h.gate.RUnlock, nil
+}
+
 // Close shuts every shard engine down. Idempotent; returns the first
-// error. Callers finish or abandon open Txs first.
+// error. New operations are refused with ErrRouterClosed the moment Close
+// is called; Close then waits out every in-flight operation (the drain
+// fence) before touching the engines, so a concurrent Get/Put/Scan/Commit
+// either completes against live engines or is refused — it never races the
+// teardown. Open Txs fail their later calls with ErrRouterClosed.
 func (r *Router) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	if !r.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	r.closed = true
+	if r.sup != nil {
+		// Stop restart goroutines first: they take shard gates, not the
+		// opGate, so they must be fully parked before engines close.
+		r.sup.shutdown()
+	}
+	r.opGate.Lock()
+	defer r.opGate.Unlock()
 	var first error
 	for _, s := range r.shards {
 		if err := s.Engine.Close(); err != nil && first == nil {
@@ -177,23 +231,56 @@ func wrap(shard int, key []byte, err error) error {
 
 // Get reads the newest committed version of key (single-shard autocommit).
 func (r *Router) Get(key []byte) ([]byte, bool, error) {
+	if err := r.enter(); err != nil {
+		return nil, false, err
+	}
+	defer r.exit()
 	i := r.ShardOf(key)
+	release, err := r.acquire(i)
+	if err != nil {
+		return nil, false, wrap(i, key, err)
+	}
 	v, ok, err := r.shards[i].KV.Get(key)
+	release()
+	r.observe(i, err)
 	return v, ok, wrap(i, key, err)
 }
 
 // Put upserts key (single-shard autocommit through the owning engine's
 // durable commit path). A degraded shard returns a ShardError wrapping
-// db.ErrReadOnly; other shards are unaffected.
+// db.ErrReadOnly; a failed shard one wrapping ErrShardUnavailable; other
+// shards are unaffected.
 func (r *Router) Put(key, val []byte) error {
+	if err := r.enter(); err != nil {
+		return err
+	}
+	defer r.exit()
 	i := r.ShardOf(key)
-	return wrap(i, key, r.shards[i].KV.Put(key, val))
+	release, err := r.acquire(i)
+	if err != nil {
+		return wrap(i, key, err)
+	}
+	err = r.shards[i].KV.Put(key, val)
+	release()
+	r.observe(i, err)
+	return wrap(i, key, err)
 }
 
 // Delete tombstones key (single-shard autocommit).
 func (r *Router) Delete(key []byte) error {
+	if err := r.enter(); err != nil {
+		return err
+	}
+	defer r.exit()
 	i := r.ShardOf(key)
-	return wrap(i, key, r.shards[i].KV.Delete(key))
+	release, err := r.acquire(i)
+	if err != nil {
+		return wrap(i, key, err)
+	}
+	err = r.shards[i].KV.Delete(key)
+	release()
+	r.observe(i, err)
+	return wrap(i, key, err)
 }
 
 // Scan streams up to limit live pairs with key >= lo in global key order,
@@ -208,12 +295,18 @@ func (r *Router) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error
 }
 
 // Degraded returns the indexes of shards currently degraded to read-only.
+// Failed/recovering shards are not listed (see Health for those).
 func (r *Router) Degraded() []int {
 	var out []int
-	for _, s := range r.shards {
+	for i, s := range r.shards {
+		release, err := r.acquire(i)
+		if err != nil {
+			continue
+		}
 		if s.Engine.ReadOnly() {
 			out = append(out, s.No)
 		}
+		release()
 	}
 	return out
 }
@@ -222,8 +315,13 @@ func (r *Router) Degraded() []int {
 // its soft space watermark — the overload signal the server's admission
 // control gates new sessions on.
 func (r *Router) PastSoftWatermark() bool {
-	for _, s := range r.shards {
+	for i, s := range r.shards {
+		release, err := r.acquire(i)
+		if err != nil {
+			continue
+		}
 		sp := s.Engine.SpaceInfo()
+		release()
 		if sp.Soft > 0 && sp.Live >= sp.Soft {
 			return true
 		}
@@ -231,17 +329,20 @@ func (r *Router) PastSoftWatermark() bool {
 	return false
 }
 
-// Stats returns one entry per shard.
+// Stats returns one entry per shard. A failed/recovering shard reports its
+// health but skips the engine-derived fields (the engine is mid-swap).
 func (r *Router) Stats() []ShardStats {
 	out := make([]ShardStats, len(r.shards))
 	for i, s := range r.shards {
-		out[i] = ShardStats{
-			Shard:  s.No,
-			Dir:    s.Dir,
-			Space:  s.Engine.SpaceInfo(),
-			WAL:    s.Engine.WALStatsSnapshot(),
-			Device: s.Engine.Dev.Stats().String(),
+		out[i] = ShardStats{Shard: s.No, Dir: s.Dir, Health: r.Health(i)}
+		release, err := r.acquire(i)
+		if err != nil {
+			continue
 		}
+		out[i].Space = s.Engine.SpaceInfo()
+		out[i].WAL = s.Engine.WALStatsSnapshot()
+		out[i].Device = s.Engine.Dev.Stats().String()
+		release()
 	}
 	return out
 }
@@ -253,7 +354,12 @@ type ShardStats struct {
 	Space  db.SpaceStats
 	WAL    db.WALStats
 	Device string
+	Health HealthInfo
 }
 
-// ErrClosed is returned by operations on a closed router.
-var ErrClosed = errors.New("shard: router closed")
+// ErrRouterClosed is returned by operations that arrive at or after Close:
+// the drain fence refuses them before they can touch a closing engine.
+var ErrRouterClosed = errors.New("shard: router closed")
+
+// ErrClosed is the historical name of ErrRouterClosed.
+var ErrClosed = ErrRouterClosed

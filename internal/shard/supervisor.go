@@ -1,0 +1,374 @@
+// Shard supervision: a per-shard health state machine driven by the typed
+// errors the engine already surfaces (storage.ErrIOFault storms,
+// storage.ErrCorruptPage, failed WAL flushes), automatic restart of a
+// failed shard through WAL crash recovery on its own goroutine, and a
+// circuit breaker bounding restart churn (DESIGN.md §14).
+//
+// The supervisor never blocks the router's data path: health observation
+// is a handful of atomics on the existing error-return path, and the only
+// lock a restart takes is the failed shard's own gate — every other shard
+// keeps serving reads and writes throughout recovery. Operations that
+// reach a failed or recovering shard fail fast with ErrShardUnavailable,
+// which the server maps to a retriable wire status (StatusUnavailable) so
+// clients can distinguish "back off and retry" from real failures.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpbt/internal/db"
+	"mvpbt/internal/storage"
+)
+
+// HealthState is one shard's position in the supervision state machine:
+//
+//	healthy ──ErrReadOnly──▶ degraded ──writes resume──▶ healthy
+//	healthy/degraded ──fault storm, corruption──▶ failed
+//	failed ──restart attempt──▶ recovering ──recovery ok──▶ healthy
+//	recovering ──recovery failed──▶ failed (backoff, breaker)
+type HealthState int32
+
+const (
+	// Healthy: serving reads and writes normally.
+	Healthy HealthState = iota
+	// Degraded: the shard's space governor has gone read-only
+	// (db.ErrReadOnly); reads keep working, writes fail per-key. The
+	// governor heals this state itself — the supervisor only reports it.
+	Degraded
+	// Failed: the shard hit a fault storm or corruption and has been
+	// taken out of service; operations fail with ErrShardUnavailable
+	// while a restart goroutine works on it.
+	Failed
+	// Recovering: a restart attempt is in flight — the old engine has
+	// been failure-stopped and a fresh one is replaying the WAL image.
+	Recovering
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	case Recovering:
+		return "recovering"
+	}
+	return fmt.Sprintf("HealthState(%d)", int32(s))
+}
+
+// ErrShardUnavailable is the typed cause inside the ShardError returned by
+// operations routed to a failed or recovering shard. It is retriable: the
+// supervisor is restarting the shard, and every other shard keeps serving.
+var ErrShardUnavailable = errors.New("shard: unavailable (failed, restart in progress)")
+
+// SupervisorConfig tunes the shard supervisor (Config.Supervise enables it).
+type SupervisorConfig struct {
+	// FaultThreshold is how many consecutive fault-class errors
+	// (storage.ErrIOFault, db.ErrClosed) an otherwise-live shard may
+	// return before it is failed and restarted (default 3). A
+	// storage.ErrCorruptPage fails the shard immediately — corruption
+	// does not heal with retries.
+	FaultThreshold int
+	// RestartBackoff is the delay before the second restart attempt;
+	// later attempts back off exponentially (default 10ms). The first
+	// attempt runs immediately.
+	RestartBackoff time.Duration
+	// MaxBackoff caps the exponential backoff and sets the half-open
+	// probe cadence once the breaker is open (default 1s).
+	MaxBackoff time.Duration
+	// BreakerThreshold is how many consecutive failed restart attempts
+	// open the circuit breaker (default 4). An open breaker stops the
+	// exponential escalation and probes half-open at MaxBackoff cadence;
+	// the first successful probe closes it again.
+	BreakerThreshold int
+	// OnTransition, if set, observes every state transition. Called from
+	// supervisor goroutines and the data path; keep it fast.
+	OnTransition func(shard int, from, to HealthState)
+	// RestartHook, if set, runs at the start of every restart attempt
+	// (before the old engine is crashed). An error fails the attempt —
+	// the test seam for driving the breaker.
+	RestartHook func(shard int) error
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.FaultThreshold <= 0 {
+		c.FaultThreshold = 3
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 4
+	}
+	return c
+}
+
+// HealthInfo is one shard's externally visible supervision state.
+type HealthInfo struct {
+	State HealthState
+	// Restarts counts completed restart-through-recovery cycles.
+	Restarts uint64
+	// ConsecFaults is the current consecutive fault-class error count
+	// (reset by any successful operation).
+	ConsecFaults int32
+	// RestartFailures counts failed restart attempts since the last
+	// successful one.
+	RestartFailures uint64
+	// BreakerOpen reports an open circuit breaker: restart attempts have
+	// failed BreakerThreshold times in a row and the supervisor is down
+	// to half-open probes at MaxBackoff cadence.
+	BreakerOpen bool
+	// LastError is the most recent error that failed the shard or a
+	// restart attempt ("" when none).
+	LastError string
+}
+
+// shardHealth is the per-shard supervision state. The gate orders the data
+// path against engine swaps: operations hold it shared for the duration of
+// one engine call, a restart holds it exclusively across the swap. Epoch
+// increments on every swap so transactions can detect that a leg they
+// captured belongs to a dead incarnation.
+type shardHealth struct {
+	gate  sync.RWMutex
+	state atomic.Int32
+	epoch atomic.Uint64
+
+	consec       atomic.Int32
+	restarts     atomic.Uint64
+	restartFails atomic.Uint64
+	breakerOpen  atomic.Bool
+	restarting   atomic.Bool
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+func (h *shardHealth) setLastErr(err error) {
+	h.errMu.Lock()
+	h.lastErr = err.Error()
+	h.errMu.Unlock()
+}
+
+func (h *shardHealth) lastError() string {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	return h.lastErr
+}
+
+// unavailable reports whether the shard is out of service (failed or
+// mid-restart).
+func (h *shardHealth) unavailable() bool {
+	st := HealthState(h.state.Load())
+	return st == Failed || st == Recovering
+}
+
+// supervisor owns the restart goroutines and the transition bookkeeping.
+type supervisor struct {
+	r   *Router
+	cfg SupervisorConfig
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newSupervisor(r *Router, cfg SupervisorConfig) *supervisor {
+	return &supervisor{r: r, cfg: cfg.withDefaults(), stop: make(chan struct{})}
+}
+
+// shutdown stops the supervisor and waits for in-flight restarts to
+// finish or bail. Called by Router.Close before the engines come down.
+func (s *supervisor) shutdown() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// transition CASes shard i from `from` to `to`, firing the hook on success.
+func (s *supervisor) transition(i int, from, to HealthState) bool {
+	h := s.r.health[i]
+	if !h.state.CompareAndSwap(int32(from), int32(to)) {
+		return false
+	}
+	if s.cfg.OnTransition != nil {
+		s.cfg.OnTransition(i, from, to)
+	}
+	return true
+}
+
+// observe classifies one operation's outcome on shard i. Nil errors reset
+// the consecutive-fault counter (and heal a reported degradation); typed
+// fault errors count toward the storm threshold; corruption fails the
+// shard immediately.
+func (s *supervisor) observe(i int, err error) {
+	h := s.r.health[i]
+	if err == nil {
+		h.consec.Store(0)
+		s.transition(i, Degraded, Healthy)
+		return
+	}
+	switch {
+	case errors.Is(err, storage.ErrCorruptPage):
+		h.setLastErr(err)
+		s.fail(i)
+	case errors.Is(err, storage.ErrIOFault), errors.Is(err, db.ErrClosed):
+		h.setLastErr(err)
+		if int(h.consec.Add(1)) >= s.cfg.FaultThreshold {
+			s.fail(i)
+		}
+	case errors.Is(err, db.ErrReadOnly):
+		s.transition(i, Healthy, Degraded)
+	}
+	// Everything else (conflicts, context cancellation, ErrShardUnavailable
+	// bounced off the gate) says nothing about the shard's health.
+}
+
+// fail moves shard i to Failed from any live state and kicks off the
+// restart goroutine (one at a time per shard).
+func (s *supervisor) fail(i int) {
+	h := s.r.health[i]
+	moved := s.transition(i, Healthy, Failed) || s.transition(i, Degraded, Failed)
+	if !moved {
+		return // already failed or recovering
+	}
+	if h.restarting.CompareAndSwap(false, true) {
+		s.wg.Add(1)
+		go s.restartLoop(i)
+	}
+}
+
+// restartLoop drives shard i failed → recovering → healthy: immediate
+// first attempt, exponential backoff between failures, breaker after
+// BreakerThreshold consecutive failures (half-open probes at MaxBackoff
+// cadence), until an attempt succeeds or the router closes.
+func (s *supervisor) restartLoop(i int) {
+	defer s.wg.Done()
+	h := s.r.health[i]
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			d := s.cfg.RestartBackoff << (attempt - 1)
+			if d > s.cfg.MaxBackoff || d <= 0 {
+				d = s.cfg.MaxBackoff
+			}
+			if attempt >= s.cfg.BreakerThreshold {
+				h.breakerOpen.Store(true)
+				d = s.cfg.MaxBackoff
+			}
+			select {
+			case <-s.stop:
+				h.restarting.Store(false)
+				return
+			case <-time.After(d):
+			}
+		}
+		select {
+		case <-s.stop:
+			h.restarting.Store(false)
+			return
+		default:
+		}
+		s.transition(i, Failed, Recovering)
+		err := s.restartShard(i)
+		if err == nil {
+			h.consec.Store(0)
+			h.restartFails.Store(0)
+			h.breakerOpen.Store(false)
+			h.restarts.Add(1)
+			// Clear restarting BEFORE publishing Healthy: a failure observed
+			// in the gap then either sees Recovering (ignored) or spawns a
+			// fresh restart goroutine — never a stranded Failed shard.
+			h.restarting.Store(false)
+			s.transition(i, Recovering, Healthy)
+			return
+		}
+		h.restartFails.Add(1)
+		h.setLastErr(err)
+		s.transition(i, Recovering, Failed)
+	}
+}
+
+// restartShard replaces shard i's engine with a freshly recovered one:
+// capture the WAL image, failure-stop the old engine, build a new engine
+// from the router's template, and replay every committed transaction into
+// it. The shard's gate is held exclusively only across the capture and the
+// swap — no other shard is touched. Exactly the acknowledged (durably
+// flushed) commits survive, per the crash-recovery contract; the fresh
+// engine also starts with a fresh simulated device, so armed fault rules
+// (the storms that failed the shard) do not follow it.
+func (s *supervisor) restartShard(i int) error {
+	if hook := s.cfg.RestartHook; hook != nil {
+		if err := hook(i); err != nil {
+			return err
+		}
+	}
+	r := s.r
+	h := r.health[i]
+	sh := r.shards[i]
+	h.gate.Lock()
+	defer h.gate.Unlock()
+	var img []byte
+	if r.cfg.Engine.EnableWAL {
+		img = sh.Engine.LogImage()
+	}
+	sh.Engine.Crash()
+	eng := db.NewEngine(r.cfg.Engine)
+	kvName := fmt.Sprintf("%s%d/kv", r.cfg.DirPrefix, i)
+	kv, err := db.NewMVPBTKV(eng, kvName, r.cfg.KVOptions)
+	if err != nil {
+		eng.Close()
+		return fmt.Errorf("shard %d: rebuild: %w", i, err)
+	}
+	if img != nil {
+		if _, err := eng.RecoverAll(img, nil, map[string]*db.MVPBTKV{kvName: kv}); err != nil {
+			eng.Close()
+			return fmt.Errorf("shard %d: recovery: %w", i, err)
+		}
+	}
+	sh.Engine, sh.KV = eng, kv
+	h.epoch.Add(1)
+	return nil
+}
+
+// observe forwards an operation outcome to the supervisor (no-op when
+// supervision is off).
+func (r *Router) observe(i int, err error) {
+	if r.sup != nil {
+		r.sup.observe(i, err)
+	}
+}
+
+// Health returns shard i's supervision state. Without Config.Supervise the
+// state machine never leaves Healthy.
+func (r *Router) Health(i int) HealthInfo {
+	h := r.health[i]
+	return HealthInfo{
+		State:           HealthState(h.state.Load()),
+		Restarts:        h.restarts.Load(),
+		ConsecFaults:    h.consec.Load(),
+		RestartFailures: h.restartFails.Load(),
+		BreakerOpen:     h.breakerOpen.Load(),
+		LastError:       h.lastError(),
+	}
+}
+
+// FailShard administratively fails shard i (as if a fault storm had), and
+// the supervisor restarts it through recovery. Requires Config.Supervise.
+func (r *Router) FailShard(i int, cause error) error {
+	if r.sup == nil {
+		return errors.New("shard: FailShard requires Config.Supervise")
+	}
+	if cause == nil {
+		cause = errors.New("shard: administratively failed")
+	}
+	r.health[i].setLastErr(cause)
+	r.sup.fail(i)
+	return nil
+}

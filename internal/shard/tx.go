@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 
+	"mvpbt/internal/db"
 	"mvpbt/internal/txn"
 )
 
@@ -20,35 +21,59 @@ import (
 // path; transactions that wrote several shards commit them under a shared
 // hold of the epoch barrier.
 //
+// Supervision (supervisor.go) adds two failure surfaces. A shard that is
+// failed at Begin time contributes no leg: operations touching it fail
+// per-key with a ShardError wrapping ErrShardUnavailable while the rest of
+// the transaction stays usable. A shard restarted mid-transaction
+// invalidates its leg — the leg's engine incarnation (health epoch) is
+// captured at Begin and checked under the shard's gate on every use, so a
+// leg can never commit into a dead engine and falsely acknowledge.
+//
 // A Tx is owned by one goroutine at a time (the engine pools transaction
 // handles); it must be finished with exactly one Commit or Abort.
 type Tx struct {
-	r     *Router
-	txs   []*txn.Tx // one per shard, indexed by shard number
-	dirty []bool    // shards this transaction wrote
-	done  bool
+	r       *Router
+	txs     []*txn.Tx     // one per shard, indexed by shard number; nil = no leg
+	engines []*db.Engine  // engine incarnation each leg was begun on
+	kvs     []*db.MVPBTKV // KV incarnation each leg was begun on
+	epochs  []uint64      // health epoch at Begin, per shard
+	dirty   []bool        // shards this transaction wrote
+	done    bool
 }
 
 // BeginCtx starts a multi-shard transaction carrying ctx: the per-shard
 // begins happen under the epoch barrier's exclusive lock — a few atomic
 // operations per shard, no I/O — giving the snapshot vector its
 // consistency. The context is consulted at every per-shard blocking point
-// (write stalls, scans, I/O retries).
+// (write stalls, scans, I/O retries). Failed/recovering shards are
+// skipped; their keys fail per-key with ErrShardUnavailable.
 func (r *Router) BeginCtx(ctx context.Context) (*Tx, error) {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, ErrClosed
+	if err := r.enter(); err != nil {
+		return nil, err
 	}
-	r.mu.Unlock()
+	defer r.exit()
+	n := len(r.shards)
 	t := &Tx{
-		r:     r,
-		txs:   make([]*txn.Tx, len(r.shards)),
-		dirty: make([]bool, len(r.shards)),
+		r:       r,
+		txs:     make([]*txn.Tx, n),
+		engines: make([]*db.Engine, n),
+		kvs:     make([]*db.MVPBTKV, n),
+		epochs:  make([]uint64, n),
+		dirty:   make([]bool, n),
 	}
 	r.epoch.Lock()
 	for i, s := range r.shards {
+		h := r.health[i]
+		h.gate.RLock()
+		if h.unavailable() {
+			h.gate.RUnlock()
+			continue
+		}
 		t.txs[i] = s.Engine.BeginCtx(ctx)
+		t.engines[i] = s.Engine
+		t.kvs[i] = s.KV
+		t.epochs[i] = h.epoch.Load()
+		h.gate.RUnlock()
 	}
 	r.epoch.Unlock()
 	return t, nil
@@ -58,30 +83,72 @@ func (r *Router) BeginCtx(ctx context.Context) (*Tx, error) {
 func (r *Router) Begin() (*Tx, error) { return r.BeginCtx(context.Background()) }
 
 // Timestamps returns the snapshot vector: shard i's begin timestamp (its
-// per-shard transaction id). Diagnostic; the ids are only meaningful
-// within their own shard's engine.
+// per-shard transaction id; 0 for a shard that was unavailable at Begin).
+// Diagnostic; the ids are only meaningful within their own shard's engine.
 func (t *Tx) Timestamps() []txn.TxID {
 	out := make([]txn.TxID, len(t.txs))
 	for i, tx := range t.txs {
-		out[i] = tx.ID
+		if tx != nil {
+			out[i] = tx.ID
+		}
 	}
 	return out
 }
 
+// leg admits one operation on shard i's leg: the shard must have
+// contributed a leg at Begin, and its engine must still be the same
+// incarnation (a restarted shard invalidates the leg). On success the
+// shard's gate is held shared; the caller releases it after the engine
+// call.
+func (t *Tx) leg(i int) (func(), error) {
+	if t.txs[i] == nil {
+		return nil, ErrShardUnavailable
+	}
+	h := t.r.health[i]
+	h.gate.RLock()
+	if h.epoch.Load() != t.epochs[i] {
+		h.gate.RUnlock()
+		return nil, ErrShardUnavailable
+	}
+	return h.gate.RUnlock, nil
+}
+
 // Get reads key at the transaction's snapshot (plus its own writes).
 func (t *Tx) Get(key []byte) ([]byte, bool, error) {
+	if err := t.r.enter(); err != nil {
+		return nil, false, err
+	}
+	defer t.r.exit()
 	i := t.r.ShardOf(key)
-	v, ok, err := t.r.shards[i].KV.GetTx(t.txs[i], key)
+	release, err := t.leg(i)
+	if err != nil {
+		return nil, false, wrap(i, key, err)
+	}
+	v, ok, err := t.kvs[i].GetTx(t.txs[i], key)
+	release()
+	t.r.observe(i, err)
 	return v, ok, wrap(i, key, err)
 }
 
 // Put upserts key inside the transaction. The write is invisible to other
 // transactions until Commit. A degraded owning shard fails with a
-// ShardError wrapping db.ErrReadOnly; the transaction remains usable —
-// the caller chooses between continuing without that key and aborting.
+// ShardError wrapping db.ErrReadOnly, an unavailable one with
+// ErrShardUnavailable; the transaction remains usable — the caller
+// chooses between continuing without that key and aborting.
 func (t *Tx) Put(key, val []byte) error {
+	if err := t.r.enter(); err != nil {
+		return err
+	}
+	defer t.r.exit()
 	i := t.r.ShardOf(key)
-	if err := t.r.shards[i].KV.PutTx(t.txs[i], key, val); err != nil {
+	release, err := t.leg(i)
+	if err != nil {
+		return wrap(i, key, err)
+	}
+	err = t.kvs[i].PutTx(t.txs[i], key, val)
+	release()
+	t.r.observe(i, err)
+	if err != nil {
 		return wrap(i, key, err)
 	}
 	t.dirty[i] = true
@@ -90,8 +157,19 @@ func (t *Tx) Put(key, val []byte) error {
 
 // Delete tombstones key inside the transaction.
 func (t *Tx) Delete(key []byte) error {
+	if err := t.r.enter(); err != nil {
+		return err
+	}
+	defer t.r.exit()
 	i := t.r.ShardOf(key)
-	if err := t.r.shards[i].KV.DeleteTx(t.txs[i], key); err != nil {
+	release, err := t.leg(i)
+	if err != nil {
+		return wrap(i, key, err)
+	}
+	err = t.kvs[i].DeleteTx(t.txs[i], key)
+	release()
+	t.r.observe(i, err)
+	if err != nil {
 		return wrap(i, key, err)
 	}
 	t.dirty[i] = true
@@ -104,15 +182,25 @@ type scanPair struct{ k, v []byte }
 // Scan streams up to limit live pairs with key >= lo in global key order
 // at the transaction's snapshot. Hash partitioning scatters the key order
 // across shards, so each shard contributes up to limit pairs and the
-// router merges the sorted streams.
+// router merges the sorted streams. A shard without a live leg fails the
+// scan with ErrShardUnavailable — a partial scan would silently drop that
+// shard's keyspace.
 func (t *Tx) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
 	if limit <= 0 {
 		return nil
 	}
+	if err := t.r.enter(); err != nil {
+		return err
+	}
+	defer t.r.exit()
 	streams := make([][]scanPair, len(t.txs))
-	for i, s := range t.r.shards {
+	for i := range t.r.shards {
+		release, err := t.leg(i)
+		if err != nil {
+			return wrap(i, lo, err)
+		}
 		pairs := make([]scanPair, 0, min(limit, 64))
-		err := s.KV.ScanTx(t.txs[i], lo, limit, func(k, v []byte) bool {
+		err = t.kvs[i].ScanTx(t.txs[i], lo, limit, func(k, v []byte) bool {
 			// Copy out: entry bytes may alias per-page decode buffers.
 			pairs = append(pairs, scanPair{
 				k: append([]byte(nil), k...),
@@ -120,6 +208,8 @@ func (t *Tx) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
 			})
 			return true
 		})
+		release()
+		t.r.observe(i, err)
 		if err != nil {
 			return wrap(i, lo, err)
 		}
@@ -160,25 +250,34 @@ func (t *Tx) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
 // There is no cross-shard prepare phase (single-shard writes first, 2PC
 // later): if a shard's durable commit fails mid-group, that shard's
 // outcome is in doubt per the db.CommitDurable contract, shards already
-// committed stay committed, and the remaining written shards are aborted;
-// the first failure is returned as a ShardError.
+// committed stay committed, and the remaining written shards (and the
+// failed leg's in-memory state) are aborted; the first failure is
+// returned as a ShardError. A leg whose shard restarted mid-transaction
+// fails the same way with ErrShardUnavailable — it can never acknowledge
+// into a dead engine.
 func (t *Tx) Commit() error {
 	if t.done {
 		panic("shard: double finish of multi-shard transaction")
 	}
 	t.done = true
+	if err := t.r.enter(); err != nil {
+		return err
+	}
+	defer t.r.exit()
 	written := make([]int, 0, len(t.dirty))
 	for i, d := range t.dirty {
 		if d {
 			written = append(written, i)
 		}
 	}
-	// Read-only legs first: they carry no effects, so their order against
-	// the barrier is irrelevant, and finishing them promptly unpins each
-	// shard's GC horizon.
+	// Read-only legs first: they carry no effects (no log record, no
+	// flush — committing is equivalent to aborting), so their order
+	// against the barrier is irrelevant, finishing them promptly unpins
+	// each shard's GC horizon, and running them against a superseded
+	// engine incarnation is harmless.
 	for i, tx := range t.txs {
-		if !t.dirty[i] {
-			t.r.shards[i].Engine.Commit(tx)
+		if tx != nil && !t.dirty[i] {
+			t.engines[i].Commit(tx)
 		}
 	}
 	if len(written) == 0 {
@@ -193,10 +292,26 @@ func (t *Tx) Commit() error {
 		if firstErr != nil {
 			// A prior leg failed: roll the rest back instead of widening
 			// the partial commit.
-			t.r.shards[i].Engine.Abort(t.txs[i])
+			t.engines[i].Abort(t.txs[i])
 			continue
 		}
-		if err := t.r.shards[i].Engine.CommitDurable(t.txs[i]); err != nil {
+		release, err := t.leg(i)
+		if err != nil {
+			t.engines[i].Abort(t.txs[i]) // superseded incarnation; harmless
+			firstErr = &ShardError{Shard: i, Err: err}
+			continue
+		}
+		err = t.engines[i].CommitDurable(t.txs[i])
+		if err != nil {
+			// Not committed in memory (durability in doubt, see
+			// CommitDurable): abort the handle so the leg cannot pin the
+			// shard's GC horizon. A supervisor restart resolves the doubt
+			// from the log.
+			t.engines[i].Abort(t.txs[i])
+		}
+		release()
+		t.r.observe(i, err)
+		if err != nil {
 			firstErr = &ShardError{Shard: i, Err: err}
 		}
 	}
@@ -204,12 +319,21 @@ func (t *Tx) Commit() error {
 }
 
 // Abort discards the transaction's writes and releases its snapshot.
+// Safe against concurrent shard restarts and router close: aborting a leg
+// on a superseded engine incarnation only touches that dead engine's
+// in-memory state.
 func (t *Tx) Abort() {
 	if t.done {
 		panic("shard: double finish of multi-shard transaction")
 	}
 	t.done = true
+	if err := t.r.enter(); err != nil {
+		return // router closed: engines are (being) closed, legs die with them
+	}
+	defer t.r.exit()
 	for i, tx := range t.txs {
-		t.r.shards[i].Engine.Abort(tx)
+		if tx != nil {
+			t.engines[i].Abort(tx)
+		}
 	}
 }
