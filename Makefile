@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race race-net race-hostile race-chaos check check-nightly check-faults check-exhaust check-scenarios check-chaos bench bench-commit bench-net bench-scenarios bench-full smoke-server examples cover
+.PHONY: all build vet test race race-net race-hostile race-chaos race-2pc fuzz-wire check check-nightly check-faults check-exhaust check-scenarios check-chaos check-2pc check-all bench bench-commit bench-net bench-scenarios bench-full smoke-server examples cover
 
 all: build vet test
 
@@ -37,6 +37,17 @@ race-chaos:
 	go test -race ./internal/server/chaos/
 	go test -race -run TestChaosCampaignSmoke ./internal/check/
 
+# Race pass over the 2PC machinery: restart-vs-in-doubt resolution and
+# Router.Close racing in-flight multi-shard commit groups.
+race-2pc:
+	go test -race -run 'TestRestartResolvesInDoubt|TestRouterCloseRacesTwoPC' ./internal/shard/
+
+# Ten-second fuzz smoke over the wire frame decoder — the first code that
+# touches untrusted network bytes. The full fuzzer runs with -fuzztime
+# raised; crashers land in internal/server/wire/testdata/fuzz/.
+fuzz-wire:
+	go test -fuzz=FuzzReadFrame -fuzztime=10s ./internal/server/wire/
+
 # Differential correctness harness: short smoke (CI) and nightly-length.
 check:
 	go run ./cmd/mvpbt-check -seed 1 -ops 6000 -clients 4 -crashes 2
@@ -71,6 +82,18 @@ check-scenarios:
 # resolved via its idempotent token, byte-identical fingerprints.
 check-chaos:
 	go run ./cmd/mvpbt-check -chaos -seed 1 -seeds 8
+
+# Atomic cross-shard commit campaign: 8 seeds, the coordinator and each
+# participant crashed at every 2PC protocol step (before/after prepare,
+# before/after decide, before forget), every run replayed twice — zero
+# half-applied groups, zero acked-commit loss, every in-doubt leg resolved
+# per the coordinator log, byte-identical fingerprints.
+check-2pc:
+	go run ./cmd/mvpbt-check -2pc -seed 1 -seeds 8
+
+# Every seeded campaign back to back: faults, exhaustion, hostile
+# scenarios, network chaos, and cross-shard 2PC crashes.
+check-all: check-faults check-exhaust check-scenarios check-chaos check-2pc
 
 # One testing.B benchmark per paper figure (quick scale).
 bench:

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"mvpbt/internal/db"
 	"mvpbt/internal/maint"
@@ -205,6 +206,23 @@ func inspectShards(n, tuples, updates, pbuf int, capacity int64) {
 			panic(err)
 		}
 	}
+	// A few cross-shard transactions, so the commit-protocol section below
+	// has two-phase commit traffic to show.
+	for g := 0; g < 8; g++ {
+		gtx, err := r.Begin()
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 4; i++ {
+			k := []byte(fmt.Sprintf("key-%05d", (g*37+i*11)%tuples))
+			if err := gtx.Put(k, []byte(fmt.Sprintf("g%d", g))); err != nil {
+				panic(err)
+			}
+		}
+		if err := gtx.Commit(); err != nil {
+			panic(err)
+		}
+	}
 
 	// Per-shard live key counts via one consistent cross-shard snapshot.
 	keys := make([]int, n)
@@ -253,6 +271,30 @@ func inspectShards(n, tuples, updates, pbuf int, capacity int64) {
 		}
 		return "closed"
 	})
+
+	// Commit protocol: the participant side per shard (prepare votes,
+	// resolutions, anything still in doubt) and the coordinator log.
+	twopc := make([]db.TwoPCStats, n)
+	for i := 0; i < n; i++ {
+		twopc[i] = r.Shard(i).Engine.TwoPCInfo()
+	}
+	fmt.Println("\n== commit protocol (two-phase, presumed abort) ==")
+	row("2pc prepares", func(i int) string { return fmt.Sprintf("%d", twopc[i].Prepares) })
+	row("2pc commits", func(i int) string { return fmt.Sprintf("%d", twopc[i].ResolvedCommits) })
+	row("2pc aborts", func(i int) string { return fmt.Sprintf("%d", twopc[i].ResolvedAborts) })
+	row("in doubt", func(i int) string { return fmt.Sprintf("%d", twopc[i].InDoubt) })
+	row("oldest prepared", func(i int) string {
+		if twopc[i].InDoubt == 0 {
+			return "-"
+		}
+		return twopc[i].OldestAge.Round(time.Millisecond).String()
+	})
+	info := r.TwoPCInfo()
+	fmt.Printf("coordinator: %d groups decided, %d retired, %d live decisions, %d inflight, "+
+		"log %d bytes, %d checkpoints, incarnation %d\n",
+		info.Coordinator.Decides, info.Coordinator.Forgets, info.Coordinator.LiveDecisions,
+		info.Coordinator.Inflight, info.Coordinator.LogBytes, info.Coordinator.Checkpoints,
+		info.Coordinator.Incarnation)
 
 	fmt.Println("\n== per-shard devices ==")
 	for _, st := range stats {

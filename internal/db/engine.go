@@ -152,6 +152,16 @@ type Engine struct {
 	walCommits   atomic.Int64
 	walROCommits atomic.Int64
 
+	// In-doubt registry for cross-shard two-phase commit (twopc.go):
+	// transactions that PREPARED durably and now await the coordinator's
+	// decision. Their handles stay open (InProgress), keeping their
+	// versions invisible through the ordinary visibility check.
+	inDoubtMu      sync.Mutex
+	inDoubt        map[txn.TxID]*preparedTx
+	prepares       atomic.Int64
+	resolveCommits atomic.Int64
+	resolveAborts  atomic.Int64
+
 	// Checkpoint crash hooks (tests only): called with walMu held at the
 	// three interesting instants — new generation durable but superblock
 	// not yet written; superblock written but old generation not yet freed;
@@ -192,9 +202,10 @@ func NewEngine(cfg Config) *Engine {
 		Pool:   buffer.New(cfg.BufferPages),
 		Mgr:    txn.NewManager(),
 		PBuf:   part.NewPartitionBuffer(cfg.PartitionBufferBytes),
-		cfg:    cfg,
-		tables: map[string]*Table{},
-		kvs:    map[string]*MVPBTKV{},
+		cfg:     cfg,
+		tables:  map[string]*Table{},
+		kvs:     map[string]*MVPBTKV{},
+		inDoubt: map[txn.TxID]*preparedTx{},
 	}
 	if cfg.EnableWAL {
 		e.walFile = e.FM.Create("wal", sfile.ClassMeta)

@@ -57,16 +57,31 @@ func (e *Engine) RecoverAll(logImage []byte, tables map[string]*Table, kvs map[s
 	if e.wal == nil {
 		return 0, fmt.Errorf("db: Recover on an engine without EnableWAL")
 	}
-	// Pass 1: find committed transactions.
+	// Pass 1: find committed transactions, and prepared transactions whose
+	// 2PC decision never reached this log — those must survive recovery IN
+	// DOUBT (durable but invisible), not be dropped as uncommitted work.
+	// Records appear in log order, so a later decide record settles an
+	// earlier prepare.
 	committed := map[uint64]bool{}
+	prepared := map[uint64]uint64{} // txid → commit-group id, undecided only
 	r := wal.NewReaderFromBytes(logImage)
 	for {
 		rec, ok := r.Next()
 		if !ok {
 			break
 		}
-		if rec.Op == wal.OpCommit {
+		switch rec.Op {
+		case wal.OpCommit:
 			committed[rec.TxID] = true
+		case wal.OpDecideCommit:
+			committed[rec.TxID] = true
+			delete(prepared, rec.TxID)
+		case wal.OpPrepare:
+			if !committed[rec.TxID] {
+				prepared[rec.TxID] = wal.GroupID(rec.Key)
+			}
+		case wal.OpAbort, wal.OpDecideAbort:
+			delete(prepared, rec.TxID)
 		}
 	}
 	// If the readable prefix ended at an unreadable record, decide whether
@@ -108,15 +123,36 @@ func (e *Engine) RecoverAll(logImage []byte, tables map[string]*Table, kvs map[s
 		case wal.OpBegin:
 			if committed[rec.TxID] {
 				open[rec.TxID] = e.Begin()
+			} else if _, isPrepared := prepared[rec.TxID]; isPrepared {
+				// Prepared-undecided: replay its operations too; the prepare
+				// record below re-parks it in doubt.
+				open[rec.TxID] = e.Begin()
 			}
-		case wal.OpCommit:
+		case wal.OpCommit, wal.OpDecideCommit:
 			if tx := open[rec.TxID]; tx != nil {
 				e.Commit(tx)
 				delete(open, rec.TxID)
 				applied++
 			}
-		case wal.OpAbort:
-			// Aborted transactions were never opened.
+		case wal.OpPrepare:
+			// Re-prepare an undecided transaction through the normal prepare
+			// path (re-logging, like all of replay): the recovered engine's
+			// fresh log carries its own prepare record and the in-doubt
+			// registry holds the open handle for later resolution against
+			// the coordinator log.
+			gid, isPrepared := prepared[rec.TxID]
+			tx := open[rec.TxID]
+			if tx == nil || !isPrepared {
+				continue // decided later in the log, or uncommitted garbage
+			}
+			if err := e.PrepareDurable(tx, gid); err != nil {
+				return applied, fmt.Errorf("db: re-preparing in-doubt tx %d: %w", rec.TxID, err)
+			}
+			delete(open, rec.TxID)
+		case wal.OpAbort, wal.OpDecideAbort:
+			// Aborted/decided-abort transactions were never opened.
+		case wal.OpForget:
+			// Coordinator-side bookkeeping; nothing to replay.
 		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
 			tx := open[rec.TxID]
 			if tx == nil {

@@ -663,6 +663,15 @@ func (s *Server) dispatch(sess *session, bw *bufio.Writer, op byte, payload []by
 			return wire.WriteFrame(bw, wire.StatusOK)
 		}
 		if err := tx.Commit(); err != nil {
+			if errors.Is(err, shard.ErrTxInDoubt) {
+				// The COMMIT decision is durable; only leg resolution is
+				// pending. The transaction WILL commit, so record the token
+				// first — the client confirms the outcome by resolving it.
+				if token != 0 {
+					s.recordToken(token)
+				}
+				return wire.WriteFrame(bw, wire.StatusInDoubt, []byte(err.Error()))
+			}
 			return fail(bw, err)
 		}
 		if token != 0 {

@@ -65,6 +65,17 @@ func (e *VersionMismatchError) Error() string {
 	return fmt.Sprintf("shardclient: protocol version mismatch (client %d, server %d): %s", e.Client, e.Server, e.Msg)
 }
 
+// InDoubtError reports a multi-shard commit whose COMMIT decision is
+// durable but whose legs are still resolving (StatusInDoubt). The
+// transaction WILL commit and the server has already recorded the commit
+// token — resolve the token to confirm the outcome (RClient does this
+// automatically).
+type InDoubtError struct{ Msg string }
+
+func (e *InDoubtError) Error() string {
+	return "shardclient: commit in doubt (decision durable, resolution pending): " + e.Msg
+}
+
 // ServerError is a generic server-side failure (StatusErr).
 type ServerError struct{ Msg string }
 
@@ -163,6 +174,8 @@ func statusErr(status byte, payload []byte) error {
 		return fmt.Errorf("%w: %s", ErrNotCommitted, payload)
 	case wire.StatusAlreadyCommitted:
 		return fmt.Errorf("%w: %s", ErrAlreadyCommitted, payload)
+	case wire.StatusInDoubt:
+		return &InDoubtError{Msg: string(payload)}
 	default:
 		return &ServerError{Msg: string(payload)}
 	}

@@ -136,7 +136,9 @@ func transport(err error) bool {
 	var un *UnavailableError
 	var vm *VersionMismatchError
 	var se *ServerError
-	if errors.As(err, &ro) || errors.As(err, &un) || errors.As(err, &vm) || errors.As(err, &se) {
+	var ind *InDoubtError
+	if errors.As(err, &ro) || errors.As(err, &un) || errors.As(err, &vm) ||
+		errors.As(err, &se) || errors.As(err, &ind) {
 		return false
 	}
 	return true // net.OpError, io.EOF, deadline, malformed frame, ...
@@ -376,12 +378,28 @@ func (t *RTx) Commit() (CommitOutcome, error) {
 	if err == nil {
 		return CommitApplied, nil
 	}
+	var ind *InDoubtError
+	if errors.As(err, &ind) {
+		// The server itself reported the commit in doubt (a 2PC participant
+		// failed mid-protocol; the decision is durable and the token is
+		// recorded). The connection is healthy — resolve the token on it.
+		t.r.stats.Resolves++
+		return t.resolveToken()
+	}
 	if !transport(err) {
 		return CommitNotApplied, err
 	}
 	// In doubt: the connection died somewhere inside COMMIT.
 	t.r.drop()
 	t.r.stats.Resolves++
+	return t.resolveToken()
+}
+
+// resolveToken asks the server (reconnecting as needed) whether this
+// transaction's commit token was recorded — the shared tail of both
+// in-doubt paths (connection death inside COMMIT, and StatusInDoubt from
+// a 2PC participant failure).
+func (t *RTx) resolveToken() (CommitOutcome, error) {
 	var applied bool
 	rerr := t.r.do(true, func(c *Client) error {
 		a, err := c.ResolveCommit(t.token)

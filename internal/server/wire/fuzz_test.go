@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame decoder — the
+// first thing on the server that touches untrusted network input. The
+// decoder must never panic, never allocate past MaxFrame (a hostile header
+// may declare 4GiB), and classify every malformed stream as exactly one of
+// the typed errors (or a plain read error from the stream itself). A
+// decoded frame must round-trip: re-encoding it reproduces the bytes
+// consumed, so decode is a true inverse of WriteFrame.
+//
+// Run the full fuzzer with:
+//
+//	go test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/server/wire/
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: the malformed/truncated/oversized shapes the unit tests
+	// pin down, plus valid frames of each flavor.
+	valid := func(op byte, segs ...[]byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, op, segs...); err != nil {
+			f.Fatalf("seed frame: %v", err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid(OpHello, U32(ProtoVersion), []byte("tenant")))
+	f.Add(valid(OpSet, U32(3), []byte("key"), []byte("val")))
+	f.Add(valid(OpCommit, U32(0), U64(0xdeadbeef)))
+	f.Add(valid(OpStats))
+	f.Add([]byte{0, 0, 0, 1, OpGet})               // minimal frame: opcode only
+	f.Add([]byte{0, 0, 0, 0})                      // zero-length frame
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})          // 4GiB declared length
+	f.Add(append([]byte{0, 0, 0, 10}, OpSet, 'a')) // declares 10, delivers 2
+	f.Add([]byte{0, 0, 0, 5})                      // header only, no payload
+	f.Add([]byte{0, 0})                            // truncated header
+	f.Add(U32(MaxFrame + 1))                       // one past the limit
+	f.Add(U32(MaxFrame))                           // at the limit, then EOF
+	f.Add(append(valid(OpGet, []byte("k")), valid(OpAbort, U32(7))...)) // two frames back to back
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			before := r.Len()
+			op, payload, err := ReadFrame(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) && before == 0 {
+					return // clean end of stream between frames
+				}
+				// Every failure on a finite in-memory stream must be one of
+				// the decoder's typed errors or the header read ending early.
+				if !errors.Is(err, ErrZeroLengthFrame) &&
+					!errors.Is(err, ErrFrameTooLarge) &&
+					!errors.Is(err, ErrTruncatedFrame) &&
+					!errors.Is(err, io.EOF) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("ReadFrame: untyped error %v (input %x)", err, data)
+				}
+				return
+			}
+			consumed := before - r.Len()
+			if got := 4 + 1 + len(payload); consumed != got {
+				t.Fatalf("ReadFrame consumed %d bytes, frame accounts for %d", consumed, got)
+			}
+			if len(payload)+1 > MaxFrame {
+				t.Fatalf("ReadFrame returned %d payload bytes past MaxFrame", len(payload))
+			}
+			// Round-trip: re-encoding the decoded frame must reproduce the
+			// consumed bytes exactly.
+			var re bytes.Buffer
+			if err := WriteFrame(&re, op, payload); err != nil {
+				t.Fatalf("re-encoding decoded frame: %v", err)
+			}
+			start := len(data) - before
+			if !bytes.Equal(re.Bytes(), data[start:start+consumed]) {
+				t.Fatalf("round-trip mismatch:\n consumed %x\n re-encoded %x",
+					data[start:start+consumed], re.Bytes())
+			}
+		}
+	})
+}

@@ -97,6 +97,12 @@ const (
 	// StatusAlreadyCommitted refuses a Begin reusing a token the dedup
 	// table has recorded as committed.
 	StatusAlreadyCommitted = 9
+	// StatusInDoubt answers a multi-shard Commit whose COMMIT decision is
+	// durable in the coordinator log but whose legs are still being
+	// resolved (a participant failed mid-protocol). The transaction WILL
+	// commit — the server records the commit token before replying, so the
+	// client confirms the outcome with a token-resolution Commit.
+	StatusInDoubt = 10
 )
 
 // MaxFrame bounds a single frame (opcode + payload). Large scans paginate.

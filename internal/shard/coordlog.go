@@ -1,0 +1,357 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mvpbt/internal/page"
+	"mvpbt/internal/sfile"
+	"mvpbt/internal/simclock"
+	"mvpbt/internal/ssd"
+	"mvpbt/internal/storage"
+	"mvpbt/internal/wal"
+)
+
+// coordLog is the router's two-phase-commit coordinator log (DESIGN.md
+// §15): the durable record of every COMMIT decision for a multi-shard
+// commit group, on its own device, independent of every shard. The
+// protocol is presumed abort, so the log is small and write-once-per-group:
+//
+//   - a group id is allocated in memory only (inflight set, nothing
+//     durable) — a coordinator crash before the decision leaves no trace,
+//     and recovering participants that find no decision abort;
+//   - the commit decision is one flushed OpDecideCommit record keyed by
+//     group id — THE commit point of the whole group;
+//   - abort decisions write nothing (absence IS the abort record);
+//   - once every leg has durably applied its decision the group is
+//     forgotten (OpForget), letting checkpointing drop it.
+//
+// Like the engines' walmeta, the log is checkpointed through a dual-slot
+// page-checksummed superblock: a checkpoint rewrites the live (unforgotten)
+// decisions as a fresh generation, commits the switch with one superblock
+// page write, and frees the old generation. The superblock also carries the
+// coordinator INCARNATION: recovery bumps it durably before handing out a
+// single new group id, so ids from a pre-crash inflight group (which left
+// no trace) can never be reused and mis-resolve a stale in-doubt leg.
+type coordLog struct {
+	mu   sync.Mutex
+	fm   *sfile.Manager
+	file *sfile.File // current generation
+	meta *sfile.File // dual-slot superblock
+	w    *wal.Writer
+	seq  uint64 // checkpoint sequence (superblock slot = seq%2)
+	base int64  // w.Written() at the current generation's start
+
+	incarnation uint64 // durably bumped on every recovery
+	nextCounter uint64 // low 32 bits of the next group id
+
+	inflight  map[uint64]bool // allocated, undecided (in-memory only)
+	decisions map[uint64]bool // durable commit decisions, unforgotten
+	pending   map[uint64]int  // gid → legs still to acknowledge
+
+	decides, forgets, ckpts, recovers int64
+}
+
+// coordSuper layout inside a page's client area:
+// magic(8) | seq(8) | fileID(8) | incarnation(8).
+const coordMagic = 0x4d56_5042_5432_5043 // "MVPBT2PC"
+
+// coordCkptBytes triggers a coordinator-log checkpoint once the current
+// generation outgrows it.
+const coordCkptBytes = 32 << 10
+
+func encodeCoordSuper(buf []byte, seq uint64, id storage.FileID, incarnation uint64) {
+	p := page.Wrap(buf)
+	p.Init()
+	c := p.Client()
+	binary.LittleEndian.PutUint64(c[0:8], coordMagic)
+	binary.LittleEndian.PutUint64(c[8:16], seq)
+	binary.LittleEndian.PutUint64(c[16:24], uint64(id))
+	binary.LittleEndian.PutUint64(c[24:32], incarnation)
+	page.StampChecksum(buf)
+}
+
+func decodeCoordSuper(buf []byte) (seq uint64, id storage.FileID, incarnation uint64, ok bool) {
+	if !page.VerifyChecksum(buf) {
+		return 0, 0, 0, false
+	}
+	c := page.Wrap(buf).Client()
+	if binary.LittleEndian.Uint64(c[0:8]) != coordMagic {
+		return 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(c[8:16]), storage.FileID(binary.LittleEndian.Uint64(c[16:24])),
+		binary.LittleEndian.Uint64(c[24:32]), true
+}
+
+// newCoordLog builds a coordinator log on a fresh private device and
+// durably stamps incarnation 1 before any group id exists.
+func newCoordLog() (*coordLog, error) {
+	clk := simclock.New()
+	dev := ssd.NewWithSpec(clk, ssd.DeviceSpec{Profile: ssd.IntelP3600})
+	c := &coordLog{
+		fm:          sfile.NewManager(dev),
+		seq:         1,
+		incarnation: 1,
+		inflight:    map[uint64]bool{},
+		decisions:   map[uint64]bool{},
+		pending:     map[uint64]int{},
+	}
+	c.file = c.fm.Create("coord", sfile.ClassMeta)
+	c.meta = c.fm.Create("coordmeta", sfile.ClassMeta)
+	c.w = wal.NewWriter(c.file)
+	if _, err := c.meta.AllocRun(2); err != nil {
+		return nil, fmt.Errorf("shard: coordinator log superblock alloc: %w", err)
+	}
+	if err := c.writeSuperLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// writeSuperLocked stamps the current (seq, generation, incarnation) into
+// slot seq%2 with bounded retries.
+func (c *coordLog) writeSuperLocked() error {
+	buf := make([]byte, storage.PageSize)
+	encodeCoordSuper(buf, c.seq, c.file.ID(), c.incarnation)
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = c.meta.WritePage(c.seq%2, buf); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("shard: coordinator log superblock write: %w", err)
+}
+
+// beginGroup allocates a commit-group id. Nothing is durable yet — a crash
+// now means the group never existed (presumed abort).
+func (c *coordLog) beginGroup() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextCounter++
+	gid := c.incarnation<<32 | c.nextCounter
+	c.inflight[gid] = true
+	return gid
+}
+
+// decideCommit durably logs the group's COMMIT decision — the commit point
+// of the whole group. legs is how many participant acknowledgements retire
+// the decision (forget). On error the decision did not happen: the caller
+// must treat the group as aborted.
+func (c *coordLog) decideCommit(gid uint64, legs int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Append(&wal.Record{Op: wal.OpDecideCommit, TxID: gid})
+	if err := c.w.Flush(); err != nil {
+		delete(c.inflight, gid)
+		return fmt.Errorf("shard: coordinator decision flush: %w", err)
+	}
+	delete(c.inflight, gid)
+	c.decisions[gid] = true
+	c.pending[gid] = legs
+	c.decides++
+	return nil
+}
+
+// decideAbort aborts the group. Presumed abort: nothing is written — the
+// absence of a decision IS the abort record.
+func (c *coordLog) decideAbort(gid uint64) {
+	c.mu.Lock()
+	delete(c.inflight, gid)
+	c.mu.Unlock()
+}
+
+// ack records one leg's durable application of a commit decision. The last
+// ack forgets the group: an OpForget record lets the next checkpoint drop
+// the decision. Acks for groups this incarnation doesn't track (resolved
+// legs of a pre-recovery group) are ignored — their decisions simply stay
+// live until checkpointing rewrites them, which is harmless because
+// decisions are idempotent.
+func (c *coordLog) ack(gid uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, tracked := c.pending[gid]
+	if !tracked {
+		return
+	}
+	if n--; n > 0 {
+		c.pending[gid] = n
+		return
+	}
+	delete(c.pending, gid)
+	delete(c.decisions, gid)
+	c.forgets++
+	c.w.Append(&wal.Record{Op: wal.OpForget, TxID: gid})
+	// The forget record need not be durable: losing it only resurrects an
+	// idempotent decision. It reaches the device with the next decision
+	// flush, an image capture, or the checkpoint below.
+	if c.w.Written()-c.base > coordCkptBytes {
+		c.checkpointLocked()
+	}
+}
+
+// decisionOf answers a participant's in-doubt query: committed reports a
+// durable commit decision, inflight reports a group this coordinator is
+// still deciding (the participant must stay in doubt). Neither set means
+// presumed abort.
+func (c *coordLog) decisionOf(gid uint64) (committed, inflight bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decisions[gid], c.inflight[gid]
+}
+
+// checkpointLocked rewrites the live decisions as a new generation and
+// swaps the superblock to it (same recipe as the engines' WAL checkpoint:
+// new generation durable first, then the superblock slot, then free the
+// old pages). Failures before the superblock write abandon the new
+// generation; the old log stays authoritative.
+func (c *coordLog) checkpointLocked() {
+	seq := c.seq + 1
+	newFile := c.fm.Create(fmt.Sprintf("coord.%d", seq), sfile.ClassMeta)
+	newW := wal.NewWriter(newFile)
+	abandon := func() {
+		if n := newFile.NumPages(); n > 0 {
+			newFile.FreeRun(0, int(n))
+		}
+	}
+	gids := make([]uint64, 0, len(c.decisions))
+	for gid := range c.decisions {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		newW.Append(&wal.Record{Op: wal.OpDecideCommit, TxID: gid})
+	}
+	if len(gids) > 0 {
+		if err := newW.Flush(); err != nil {
+			abandon()
+			return
+		}
+	}
+	oldFile, oldSeq := c.file, c.seq
+	c.file, c.seq = newFile, seq
+	if err := c.writeSuperLocked(); err != nil {
+		c.file, c.seq = oldFile, oldSeq
+		abandon()
+		return
+	}
+	if n := oldFile.NumPages(); n > 0 {
+		oldFile.FreeRun(0, int(n))
+	}
+	c.w = newW
+	c.base = newW.Written()
+	c.ckpts++
+}
+
+// image returns the durable bytes of the authoritative generation — what a
+// coordinator crash would leave behind. Unflushed forget records are
+// flushed first so the image is the freshest durable state (a real crash
+// could also lose them; recover tolerates either).
+func (c *coordLog) image() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Flush()
+	f := c.currentFileLocked()
+	n := f.NumPages()
+	out := make([]byte, 0, int(n)*storage.PageSize)
+	buf := make([]byte, storage.PageSize)
+	for i := uint64(0); i < n; i++ {
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if err = f.ReadPage(i, buf); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// currentFileLocked resolves the authoritative generation from the
+// superblock (best valid slot wins; the original file is the fallback).
+func (c *coordLog) currentFileLocked() *sfile.File {
+	best := c.file
+	var bestSeq uint64
+	buf := make([]byte, storage.PageSize)
+	for slot := uint64(0); slot < 2; slot++ {
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if err = c.meta.ReadPage(slot, buf); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		seq, id, _, ok := decodeCoordSuper(buf)
+		if !ok || seq < bestSeq {
+			continue
+		}
+		if f := c.fm.Lookup(id); f != nil {
+			best, bestSeq = f, seq
+		}
+	}
+	return best
+}
+
+// recover rebuilds the coordinator from a durable image (the simulated
+// coordinator crash): inflight groups vanish — presumed abort — and the
+// incarnation is durably bumped via an immediate checkpoint BEFORE any new
+// group id is handed out, so pre-crash inflight ids can never be reused.
+func (c *coordLog) recover(img []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight = map[uint64]bool{}
+	c.pending = map[uint64]int{}
+	c.decisions = map[uint64]bool{}
+	r := wal.NewReaderFromBytes(img)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch rec.Op {
+		case wal.OpDecideCommit:
+			c.decisions[rec.TxID] = true
+		case wal.OpForget:
+			delete(c.decisions, rec.TxID)
+		}
+	}
+	c.incarnation++
+	c.nextCounter = 0
+	c.recovers++
+	c.checkpointLocked()
+}
+
+// CoordStats is the coordinator log's externally visible state.
+type CoordStats struct {
+	// LiveDecisions is the number of unforgotten commit decisions.
+	LiveDecisions int
+	// Inflight is the number of allocated, undecided commit groups.
+	Inflight int
+	// LogBytes is the device footprint (current generation + superblock).
+	LogBytes int64
+	// Decides/Forgets/Checkpoints/Recoveries count protocol events.
+	Decides, Forgets, Checkpoints, Recoveries int64
+	// Incarnation is the coordinator's durable incarnation number.
+	Incarnation uint64
+}
+
+func (c *coordLog) stats() CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CoordStats{
+		LiveDecisions: len(c.decisions),
+		Inflight:      len(c.inflight),
+		LogBytes:      int64(c.file.NumPages())*storage.PageSize + int64(c.meta.NumPages())*storage.PageSize,
+		Decides:       c.decides,
+		Forgets:       c.forgets,
+		Checkpoints:   c.ckpts,
+		Recoveries:    c.recovers,
+		Incarnation:   c.incarnation,
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mvpbt/internal/db"
 )
@@ -63,6 +64,32 @@ type Config struct {
 	Supervise bool
 	// Supervisor tunes supervision (ignored unless Supervise is set).
 	Supervisor SupervisorConfig
+	// TwoPC installs crash-injection hooks into the two-phase commit
+	// protocol (tests and the 2pc check campaign only).
+	TwoPC TwoPCHooks
+}
+
+// TwoPCHooks are test seams in the multi-shard commit protocol: each hook,
+// when set and returning an error, simulates a crash at that protocol step
+// (tx.go threads them through commit2PC). Production deployments leave the
+// zero value.
+type TwoPCHooks struct {
+	// BeforePrepare fires before shard's leg prepares; an error fails the
+	// vote (the group aborts).
+	BeforePrepare func(gid uint64, shard int) error
+	// AfterPrepare fires after shard's leg durably voted YES; an error
+	// simulates the participant crashing with an in-doubt leg.
+	AfterPrepare func(gid uint64, shard int) error
+	// BeforeDecide fires before the coordinator logs its decision; an error
+	// simulates a coordinator crash (presumed abort).
+	BeforeDecide func(gid uint64) error
+	// AfterDecide fires after a commit decision is durable but before any
+	// leg learns it; an error crashes every participant (all legs resolve
+	// from the coordinator log after restart).
+	AfterDecide func(gid uint64) error
+	// BeforeForget fires before the group's decision is retired; an error
+	// leaves the decision live in the coordinator log.
+	BeforeForget func(gid uint64) error
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +140,7 @@ type Router struct {
 	shards []*Shard
 	health []*shardHealth // per-shard supervision state, indexed by shard
 	sup    *supervisor    // nil unless Config.Supervise
+	coord  *coordLog      // 2PC coordinator log; nil unless Engine.EnableWAL
 
 	// epoch is the snapshot barrier. Multi-shard COMMIT groups hold it
 	// shared for the duration of their per-shard commits; snapshot
@@ -148,6 +176,14 @@ func New(cfg Config) (*Router, error) {
 			KV:     kv,
 		})
 		r.health = append(r.health, &shardHealth{})
+	}
+	if cfg.Engine.EnableWAL {
+		coord, err := newCoordLog()
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.coord = coord
 	}
 	if cfg.Supervise {
 		r.sup = newSupervisor(r, cfg.Supervisor)
@@ -363,3 +399,66 @@ var ErrRouterClosed = errors.New("shard: router closed")
 
 // ErrClosed is the historical name of ErrRouterClosed.
 var ErrClosed = ErrRouterClosed
+
+// ErrTxInDoubt reports a multi-shard commit whose COMMIT decision is
+// durable in the coordinator log but whose legs could not all be resolved
+// synchronously (a participant failed mid-protocol). The transaction WILL
+// commit — restarting shards resolve their in-doubt legs from the
+// coordinator log — the caller just cannot yet observe all of it. The
+// server maps this to a distinct wire status so clients can confirm the
+// outcome through their idempotent commit token.
+var ErrTxInDoubt = errors.New("shard: transaction in doubt (commit decision durable, resolution pending)")
+
+// CrashCoordinator simulates a coordinator crash and restart: the
+// in-memory protocol state (inflight groups, unacknowledged legs) is lost
+// and the coordinator log is rebuilt from its durable image, bumping the
+// incarnation. Undecided groups vanish — presumed abort. Test/campaign
+// use only.
+func (r *Router) CrashCoordinator() {
+	if r.coord == nil {
+		return
+	}
+	r.coord.recover(r.coord.image())
+}
+
+// RouterTwoPCStats aggregates the commit-protocol state across the
+// coordinator log and every reachable shard.
+type RouterTwoPCStats struct {
+	Coordinator CoordStats
+	// Prepares/ResolvedCommits/ResolvedAborts sum the reachable shards'
+	// participant counters (a mid-restart shard is skipped).
+	Prepares, ResolvedCommits, ResolvedAborts int64
+	// InDoubt counts prepared-undecided transactions across reachable
+	// shards; OldestAge is the oldest one's time since prepare.
+	InDoubt   int
+	OldestAge time.Duration
+}
+
+// TwoPCInfo snapshots the router's commit-protocol health (mvpbt-inspect
+// and the 2pc campaign's quiescence check).
+func (r *Router) TwoPCInfo() RouterTwoPCStats {
+	var out RouterTwoPCStats
+	if r.coord != nil {
+		out.Coordinator = r.coord.stats()
+	}
+	if err := r.enter(); err != nil {
+		return out
+	}
+	defer r.exit()
+	for i, s := range r.shards {
+		release, err := r.acquire(i)
+		if err != nil {
+			continue
+		}
+		st := s.Engine.TwoPCInfo()
+		release()
+		out.Prepares += st.Prepares
+		out.ResolvedCommits += st.ResolvedCommits
+		out.ResolvedAborts += st.ResolvedAborts
+		out.InDoubt += st.InDoubt
+		if st.OldestAge > out.OldestAge {
+			out.OldestAge = st.OldestAge
+		}
+	}
+	return out
+}

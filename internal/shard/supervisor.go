@@ -331,6 +331,29 @@ func (s *supervisor) restartShard(i int) error {
 			eng.Close()
 			return fmt.Errorf("shard %d: recovery: %w", i, err)
 		}
+		// Recovery re-parks prepared-undecided 2PC legs in doubt; resolve
+		// them against the coordinator log before the shard goes back into
+		// service: a durable commit decision commits the leg (and is
+		// acknowledged toward the group's forget), a group the coordinator
+		// is still deciding stays in doubt (the in-flight commit2PC will
+		// resolve it), and a group the log does not vouch for is PRESUMED
+		// ABORT — the decision record is the commit point, its absence is
+		// the abort record.
+		if r.coord != nil {
+			for _, d := range eng.InDoubtList() {
+				committed, inflight := r.coord.decisionOf(d.GID)
+				if inflight {
+					continue
+				}
+				if err := eng.ResolvePrepared(d.TxID, committed); err != nil {
+					eng.Close()
+					return fmt.Errorf("shard %d: resolving in-doubt tx %d: %w", i, d.TxID, err)
+				}
+				if committed {
+					r.coord.ack(d.GID)
+				}
+			}
+		}
 	}
 	sh.Engine, sh.KV = eng, kv
 	h.epoch.Add(1)

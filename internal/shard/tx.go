@@ -3,6 +3,8 @@ package shard
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"time"
 
 	"mvpbt/internal/db"
 	"mvpbt/internal/txn"
@@ -243,18 +245,17 @@ func (t *Tx) Scan(lo []byte, limit int, fn func(key, val []byte) bool) error {
 // Commit publishes the transaction's writes and releases its snapshot.
 // Shards the transaction never wrote finish as read-only commits (no log
 // record, no flush). A single written shard commits through its engine's
-// ordinary durable path. Several written shards commit as one group under
-// a shared hold of the epoch barrier, so every snapshot observes the
-// group both-or-neither.
+// ordinary durable path. Several written shards commit ATOMICALLY through
+// presumed-abort two-phase commit (commit2PC, DESIGN.md §15) under a
+// shared hold of the epoch barrier, so every snapshot observes the group
+// both-or-neither and no crash can leave it half-applied.
 //
-// There is no cross-shard prepare phase (single-shard writes first, 2PC
-// later): if a shard's durable commit fails mid-group, that shard's
-// outcome is in doubt per the db.CommitDurable contract, shards already
-// committed stay committed, and the remaining written shards (and the
-// failed leg's in-memory state) are aborted; the first failure is
-// returned as a ShardError. A leg whose shard restarted mid-transaction
-// fails the same way with ErrShardUnavailable — it can never acknowledge
-// into a dead engine.
+// Commit returns nil when every leg is durably committed, a ShardError
+// when the group aborted (all-or-nothing: no leg's writes survive), or
+// ErrTxInDoubt when the COMMIT decision is durable but a failed
+// participant could not be resolved synchronously — the transaction WILL
+// commit; the server surfaces this as a distinct status so clients can
+// confirm through their commit token.
 func (t *Tx) Commit() error {
 	if t.done {
 		panic("shard: double finish of multi-shard transaction")
@@ -283,6 +284,11 @@ func (t *Tx) Commit() error {
 	if len(written) == 0 {
 		return nil
 	}
+	if len(written) > 1 && t.r.coord != nil {
+		return t.commit2PC(written)
+	}
+	// Single written shard — or a router without a WAL (no coordinator
+	// log, nothing is durable anyway): per-leg unilateral commits.
 	if len(written) > 1 {
 		t.r.epoch.RLock()
 		defer t.r.epoch.RUnlock()
@@ -316,6 +322,235 @@ func (t *Tx) Commit() error {
 		}
 	}
 	return firstErr
+}
+
+// commit2PC commits a multi-shard group atomically: every written leg
+// PREPARES (durable vote, versions invisible), the coordinator log records
+// the decision — one flushed record for COMMIT, nothing for abort
+// (presumed abort) — and the legs resolve per that decision. A participant
+// that dies after voting leaves an in-doubt leg; its restart consults the
+// coordinator log (supervisor.go), and commit2PC's slow path waits out the
+// restart so the caller usually still observes the final state. A leg that
+// cannot be resolved within the budget is administratively failed — the
+// forced restart finds the (by then final) decision — and commit2PC
+// reports ErrTxInDoubt for a commit decision, never a false abort.
+//
+// Crash-injection hooks (Config.TwoPC) simulate a coordinator or
+// participant crash at each protocol step; see TwoPCHooks.
+func (t *Tx) commit2PC(written []int) error {
+	r := t.r
+	hooks := r.cfg.TwoPC
+	gid := r.coord.beginGroup()
+
+	// The epoch barrier is held shared across prepare, decision and the
+	// synchronous resolve pass: a concurrently begun snapshot vector
+	// observes the group both-or-neither. Once a leg goes in doubt the
+	// group resolves asynchronously anyway (partial visibility of an
+	// in-flight group is inherent to recovery-side resolution), so the
+	// slow path below runs outside the barrier.
+	epochHeld := true
+	r.epoch.RLock()
+	unlockEpoch := func() {
+		if epochHeld {
+			epochHeld = false
+			r.epoch.RUnlock()
+		}
+	}
+	defer unlockEpoch()
+
+	// Phase 1: prepare every leg (durable YES votes). First failure stops
+	// the phase — the group will abort.
+	prepared := make([]bool, len(t.txs)) // leg voted YES (durable)
+	crashed := make([]bool, len(t.txs))  // leg's participant simulated-crashed
+	var firstErr error
+	for _, i := range written {
+		if hooks.BeforePrepare != nil {
+			if err := hooks.BeforePrepare(gid, i); err != nil {
+				firstErr = &ShardError{Shard: i, Err: err}
+				break
+			}
+		}
+		release, err := t.leg(i)
+		if err != nil {
+			firstErr = &ShardError{Shard: i, Err: err}
+			break
+		}
+		err = t.engines[i].PrepareDurable(t.txs[i], gid)
+		release()
+		r.observe(i, err)
+		if err != nil {
+			// Not prepared (the prepare's durability is in doubt exactly
+			// like a failed CommitDurable; recovery treats a flushed
+			// prepare without a decision as in-doubt and the coordinator
+			// log will not vouch for this group — presumed abort).
+			firstErr = &ShardError{Shard: i, Err: err}
+			break
+		}
+		prepared[i] = true
+		if hooks.AfterPrepare != nil {
+			if err := hooks.AfterPrepare(gid, i); err != nil {
+				// Participant crash after a durable vote: the leg's handle
+				// dies with its engine and must never be touched again; the
+				// restarted shard re-enters in-doubt resolution. The
+				// protocol continues — a crashed voter is a YES voter.
+				crashed[i] = true
+				r.FailShard(i, err)
+			}
+		}
+	}
+
+	// Decision. A COMMIT decision is one flushed coordinator-log record —
+	// the commit point of the whole group. An abort writes nothing.
+	commit := firstErr == nil
+	if commit && hooks.BeforeDecide != nil {
+		if err := hooks.BeforeDecide(gid); err != nil {
+			firstErr = fmt.Errorf("shard: 2pc decision: %w", err)
+			commit = false
+		}
+	}
+	if commit {
+		if err := r.coord.decideCommit(gid, len(written)); err != nil {
+			firstErr = fmt.Errorf("shard: 2pc decision: %w", err)
+			commit = false
+		}
+	}
+	if !commit {
+		r.coord.decideAbort(gid)
+	}
+	if commit && hooks.AfterDecide != nil {
+		if err := hooks.AfterDecide(gid); err != nil {
+			// Every participant crashes after the decision became durable:
+			// no leg can be told synchronously. All legs resolve from the
+			// coordinator log after restart; the commit token confirms the
+			// outcome to the client.
+			unlockEpoch()
+			for _, i := range written {
+				if prepared[i] && !crashed[i] {
+					crashed[i] = true
+					r.FailShard(i, err)
+				}
+			}
+			return ErrTxInDoubt
+		}
+	}
+
+	// Phase 2: resolve the legs per the decision. Fast path first — same
+	// engine incarnation, under the barrier; legs that crashed or were
+	// superseded go through the slow path below, which waits out the
+	// supervisor restart.
+	pendingLegs := make([]int, 0, len(written))
+	acks := 0
+	for _, i := range written {
+		if crashed[i] {
+			pendingLegs = append(pendingLegs, i)
+			continue
+		}
+		if !prepared[i] {
+			// Never voted (abort outcome): the handle is live and not in
+			// the in-doubt registry — plain in-memory abort.
+			t.engines[i].Abort(t.txs[i])
+			continue
+		}
+		release, err := t.leg(i)
+		if err != nil {
+			pendingLegs = append(pendingLegs, i) // superseded incarnation
+			continue
+		}
+		n, err := t.engines[i].ResolveGroup(gid, commit)
+		release()
+		r.observe(i, err)
+		if err != nil || n == 0 {
+			pendingLegs = append(pendingLegs, i)
+			continue
+		}
+		if commit {
+			acks++
+		}
+	}
+	unlockEpoch()
+
+	unresolved := 0
+	for _, i := range pendingLegs {
+		switch t.resolveLeg(i, gid, commit) {
+		case legResolvedHere:
+			if commit {
+				acks++
+			}
+		case legResolvedElsewhere:
+			// The restart's recovery-side resolution already applied the
+			// decision (and acknowledged it for a commit).
+		case legUnresolved:
+			unresolved++
+		}
+	}
+
+	if commit {
+		// Retire the group once every leg this call resolved is counted;
+		// restart-side resolutions acknowledge themselves. The last
+		// acknowledgement forgets the decision in the coordinator log.
+		if hooks.BeforeForget != nil && hooks.BeforeForget(gid) != nil {
+			// Coordinator crash before retiring the group: the decision
+			// stays live in the log — harmless, decisions are idempotent,
+			// and checkpointing carries it forward.
+			acks = 0
+		}
+		for ; acks > 0; acks-- {
+			r.coord.ack(gid)
+		}
+		if unresolved > 0 {
+			return ErrTxInDoubt
+		}
+		return nil
+	}
+	return firstErr
+}
+
+// legResolution is resolveLeg's outcome.
+type legResolution int
+
+const (
+	legResolvedHere      legResolution = iota // this call applied the decision
+	legResolvedElsewhere                      // a restart applied (and acked) it
+	legUnresolved                             // gave up; the forced restart will
+)
+
+// resolveLeg drives one in-doubt leg to the group decision through the
+// shard's CURRENT engine incarnation, waiting out a supervisor restart if
+// one is in flight. Exhausting the budget administratively fails the shard:
+// the forced restart consults the coordinator log, where the decision is by
+// now final (recorded for commit, absent-and-not-inflight for abort), so
+// the leg always converges to the group outcome.
+func (t *Tx) resolveLeg(i int, gid uint64, commit bool) legResolution {
+	r := t.r
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if r.closed.Load() {
+			return legUnresolved // engines are (being) closed; nothing to converge
+		}
+		release, err := r.acquire(i)
+		if err == nil {
+			eng := r.shards[i].Engine
+			n, rerr := eng.ResolveGroup(gid, commit)
+			release()
+			r.observe(i, rerr)
+			if rerr == nil {
+				if n > 0 {
+					return legResolvedHere
+				}
+				// Nothing in doubt for gid on the current engine. If the
+				// shard is healthy, the restart's resolution beat us; if a
+				// restart is still swapping engines, retry.
+				if r.Health(i).State == Healthy {
+					return legResolvedElsewhere
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			r.FailShard(i, fmt.Errorf("shard: 2pc leg unresolved for group %d: %w", gid, ErrShardUnavailable))
+			return legUnresolved
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // Abort discards the transaction's writes and releases its snapshot.

@@ -51,7 +51,23 @@ const (
 	OpCkptBegin
 	OpCkptRow
 	OpCkptEnd
+	// Two-phase-commit records (presumed abort, see DESIGN.md §15).
+	// OpPrepare marks the transaction PREPARED: its row operations are
+	// durable but the commit decision belongs to a cross-shard coordinator
+	// (Key carries the commit-group id, see GroupKey). A prepared
+	// transaction survives recovery IN DOUBT — neither committed nor
+	// aborted — until a decide record or an external resolution finishes
+	// it. OpDecideCommit/OpDecideAbort are that decision (OpDecideCommit is
+	// a commit record in every other respect); OpForget marks a decision
+	// fully acknowledged in a coordinator log, so checkpointing can drop it.
+	OpPrepare
+	OpDecideCommit
+	OpDecideAbort
+	OpForget
 )
+
+// opMax is the highest valid record type; decode rejects anything past it.
+const opMax = OpForget
 
 func (o Op) String() string {
 	switch o {
@@ -73,6 +89,14 @@ func (o Op) String() string {
 		return "ckpt-row"
 	case OpCkptEnd:
 		return "ckpt-end"
+	case OpPrepare:
+		return "prepare"
+	case OpDecideCommit:
+		return "decide-commit"
+	case OpDecideAbort:
+		return "decide-abort"
+	case OpForget:
+		return "forget"
 	default:
 		return "?"
 	}
@@ -130,7 +154,7 @@ func decode(src []byte) (rec Record, n int, ok bool) {
 		return Record{}, 0, false
 	}
 	rec.Op = Op(body[0])
-	if rec.Op < OpBegin || rec.Op > OpCkptEnd {
+	if rec.Op < OpBegin || rec.Op > opMax {
 		return Record{}, 0, false
 	}
 	i := 1
@@ -360,13 +384,31 @@ func Salvage(data []byte, off int) (commits []uint64) {
 			continue
 		}
 		if rec, n, ok := decode(data[i:]); ok {
-			if rec.Op == OpCommit {
+			if rec.Op == OpCommit || rec.Op == OpDecideCommit {
 				commits = append(commits, rec.TxID)
 			}
 			i += n - 1
 		}
 	}
 	return commits
+}
+
+// GroupKey encodes a 2PC commit-group id into a record Key (8 bytes,
+// big-endian). OpPrepare records carry the coordinator's group id this way
+// so recovery can resolve an in-doubt transaction against the coordinator
+// log.
+func GroupKey(gid uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], gid)
+	return b[:]
+}
+
+// GroupID decodes a GroupKey (0 for a malformed key).
+func GroupID(key []byte) uint64 {
+	if len(key) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(key)
 }
 
 // String renders a record for diagnostics.
